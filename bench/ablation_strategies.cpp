@@ -1,0 +1,248 @@
+// Ablations for the design choices DESIGN.md §4 calls out:
+//   A. forwarding strategy (best-port vs controlled flooding vs the §3.3.3
+//      history-union strategy) on both workload classes;
+//   B. port granularity for the §6.2.2 next-hop-as-port proxy;
+//   C. route-ranking rules (relationship-first vs path-length-first);
+//   D. mobility-intensity perturbation (×1/4 ... ×4, §8's robustness claim).
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "lina/strategy/port_oracle.hpp"
+
+using namespace lina;
+
+namespace {
+
+double max_rate(const std::vector<core::RouterUpdateStats>& stats) {
+  double rate = 0.0;
+  for (const auto& s : stats) rate = std::max(rate, s.rate());
+  return rate;
+}
+
+double median_rate(std::vector<core::RouterUpdateStats> stats) {
+  std::vector<double> rates;
+  for (const auto& s : stats) rates.push_back(s.rate());
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
+}
+
+void ablation_strategy() {
+  std::cout << stats::heading("A. Forwarding strategy (content workloads)");
+  const core::ContentUpdateCostEvaluator evaluator(
+      bench::paper_internet().vantages());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"strategy", "popular max", "popular median",
+                  "unpopular max", "unpopular median"});
+  for (const auto kind : {strategy::StrategyKind::kControlledFlooding,
+                          strategy::StrategyKind::kBestPort,
+                          strategy::StrategyKind::kHistoryUnion}) {
+    const auto pop = evaluator.evaluate(
+        bench::paper_content_catalog().popular, kind);
+    const auto unpop = evaluator.evaluate(
+        bench::paper_content_catalog().unpopular, kind);
+    rows.push_back({std::string(strategy::strategy_name(kind)),
+                    stats::pct(max_rate(pop), 2),
+                    stats::pct(median_rate(pop), 2),
+                    stats::pct(max_rate(unpop), 3),
+                    stats::pct(median_rate(unpop), 3)});
+  }
+  std::cout << stats::text_table(rows)
+            << "\n  history-union trades forwarding traffic for updates "
+               "(§3.3.3): revisited locations are free, so its rates fall "
+               "at or below best-port despite flooding-like port sets.\n";
+}
+
+void ablation_port_granularity() {
+  std::cout << stats::heading(
+      "B. Port-proxy granularity (device update cost at Oregon-1)");
+  // The §6.2.2 proxy equates ports with next-hop ASes. Compare against a
+  // coarser proxy (route class only: 3 "ports") and a finer one (next hop
+  // + path length), bounding the proxy's under/over-estimation.
+  const auto& vantage = bench::paper_internet().vantage("Oregon-1");
+  const strategy::CachingFibOracle oracle(vantage.fib());
+  std::size_t events = 0;
+  std::map<std::string, std::size_t> updates;
+  for (const auto& trace : bench::paper_device_traces()) {
+    for (const auto& event : trace.events()) {
+      const auto before = oracle.entry_for(event.from);
+      const auto after = oracle.entry_for(event.to);
+      ++events;
+      if (!before.has_value() || !after.has_value()) continue;
+      if (before->route_class != after->route_class) {
+        ++updates["route-class only (coarser)"];
+      }
+      if (before->port != after->port) {
+        ++updates["next-hop AS (paper's proxy)"];
+      }
+      if (before->port != after->port ||
+          before->path_length != after->path_length) {
+        ++updates["next hop + path length (finer)"];
+      }
+    }
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"port definition", "update rate"});
+  for (const auto& [name, count] : updates) {
+    rows.push_back({name, stats::pct(static_cast<double>(count) /
+                                         static_cast<double>(events),
+                                     2)});
+  }
+  std::cout << stats::text_table(rows)
+            << "\n  The proxy's rate is bracketed by the coarser and finer "
+               "definitions, as §6.2.2 argues (\"we may under- or "
+               "over-estimate the actual update cost\").\n";
+}
+
+void ablation_ranking() {
+  std::cout << stats::heading(
+      "C. Route-ranking rules (relationship-first vs length-first)");
+  // Re-rank every vantage RIB with path length taking precedence over the
+  // customer > peer > provider rule, rebuild FIBs, re-measure Figure 8.
+  const auto& internet = bench::paper_internet();
+  std::vector<routing::VantageRouter> reranked;
+  for (const auto& vantage : internet.vantages()) {
+    routing::VantageRouter copy(std::string(vantage.name()),
+                                vantage.as_number(), vantage.location());
+    for (const auto& prefix : vantage.rib().prefixes()) {
+      for (routing::RibRoute route : vantage.rib().candidates(prefix)) {
+        // Encode shorter-path-first into local_pref, which outranks the
+        // relationship class in route_preferred().
+        route.local_pref = 1000u - static_cast<std::uint32_t>(
+                                       route.as_path.length());
+        copy.install(std::move(route));
+      }
+    }
+    reranked.push_back(std::move(copy));
+  }
+  const core::DeviceUpdateCostEvaluator base_eval(internet.vantages());
+  const core::DeviceUpdateCostEvaluator alt_eval(reranked);
+  const auto base = base_eval.evaluate(bench::paper_device_traces());
+  const auto alt = alt_eval.evaluate(bench::paper_device_traces());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"router", "relationship-first (paper)", "length-first"});
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    rows.push_back({base[i].router, stats::pct(base[i].rate(), 2),
+                    stats::pct(alt[i].rate(), 2)});
+  }
+  std::cout << stats::text_table(rows)
+            << "\n  The ranking rule shifts individual routers but not the "
+               "cross-router pattern: update cost is driven by topology, "
+               "not by the tie-breaking policy.\n";
+}
+
+void ablation_intensity() {
+  std::cout << stats::heading(
+      "D. Mobility-intensity perturbation (§8 robustness)");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"intensity", "median daily transitions", "Fig8 max",
+                  "Fig8 median"});
+  for (const double factor : {0.25, 1.0, 4.0}) {
+    mobility::DeviceWorkloadConfig config;
+    config.user_count = 186;
+    config.days = 10;
+    config.median_daily_transitions *= factor;
+    const auto traces =
+        mobility::DeviceWorkloadGenerator(bench::paper_internet(), config)
+            .generate();
+    const core::DeviceUpdateCostEvaluator evaluator(
+        bench::paper_internet().vantages());
+    const auto stats_by_router = evaluator.evaluate(traces);
+    const auto extent = core::analyze_extent(traces);
+    rows.push_back({"x" + stats::fmt(factor, 2),
+                    stats::fmt(
+                        extent.ip_transitions_per_day.quantile(0.5), 2),
+                    stats::pct(max_rate(stats_by_router), 1),
+                    stats::pct(median_rate(stats_by_router), 1)});
+  }
+  std::cout << stats::text_table(rows)
+            << "\n  Per-event update rates barely move when the volume of "
+               "mobility changes by 16x — the paper's qualitative-"
+               "stability claim (§8).\n";
+}
+
+void ablation_mobility_model() {
+  std::cout << stats::heading(
+      "E. Mobility law (analytic model, 63-node chain and 8x8 grid)");
+  // The paper's §5 model teleports endpoints uniformly. Swap in stickier
+  // and more local laws and watch the per-event name-based update cost.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"mobility model", "chain update cost", "grid update cost"});
+  const auto chain = topology::make_chain(63);
+  const auto grid = topology::make_grid(8, 8);
+  const analytic::TradeoffAnalyzer chain_analyzer(chain);
+  const analytic::TradeoffAnalyzer grid_analyzer(grid);
+  stats::Rng rng(63, "ablation-mobility");
+
+  const auto run = [&](const analytic::MobilityModel& model) {
+    const auto c = chain_analyzer.simulate_with(model, 30000, rng);
+    const auto g = grid_analyzer.simulate_with(model, 30000, rng);
+    rows.push_back({std::string(model.name()),
+                    stats::fmt(c.name_based_update_cost, 4),
+                    stats::fmt(g.name_based_update_cost, 4)});
+  };
+  run(*analytic::make_uniform_jump_model());
+  run(*analytic::make_sticky_model(0.7));
+  run(*analytic::make_preferential_model(1.2));
+  const auto chain_walk = analytic::make_neighbor_walk_model(chain);
+  const auto grid_walk = analytic::make_neighbor_walk_model(grid);
+  const auto cw = chain_analyzer.simulate_with(*chain_walk, 30000, rng);
+  const auto gw = grid_analyzer.simulate_with(*grid_walk, 30000, rng);
+  rows.push_back({"neighbor-walk", stats::fmt(cw.name_based_update_cost, 4),
+                  stats::fmt(gw.name_based_update_cost, 4)});
+  std::cout << stats::text_table(rows)
+            << "\n  Local and revisit-heavy mobility laws lower the "
+               "per-event cost, but never to the O(1/n) level of the "
+               "indirection/resolution designs — the paper's conclusion "
+               "is robust to the mobility model.\n";
+}
+
+void ablation_multihoming() {
+  std::cout << stats::heading(
+      "F. Device multihoming (make-before-break handoffs, §3.3)");
+  // The same population evaluated as address-set traces: zero overlap
+  // (break-before-make singletons) vs 15-minute interface overlap.
+  const core::MultihomedDeviceUpdateCostEvaluator evaluator(
+      bench::paper_internet().vantages());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"view", "strategy", "max router", "median router"});
+  for (const double overlap : {0.0, 0.25}) {
+    const auto views =
+        mobility::multihomed_views(bench::paper_device_traces(), overlap);
+    for (const auto kind : {strategy::StrategyKind::kBestPort,
+                            strategy::StrategyKind::kControlledFlooding}) {
+      const auto stats_by_router = evaluator.evaluate(views, kind);
+      std::vector<double> rates;
+      for (const auto& s : stats_by_router) rates.push_back(s.rate());
+      std::sort(rates.begin(), rates.end());
+      rows.push_back(
+          {overlap == 0.0 ? "break-before-make" : "15-min overlap",
+           std::string(strategy::strategy_name(kind)),
+           stats::pct(rates.back(), 1),
+           stats::pct(rates[rates.size() / 2], 1)});
+    }
+  }
+  std::cout << stats::text_table(rows)
+            << "\n  Overlapping interfaces double the event count (attach "
+               "+ detach) but halve the per-event best-port rate: the "
+               "preferred port often survives the handoff window — "
+               "multihoming converts device mobility toward the content-"
+               "mobility regime.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_figure_header(
+      "Ablations — design choices behind the headline results",
+      "(not a paper figure; DESIGN.md §4 ablation index)");
+  ablation_strategy();
+  ablation_port_granularity();
+  ablation_ranking();
+  ablation_intensity();
+  ablation_mobility_model();
+  ablation_multihoming();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared fixtures for the figure/table reproduction harnesses: the
+// full-scale synthetic Internet and the paper-scale workloads (372 users,
+// 500 + 500 domains, hourly resolution over three weeks). Each bench binary
+// is its own process; fixtures are built once per process on first use.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lina/core/lina.hpp"
+
+namespace lina::bench {
+
+inline const routing::SyntheticInternet& paper_internet() {
+  static const routing::SyntheticInternet instance{
+      routing::SyntheticInternetConfig{}};
+  return instance;
+}
+
+/// 372 users for 30 days (the paper observed users for months; 30 days of
+/// synthetic trace gives stable per-user daily statistics).
+inline const std::vector<mobility::DeviceTrace>& paper_device_traces() {
+  static const std::vector<mobility::DeviceTrace> traces = [] {
+    mobility::DeviceWorkloadConfig config;  // paper-calibrated defaults
+    config.days = 30;
+    return mobility::DeviceWorkloadGenerator(paper_internet(), config)
+        .generate();
+  }();
+  return traces;
+}
+
+/// 500 popular + 500 unpopular domains, 21 days of hourly resolution from
+/// 74 vantage points (§7.1).
+inline const mobility::ContentCatalog& paper_content_catalog() {
+  static const mobility::ContentCatalog catalog =
+      mobility::ContentWorkloadGenerator(paper_internet(),
+                                         mobility::ContentWorkloadConfig{})
+          .generate();
+  return catalog;
+}
+
+/// Prints a heading plus the paper's reported anchor for a figure.
+inline void print_figure_header(const std::string& figure,
+                                const std::string& paper_reports) {
+  std::cout << stats::heading(figure);
+  std::cout << "Paper reports: " << paper_reports << "\n\n";
+}
+
+/// Renders per-router update-rate stats as the bar chart the paper plots.
+inline void print_router_rates(const std::vector<core::RouterUpdateStats>&
+                                   router_stats,
+                               const std::string& unit_note) {
+  std::vector<std::pair<std::string, double>> rows;
+  rows.reserve(router_stats.size());
+  for (const core::RouterUpdateStats& s : router_stats) {
+    rows.emplace_back(s.router, s.rate() * 100.0);
+  }
+  std::cout << stats::bar_chart(rows, "%") << "\n" << unit_note << "\n";
+}
+
+}  // namespace lina::bench

@@ -1,0 +1,80 @@
+// §2.1 context experiment: the compact-routing point in the stretch /
+// table-size / update-cost design space, beside the paper's Table 1
+// extremes. "For example, with N flat identifiers, to be within 3x stretch
+// of shortest-path, each router needs Ω(N) forwarding entries; for up to
+// 5x stretch, it is Ω(√N)."
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "lina/analytic/compact_routing.hpp"
+
+using namespace lina;
+
+namespace {
+
+void run_topology(const std::string& name, const topology::Graph& graph) {
+  std::cout << stats::heading(name + " (n = " +
+                              std::to_string(graph.node_count()) + ")");
+  const std::size_t n = graph.node_count();
+  stats::Rng rng(2014, "compact-" + name);
+
+  // The two Table-1 extremes on this graph.
+  const analytic::TradeoffAnalyzer analyzer(graph);
+  const auto exact = analyzer.exact();
+
+  // The compact middle point.
+  const analytic::CompactRoutingScheme scheme(graph);
+  const auto compact = scheme.evaluate(2000, rng);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"design", "table entries/router", "stretch",
+                  "routers updated/event"});
+  rows.push_back({"indirection (home agent)", "O(prefixes)",
+                  stats::fmt(exact.indirection_stretch, 2) + " extra hops",
+                  "1 (" + stats::fmt(1.0 / static_cast<double>(n), 4) +
+                      " of routers)"});
+  rows.push_back(
+      {"name-based (shortest path)", std::to_string(n) + " (one per name)",
+       "0",
+       stats::fmt(exact.name_based_update_cost *
+                      static_cast<double>(n),
+                  1) +
+           " (" + stats::fmt(exact.name_based_update_cost, 3) +
+           " of routers)"});
+  rows.push_back(
+      {"compact (stretch-3 landmarks)",
+       stats::fmt(compact.avg_table_size, 1) + " avg / " +
+           std::to_string(compact.max_table_size) + " max",
+       stats::fmt(compact.avg_stretch, 2) + "x avg, " +
+           stats::fmt(compact.max_stretch, 2) + "x max",
+       stats::fmt(compact.avg_update_fraction * static_cast<double>(n), 1) +
+           " (" + stats::fmt(compact.avg_update_fraction, 3) +
+           " of routers)"});
+  std::cout << stats::text_table(rows);
+  std::cout << "  landmarks: " << scheme.landmarks().size() << " (~sqrt(n ln n) = "
+            << stats::fmt(std::sqrt(static_cast<double>(n) *
+                                    std::log(static_cast<double>(n))),
+                          1)
+            << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_figure_header(
+      "Compact routing — the §2.1 stretch/state/update middle ground",
+      "(context for Table 1) compact routing bounds stretch by 3x with "
+      "~sqrt(n log n) entries and sub-linear update cost — between the "
+      "home agent's (stretch, 1 update) and pure name-based routing's "
+      "(0 stretch, Θ(n) updates).");
+
+  stats::Rng rng(7, "compact-graphs");
+  run_topology("grid 16x16", topology::make_grid(16, 16));
+  run_topology("Barabasi-Albert m=2",
+               topology::make_barabasi_albert(256, 2, rng));
+  run_topology("Erdos-Renyi p=0.03",
+               topology::make_erdos_renyi(256, 0.03, rng));
+  return 0;
+}

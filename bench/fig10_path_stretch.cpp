@@ -1,0 +1,57 @@
+// Reproduces Figure 10 (§6.3.2): the displacement of mobile users from
+// their dominant ("home agent") location — the path stretch indirection
+// routing pays — via the iPlane-substitute latency model, plus the
+// AS-hop lower bound and the away-time share (key finding 2).
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace lina;
+
+int main() {
+  bench::print_figure_header(
+      "Figure 10 — one-way delay from the home (dominant) location",
+      "median displacement delay ~50 ms over predicted routes with ~4 AS "
+      "hops (iPlane, 5% pair coverage); shortest physical AS path median 2 "
+      "hops; median user spends ~25% of the day at ASes >= 2 AS hops from "
+      "the dominant AS.");
+
+  const core::LatencyModel model(bench::paper_internet());
+  stats::Rng rng(10, "fig10");
+  const auto result = core::evaluate_indirection_stretch(
+      bench::paper_device_traces(), model, /*coverage=*/0.05, rng);
+
+  std::cout << "Sampled " << result.pairs_sampled << " of "
+            << result.pairs_total
+            << " dominant-to-current address pairs ("
+            << stats::pct(static_cast<double>(result.pairs_sampled) /
+                              static_cast<double>(result.pairs_total),
+                          1)
+            << " coverage, mirroring iPlane's ~5%).\n\n";
+
+  std::cout << "One-way H->M delay (ms):\n"
+            << stats::cdf_table(result.delay_ms, "delay (ms)", 12) << "\n";
+
+  const std::vector<std::pair<std::string, const stats::EmpiricalCdf*>>
+      hops{{"policy route", &result.policy_hops},
+           {"physical shortest", &result.physical_hops}};
+  std::cout << "AS-hop displacement from home:\n"
+            << stats::multi_cdf_table(hops, "AS hops", 9) << "\n";
+
+  std::cout << "Measured medians: delay "
+            << stats::fmt(result.delay_ms.quantile(0.5), 1)
+            << " ms; policy-route hops "
+            << stats::fmt(result.policy_hops.quantile(0.5), 1)
+            << "; physical lower bound "
+            << stats::fmt(result.physical_hops.quantile(0.5), 1) << ".\n";
+  std::cout << "Median time share at ASes >= 2 hops from home: "
+            << stats::pct(result.away_time_share.quantile(0.5), 1)
+            << "  (paper: ~25%).\n";
+  std::cout << "\nNote: absolute delays run below the paper's 50 ms because "
+               "the synthetic metro-clustered topology is shallower than "
+               "the measured Internet; the CDF shape and the hop-count "
+               "ordering (policy >= physical) are the reproduced "
+               "quantities (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Figure 6 (§6.1): CDF across users of the average number of
+// distinct network locations (IP addresses, IP prefixes, ASes) visited per
+// day, on the NomadLog-substitute device workload.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace lina;
+
+int main() {
+  bench::print_figure_header(
+      "Figure 6 — distinct network locations per user per day",
+      "medians 3 IP addresses, 2 prefixes, 2 ASes per day; consistent with "
+      "users moving across a cellular, home and work address daily.");
+
+  const auto extent = core::analyze_extent(bench::paper_device_traces());
+
+  const std::vector<std::pair<std::string, const stats::EmpiricalCdf*>>
+      series{{"IP addresses", &extent.ips_per_day},
+             {"IP prefixes", &extent.prefixes_per_day},
+             {"ASes", &extent.ases_per_day}};
+  std::cout << stats::multi_cdf_table(series, "locations/day") << "\n";
+
+  std::cout << "Measured medians: "
+            << stats::fmt(extent.ips_per_day.quantile(0.5), 2) << " IPs, "
+            << stats::fmt(extent.prefixes_per_day.quantile(0.5), 2)
+            << " prefixes, "
+            << stats::fmt(extent.ases_per_day.quantile(0.5), 2)
+            << " ASes per day across "
+            << extent.ips_per_day.size() << " users.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Figure 7 (§6.1): CDF across users of the average number of
+// transitions across network locations per day.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace lina;
+
+int main() {
+  bench::print_figure_header(
+      "Figure 7 — transitions across network locations per user per day",
+      "median user: ~3 IP-address and ~1 AS transition/day; over 20% of "
+      "users change IP address more than 10 times a day; max average AS "
+      "transition rate 31.6/day, min 0.25/day.");
+
+  const auto extent = core::analyze_extent(bench::paper_device_traces());
+
+  const std::vector<std::pair<std::string, const stats::EmpiricalCdf*>>
+      series{{"IP addresses", &extent.ip_transitions_per_day},
+             {"IP prefixes", &extent.prefix_transitions_per_day},
+             {"ASes", &extent.as_transitions_per_day}};
+  std::cout << stats::multi_cdf_table(series, "transitions/day") << "\n";
+
+  std::cout << "Measured: median "
+            << stats::fmt(extent.ip_transitions_per_day.quantile(0.5), 2)
+            << " IP and "
+            << stats::fmt(extent.as_transitions_per_day.quantile(0.5), 2)
+            << " AS transitions/day; "
+            << stats::pct(
+                   extent.ip_transitions_per_day.fraction_above(10.0), 1)
+            << " of users exceed 10 IP transitions/day; AS transition "
+               "range ["
+            << stats::fmt(extent.as_transitions_per_day.min(), 2) << ", "
+            << stats::fmt(extent.as_transitions_per_day.max(), 1) << "].\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks for the hot data structures: the IP LPM
+// trie, the hierarchical name trie, route selection, and the policy-routing
+// engine. These bound the cost of scaling the reproduction up.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lina/names/name_trie.hpp"
+#include "lina/net/ip_trie.hpp"
+#include "lina/routing/policy_routing.hpp"
+#include "lina/routing/rib.hpp"
+#include "lina/stats/rng.hpp"
+#include "lina/topology/as_graph.hpp"
+
+namespace {
+
+using namespace lina;
+
+std::vector<net::Prefix> random_prefixes(std::size_t count,
+                                         stats::Rng& rng) {
+  std::vector<net::Prefix> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto addr = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff)));
+    out.emplace_back(addr, 8 + static_cast<unsigned>(rng.index(17)));
+  }
+  return out;
+}
+
+void BM_IpTrieInsert(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    net::IpTrie<int> trie;
+    int value = 0;
+    for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpTrieInsert)->Range(1 << 8, 1 << 14);
+
+void BM_IpTrieLookup(benchmark::State& state) {
+  stats::Rng rng(2);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  net::IpTrie<int> trie;
+  int value = 0;
+  for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+  std::vector<net::Ipv4Address> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back(net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff))));
+  }
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(queries[q++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IpTrieLookup)->Range(1 << 8, 1 << 16);
+
+void BM_NameTrieLookup(benchmark::State& state) {
+  stats::Rng rng(3);
+  names::NameTrie<int> trie;
+  std::vector<names::ContentName> names;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < count; ++i) {
+    names::ContentName name({"com", "d" + std::to_string(rng.index(count))});
+    if (rng.chance(0.7)) name = name.child("s" + std::to_string(rng.index(40)));
+    trie.insert(name, static_cast<int>(i));
+    names.push_back(std::move(name));
+  }
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(names[q++ % names.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NameTrieLookup)->Range(1 << 8, 1 << 14);
+
+void BM_RouteSelection(benchmark::State& state) {
+  stats::Rng rng(4);
+  routing::Rib rib;
+  const net::Prefix prefix = net::Prefix::parse("10.0.0.0/16");
+  const auto candidates = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < candidates; ++i) {
+    rib.add(routing::RibRoute{
+        .prefix = prefix,
+        .as_path = routing::AsPath(
+            {static_cast<topology::AsId>(i + 1),
+             static_cast<topology::AsId>(1000 + rng.index(50)), 9999}),
+        .route_class = static_cast<routing::RouteClass>(rng.index(3)),
+        .local_pref = 0,
+        .med = static_cast<std::uint32_t>(rng.index(10))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rib.best(prefix));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RouteSelection)->Range(2, 256);
+
+void BM_PolicyRoutes(benchmark::State& state) {
+  stats::Rng rng(5);
+  topology::InternetConfig config;
+  config.tier1_count = 10;
+  config.tier2_count = static_cast<std::size_t>(state.range(0)) / 8;
+  config.stub_count = static_cast<std::size_t>(state.range(0));
+  const auto graph = topology::make_hierarchical_internet(config, rng);
+  topology::AsId destination = static_cast<topology::AsId>(
+      graph.as_count() - 1);
+  for (auto _ : state) {
+    const routing::PolicyRoutes routes(graph, destination);
+    benchmark::DoNotOptimize(routes.best_distance(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(graph.as_count()));
+}
+BENCHMARK(BM_PolicyRoutes)->Range(128, 2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Figure 2(b) methodology experiment: content renamed across the name
+// hierarchy (distribution-rights transfers) displaces name-based routers
+// exactly like devices crossing prefixes. The paper illustrates but does
+// not measure this case; here the machinery is exercised end to end over
+// the synthetic catalog.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lina/core/name_displacement.hpp"
+
+using namespace lina;
+
+int main() {
+  bench::print_figure_header(
+      "Name renaming — Figure 2(b) displacement across hierarchies",
+      "(methodology exercise; the paper's /20thCenturyFox/StarWarsIV -> "
+      "/Disney/StarWarsIV example) a router updates iff its LPM ports for "
+      "the old and new names differ; each displaced rename pins one "
+      "exception entry.");
+
+  const auto& catalog = bench::paper_content_catalog().popular;
+  stats::Rng rng(2626, "renames");
+  const auto events = core::generate_rename_events(catalog, 1000, rng);
+  std::cout << "Generated " << events.size()
+            << " cross-hierarchy renames over " << catalog.size()
+            << " popular names.\n\n";
+
+  const auto results = core::evaluate_rename_displacement(
+      bench::paper_internet().vantages(), catalog, events);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"router", "renames displacing it", "exception entries",
+                  "FIB growth"});
+  for (const auto& r : results) {
+    rows.push_back(
+        {r.updates.router, stats::pct(r.updates.rate(), 1),
+         std::to_string(r.fib_entries_after - r.fib_entries_before),
+         stats::pct(static_cast<double>(r.fib_entries_after -
+                                        r.fib_entries_before) /
+                        static_cast<double>(r.fib_entries_before),
+                    2)});
+  }
+  std::cout << stats::text_table(rows) << "\n";
+  std::cout
+      << "Reading: renames are content mobility in the *name* dimension — "
+         "their per-router displacement pattern mirrors Figure 8's (port-"
+         "diverse cores displaced often, remote edges rarely), and every "
+         "displaced rename permanently grows the table until the namespace "
+         "is re-aggregated.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Extension experiment (not a paper figure): validates the §2/§5 trade-offs
+// dynamically by forwarding packets. A remote correspondent streams CBR
+// traffic at a mobile device roaming per the NomadLog-substitute model;
+// the three architectures are compared on delivery ratio, data-path
+// stretch, handoff outage, and control-message volume.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lina/sim/resolver_pool.hpp"
+#include "lina/sim/session.hpp"
+
+using namespace lina;
+
+namespace {
+
+/// Converts the first hours of a device trace into a sped-up AS-level
+/// mobility schedule (1 simulated second per trace hour).
+sim::SessionConfig session_from_trace(const mobility::DeviceTrace& trace,
+                                      topology::AsId correspondent,
+                                      double hours) {
+  sim::SessionConfig config;
+  config.correspondent = correspondent;
+  config.duration_ms = hours * 1000.0;
+  config.packet_interval_ms = 25.0;
+  config.resolver_ttl_ms = 200.0;
+  topology::AsId last = static_cast<topology::AsId>(-1);
+  for (const mobility::DeviceVisit& visit : trace.visits()) {
+    if (visit.start_hour > hours) break;
+    if (visit.as == last) continue;
+    config.schedule.push_back({visit.start_hour * 1000.0, visit.as});
+    last = visit.as;
+  }
+  if (config.schedule.empty() || config.schedule.front().time_ms != 0.0) {
+    config.schedule.insert(config.schedule.begin(),
+                           {0.0, trace.visits().front().as});
+  }
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_figure_header(
+      "Packet-level validation — forwarding under mobility (extension)",
+      "(not a paper figure) indirection should pay stretch but converge "
+      "fast; name resolution should pay staleness; name-based routing "
+      "should pay convergence-time outages and flooding control cost but "
+      "no steady-state stretch.");
+
+  const auto& internet = bench::paper_internet();
+  const sim::ForwardingFabric fabric(internet);
+
+  // Aggregate over the 24 most mobile users' first 3 days.
+  std::vector<const mobility::DeviceTrace*> mobile_users;
+  for (const auto& trace : bench::paper_device_traces()) {
+    mobile_users.push_back(&trace);
+  }
+  std::sort(mobile_users.begin(), mobile_users.end(),
+            [](const auto* a, const auto* b) {
+              return a->events().size() > b->events().size();
+            });
+  mobile_users.resize(24);
+
+  const topology::AsId correspondent = internet.edge_ases()[0];
+
+  const auto replicas = sim::ResolverPool::metro_placement(internet, 8);
+
+  struct Variant {
+    std::string label;
+    sim::SimArchitecture arch;
+    std::size_t scope;  // SIZE_MAX = global
+    bool replicated;
+  };
+  const std::vector<Variant> variants{
+      {"indirection (home agent)", sim::SimArchitecture::kIndirection,
+       SIZE_MAX, false},
+      {"name resolution (resolver)", sim::SimArchitecture::kNameResolution,
+       SIZE_MAX, false},
+      {"replicated resolution (GNS, 8 replicas)",
+       sim::SimArchitecture::kReplicatedResolution, SIZE_MAX, true},
+      {"name-based routing (global flooding)",
+       sim::SimArchitecture::kNameBased, SIZE_MAX, false},
+      {"name-based routing (scope 3 hops, §8 hybrid)",
+       sim::SimArchitecture::kNameBased, 3, false},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"architecture", "delivery", "median stretch",
+                  "median outage (ms)", "control msgs"});
+  for (const Variant& variant : variants) {
+    std::size_t sent = 0, delivered = 0, control = 0;
+    stats::EmpiricalCdf stretch, outage;
+    for (const auto* trace : mobile_users) {
+      auto config = session_from_trace(*trace, correspondent, 72.0);
+      config.update_scope_hops = variant.scope;
+      // Fair comparison: the single resolver sits where the GNS pool's
+      // first replica sits (not conveniently next to the correspondent).
+      config.resolver_as = replicas.front();
+      if (variant.replicated) config.resolver_replicas = replicas;
+      const auto result = sim::simulate_session(fabric, variant.arch, config);
+      sent += result.packets_sent;
+      delivered += result.packets_delivered;
+      control += result.control_messages;
+      if (!result.stretch.empty()) stretch.add(result.stretch.quantile(0.5));
+      if (!result.outage_ms.empty()) {
+        outage.add(result.outage_ms.quantile(0.5));
+      }
+    }
+    rows.push_back(
+        {variant.label,
+         stats::pct(static_cast<double>(delivered) /
+                        static_cast<double>(sent),
+                    2),
+         stats::fmt(stretch.quantile(0.5), 3),
+         outage.empty() ? "-" : stats::fmt(outage.quantile(0.5), 1),
+         std::to_string(control)});
+  }
+  std::cout << stats::text_table(rows) << "\n";
+  std::cout
+      << "Reading: the static methodology's cost columns show up as live "
+         "behaviour — name-based routing converges fastest but floods "
+         "orders of magnitude more control traffic (scoping recovers most "
+         "of that at almost no delivery cost), replication cuts the "
+         "resolution architecture's staleness relative to one distant "
+         "resolver, and indirection trades per-packet stretch for the "
+         "cheapest control plane.\n";
+  return 0;
+}

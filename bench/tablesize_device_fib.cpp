@@ -1,0 +1,67 @@
+// Reproduces the §6.2 "Forwarding table size" analysis empirically: the
+// number of extra (displaced) per-device forwarding entries each router
+// would carry under pure name-based routing, sampled over time — the
+// measured counterpart of the paper's 3% x 30% ~= 1% back-of-the-envelope.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lina/core/fib_size.hpp"
+
+using namespace lina;
+
+int main() {
+  bench::print_figure_header(
+      "Table size — displaced-device forwarding entries (§6.2)",
+      "a typical router maintains extra entries for ~1% of all devices "
+      "displaced with respect to it at any given time (update likelihood "
+      "x time away from the dominant address).");
+
+  const auto& internet = bench::paper_internet();
+  const auto& traces = bench::paper_device_traces();
+
+  const auto timelines =
+      core::evaluate_displaced_entries(internet.vantages(), traces, 1.0);
+  const core::DeviceUpdateCostEvaluator update_eval(internet.vantages());
+  const auto update_stats = update_eval.evaluate(traces);
+  const auto extent = core::analyze_extent(traces);
+  const double away = 1.0 - extent.dominant_ip_share.quantile(0.5);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"router", "mean displaced", "peak", "mean fraction",
+                  "BoE estimate", "entries @2B devices"});
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    const auto& t = timelines[i];
+    rows.push_back(
+        {t.router,
+         stats::fmt(t.mean_fraction * static_cast<double>(t.device_count),
+                    1),
+         std::to_string(t.peak), stats::pct(t.mean_fraction, 2),
+         stats::pct(core::displaced_entry_fraction(update_stats[i].rate(),
+                                                   away),
+                    2),
+         stats::fmt(t.projected_extra_entries(2e9) / 1e6, 1) + "M"});
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  // A small diurnal excerpt at the busiest router.
+  const auto busiest = std::max_element(
+      timelines.begin(), timelines.end(),
+      [](const auto& a, const auto& b) {
+        return a.mean_fraction < b.mean_fraction;
+      });
+  std::cout << "Hourly displaced-entry counts at " << busiest->router
+            << " (first 48h):\n";
+  std::vector<std::pair<std::string, double>> bars;
+  for (std::size_t s = 0; s < std::min<std::size_t>(48, busiest->samples.size());
+       s += 4) {
+    bars.emplace_back("h" + std::to_string(static_cast<int>(
+                                busiest->samples[s].first)),
+                      static_cast<double>(busiest->samples[s].second));
+  }
+  std::cout << stats::bar_chart(bars, " devices") << "\n";
+  std::cout << "Reading: the empirical mean fraction tracks the paper's "
+               "update-rate x away-share product router by router; "
+               "address-routed architectures carry none of this state.\n";
+  return 0;
+}

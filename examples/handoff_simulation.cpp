@@ -1,0 +1,66 @@
+// Handoff simulation: watch one mobile session live under each
+// architecture. A correspondent streams packets while the device commutes
+// home -> cellular -> work -> home; the example prints delivery, stretch,
+// outage and control costs side by side.
+//
+//   $ ./build/examples/handoff_simulation
+
+#include <iostream>
+
+#include "lina/core/lina.hpp"
+#include "lina/sim/session.hpp"
+
+int main() {
+  using namespace lina;
+
+  const routing::SyntheticInternet internet;
+  const sim::ForwardingFabric fabric(internet);
+
+  // A commute within one metro region, watched by a remote correspondent.
+  const auto local =
+      internet.edge_ases_near(topology::metro_anchors()[0], 3);
+  const auto remote =
+      internet.edge_ases_near(topology::metro_anchors()[5], 1);
+
+  sim::SessionConfig config;
+  config.correspondent = remote[0];
+  config.schedule = {
+      {0.0, local[0]},     // home
+      {3000.0, local[1]},  // cellular on the commute
+      {5000.0, local[2]},  // work
+      {9000.0, local[1]},  // cellular again
+      {11000.0, local[0]}  // back home
+  };
+  config.duration_ms = 14000.0;
+  config.packet_interval_ms = 25.0;
+  config.resolver_ttl_ms = 250.0;
+
+  std::cout << "Streaming " << stats::fmt(config.duration_ms / 1000.0, 0)
+            << "s of packets at a device making "
+            << config.schedule.size() - 1 << " handoffs...\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"architecture", "delivered", "median delay (ms)",
+                  "median stretch", "worst outage (ms)", "control msgs"});
+  for (const auto arch : {sim::SimArchitecture::kIndirection,
+                          sim::SimArchitecture::kNameResolution,
+                          sim::SimArchitecture::kNameBased}) {
+    const auto result = sim::simulate_session(fabric, arch, config);
+    rows.push_back(
+        {std::string(sim::sim_architecture_name(arch)),
+         stats::pct(result.delivery_ratio(), 1),
+         stats::fmt(result.delivery_delay_ms.quantile(0.5), 1),
+         stats::fmt(result.stretch.quantile(0.5), 2),
+         result.outage_ms.empty() ? "-"
+                                  : stats::fmt(result.outage_ms.max(), 1),
+         std::to_string(result.control_messages)});
+  }
+  std::cout << stats::text_table(rows);
+
+  std::cout << "\nIndirection detours every packet via the home agent; "
+               "name resolution\nserves stale answers until the TTL "
+               "expires; name-based routing floods\nevery router per move "
+               "but recovers the direct path. This is the paper's\n"
+               "cost-benefit triangle, live.\n";
+  return 0;
+}

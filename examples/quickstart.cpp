@@ -1,0 +1,50 @@
+// Quickstart: build a synthetic Internet, generate a small device-mobility
+// workload, and compare the three location-independence architectures on
+// the paper's metrics — about thirty lines of library use.
+//
+//   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "lina/core/lina.hpp"
+
+int main() {
+  using namespace lina;
+
+  // 1. A policy-routed synthetic Internet with the paper's 12 vantage
+  //    routers (defaults: 12 tier-1s, 80 tier-2s, 600 stub ASes).
+  const routing::SyntheticInternet internet;
+  std::cout << "Internet: " << internet.graph().as_count() << " ASes, "
+            << internet.all_prefixes().size() << " prefixes, "
+            << internet.vantages().size() << " vantage routers\n";
+
+  // 2. A NomadLog-style device workload (100 users, two weeks).
+  mobility::DeviceWorkloadConfig workload;
+  workload.user_count = 100;
+  workload.days = 14;
+  const auto traces =
+      mobility::DeviceWorkloadGenerator(internet, workload).generate();
+
+  // 3. One call compares indirection routing, name resolution, and pure
+  //    name-based routing on update cost, stretch, and table size.
+  const core::ArchitectureComparison comparison(internet,
+                                                internet.vantages());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"architecture", "nodes updated/event", "extra delay (ms)",
+                  "setup latency (ms)", "fwd entries/router"});
+  for (const auto& a : comparison.assess_devices(traces)) {
+    rows.push_back({std::string(core::architecture_name(a.kind)),
+                    stats::fmt(a.nodes_updated_per_event, 2),
+                    stats::fmt(a.mean_extra_delay_ms, 1),
+                    stats::fmt(a.connection_setup_ms, 1),
+                    stats::fmt(a.forwarding_entries, 0)});
+  }
+  std::cout << "\nDevice mobility, three purist architectures:\n"
+            << stats::text_table(rows);
+
+  std::cout << "\nReading: indirection pays path stretch, name resolution "
+               "pays lookup latency,\nname-based routing pays router "
+               "updates and forwarding state. See bench/ for the\nfull "
+               "figure-by-figure reproduction.\n";
+  return 0;
+}

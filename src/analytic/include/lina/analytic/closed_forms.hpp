@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lina::analytic {
+
+/// One row of the paper's Table 1: expected path stretch (additive hops
+/// over shortest path) and aggregate update cost (expected fraction of
+/// routers updated per mobility event) under uniform random mobility.
+struct Table1Row {
+  std::string topology;
+  double indirection_stretch = 0.0;
+  double indirection_update_cost = 0.0;
+  double name_based_stretch = 0.0;
+  double name_based_update_cost = 0.0;
+};
+
+/// The paper's published closed forms evaluated at a concrete n:
+///   chain:       (n/3, 1/n, 0, 1/3)
+///   clique:      (1, 1/n, 0, 1)
+///   binary tree: (2 log2 n, 1/n, 0, 2 log2 n / (n-1))
+///   star:        (2, 1/n, 0, 1/(n+1))
+/// Exact (non-asymptotic) chain values use the paper's §5.1 derivation:
+/// stretch (n^2-1)/(3n) and update cost (n^3+3n^2-n)/(3n^3).
+[[nodiscard]] std::vector<Table1Row> paper_table1(std::size_t n);
+
+/// Exact §5.1 chain formulas (match `TradeoffAnalyzer::exact` on a chain).
+[[nodiscard]] double chain_indirection_stretch(std::size_t n);
+[[nodiscard]] double chain_name_based_update_cost(std::size_t n);
+
+}  // namespace lina::analytic

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lina/stats/rng.hpp"
+#include "lina/topology/graph.hpp"
+#include "lina/topology/shortest_paths.hpp"
+
+namespace lina::analytic {
+
+/// A Thorup–Zwick-style stretch-3 compact routing scheme — the §2.1
+/// reference point the paper cites against name-based routing: "with N
+/// flat identifiers, to be within 3x stretch of shortest-path, each router
+/// needs Ω(N) forwarding entries; for up to 5x stretch, it is Ω(√N)".
+///
+/// Construction: a random landmark set L; every node u keeps routes to all
+/// landmarks plus direct entries for every destination w closer to u than
+/// w is to its own nearest landmark (d(u,w) < d(w, l(w))). Packets for v
+/// head toward v's landmark and switch to the direct entry as soon as an
+/// en-route node holds one; once at the landmark the final descent is
+/// direct. Worst-case multiplicative stretch is 3; tables are
+/// O(sqrt(n log n)) in expectation.
+///
+/// For the paper's mobility lens, the interesting third column is update
+/// cost: when an endpoint moves, only the nodes holding a direct entry for
+/// its old or new attachment (two landmark-radius balls) plus one
+/// directory record must change — o(n), unlike pure name-based routing's
+/// Θ(n) worst case, at the price of bounded stretch.
+struct CompactRoutingConfig {
+  /// 0 = automatic: ceil(sqrt(n * max(ln n, 1))).
+  std::size_t landmark_count = 0;
+  std::uint64_t seed = 1;
+};
+
+class CompactRoutingScheme {
+ public:
+  explicit CompactRoutingScheme(const topology::Graph& graph,
+                                CompactRoutingConfig config = {});
+
+  [[nodiscard]] std::span<const topology::NodeId> landmarks() const {
+    return landmarks_;
+  }
+  [[nodiscard]] bool is_landmark(topology::NodeId node) const;
+  [[nodiscard]] topology::NodeId nearest_landmark(
+      topology::NodeId node) const;
+
+  /// Destinations `node` holds a direct entry for (excluding landmarks).
+  [[nodiscard]] std::span<const topology::NodeId> direct_entries(
+      topology::NodeId node) const;
+
+  /// Entries at `node`: landmarks + direct entries.
+  [[nodiscard]] std::size_t table_size(topology::NodeId node) const;
+  [[nodiscard]] double average_table_size() const;
+  [[nodiscard]] std::size_t max_table_size() const;
+
+  /// Hop count of the compact route from u to v (0 when u == v).
+  [[nodiscard]] std::size_t route_length(topology::NodeId u,
+                                         topology::NodeId v) const;
+
+  /// route_length / shortest-path length; 1.0 when u == v.
+  [[nodiscard]] double stretch(topology::NodeId u, topology::NodeId v) const;
+
+  /// Fraction of nodes that must update state when an endpoint moves from
+  /// `from` to `to`: holders of direct entries for either attachment, both
+  /// nearest landmarks, plus one directory record.
+  [[nodiscard]] double update_fraction(topology::NodeId from,
+                                       topology::NodeId to) const;
+
+  struct Summary {
+    double avg_table_size = 0.0;
+    std::size_t max_table_size = 0;
+    double avg_stretch = 0.0;
+    double max_stretch = 0.0;
+    double avg_update_fraction = 0.0;
+  };
+
+  /// Monte-Carlo evaluation over `sample_pairs` random (u, v) pairs.
+  [[nodiscard]] Summary evaluate(std::size_t sample_pairs,
+                                 stats::Rng& rng) const;
+
+ private:
+  const topology::Graph* graph_;
+  topology::AllPairsShortestPaths paths_;
+  std::vector<topology::NodeId> landmarks_;
+  std::vector<bool> landmark_flag_;
+  std::vector<topology::NodeId> nearest_landmark_;
+  std::vector<double> landmark_distance_;
+  // direct_entries_[u]: sorted destinations u may route to directly.
+  std::vector<std::vector<topology::NodeId>> direct_entries_;
+  // holders_[w]: nodes holding a direct entry for w.
+  std::vector<std::vector<topology::NodeId>> holders_;
+};
+
+}  // namespace lina::analytic

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "lina/stats/rng.hpp"
+#include "lina/topology/graph.hpp"
+
+namespace lina::analytic {
+
+/// An abstract network-mobility process over a set of attachment points —
+/// the §8 discussion's "random-waypoint equivalent for network mobility".
+/// The paper's §5 analysis uses the uniform-jump special case; these models
+/// let the trade-off analysis probe how sensitive its conclusions are to
+/// the mobility law (DESIGN.md ablation D).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  MobilityModel(const MobilityModel&) = delete;
+  MobilityModel& operator=(const MobilityModel&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The endpoint's first attachment.
+  [[nodiscard]] virtual topology::NodeId initial(
+      std::span<const topology::NodeId> attachments,
+      stats::Rng& rng) const = 0;
+
+  /// The attachment after one mobility event at `current`.
+  [[nodiscard]] virtual topology::NodeId next(
+      topology::NodeId current,
+      std::span<const topology::NodeId> attachments,
+      stats::Rng& rng) const = 0;
+
+ protected:
+  MobilityModel() = default;
+};
+
+/// The paper's §5 process: the next location is uniform over all
+/// attachment points, independent of the current one (self-transitions
+/// included).
+[[nodiscard]] std::unique_ptr<MobilityModel> make_uniform_jump_model();
+
+/// A sticky Markov process: with probability `stay` the endpoint
+/// reattaches where it is (a connectivity event without movement);
+/// otherwise it jumps uniformly. stay in [0, 1).
+[[nodiscard]] std::unique_ptr<MobilityModel> make_sticky_model(double stay);
+
+/// Preferential return: attachment points are ranked once (by index) and
+/// visited with Zipf(s) probabilities independent of the current location —
+/// a home-biased population where a few locations absorb most of the time,
+/// as the NomadLog data shows.
+[[nodiscard]] std::unique_ptr<MobilityModel> make_preferential_model(
+    double zipf_exponent);
+
+/// Nearest-neighbor walk: each event moves the endpoint to a uniformly
+/// chosen *adjacent* attachment point on the graph (physical roaming, in
+/// contrast to the paper's teleporting jumps). Attachment points must be
+/// graph nodes.
+[[nodiscard]] std::unique_ptr<MobilityModel> make_neighbor_walk_model(
+    const topology::Graph& graph);
+
+}  // namespace lina::analytic

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "lina/analytic/mobility_models.hpp"
+#include "lina/stats/rng.hpp"
+#include "lina/topology/graph.hpp"
+#include "lina/topology/shortest_paths.hpp"
+
+namespace lina::analytic {
+
+/// The §5 path-stretch vs update-cost trade-off for one topology under the
+/// paper's mobility model (the endpoint's next location is uniform and
+/// independent of the current one, self-transitions included).
+struct TradeoffResult {
+  /// E[dist(H, L)]: expected hop distance from a uniformly chosen home
+  /// agent to the endpoint — the additive path stretch of indirection.
+  double indirection_stretch = 0.0;
+  /// Routers updated per event with a home agent: always exactly one,
+  /// expressed as a fraction of all routers.
+  double indirection_update_cost = 0.0;
+  /// Name-based routing keeps shortest paths: zero additive stretch.
+  double name_based_stretch = 0.0;
+  /// Expected fraction of routers whose shortest-path forwarding port for
+  /// the endpoint changes per mobility event.
+  double name_based_update_cost = 0.0;
+};
+
+/// Computes the trade-off exactly (closed-form expectation over the uniform
+/// stationary distribution) or empirically (Markov-walk Monte Carlo) for an
+/// arbitrary connected graph.
+///
+/// The §5 conventions: endpoints attach at `attachment_points` (all nodes
+/// by default), each router's forwarding port toward an endpoint at node v
+/// is its deterministic shortest-path first hop (its own "local port" when
+/// v is the router itself), and a mobility event resamples the location
+/// uniformly.
+class TradeoffAnalyzer {
+ public:
+  explicit TradeoffAnalyzer(const topology::Graph& graph);
+  TradeoffAnalyzer(const topology::Graph& graph,
+                   std::vector<topology::NodeId> attachment_points);
+
+  /// Exact expectations, O(n * m) after the all-pairs precomputation.
+  [[nodiscard]] TradeoffResult exact() const;
+
+  /// Monte-Carlo estimate over `events` mobility events (validates exact()
+  /// and the paper's Table 1).
+  [[nodiscard]] TradeoffResult simulate(std::size_t events,
+                                        stats::Rng& rng) const;
+
+  /// Monte-Carlo estimate under an arbitrary mobility law (DESIGN.md
+  /// ablation D). With the uniform-jump model this converges to exact().
+  [[nodiscard]] TradeoffResult simulate_with(const MobilityModel& model,
+                                             std::size_t events,
+                                             stats::Rng& rng) const;
+
+  /// Exact probability that router `k` must update on one mobility event.
+  [[nodiscard]] double expected_update_cost_at(topology::NodeId k) const;
+
+  /// Follows forwarding ports from `from` toward an endpoint at `to` and
+  /// returns the hop count; verifies name-based routing attains
+  /// shortest-path (zero stretch). Throws if forwarding loops.
+  [[nodiscard]] std::size_t forwarding_path_length(topology::NodeId from,
+                                                   topology::NodeId to) const;
+
+  [[nodiscard]] const topology::AllPairsShortestPaths& paths() const {
+    return paths_;
+  }
+
+ private:
+  // Stored by value so analyzers can be built from temporaries safely.
+  topology::Graph graph_;
+  std::vector<topology::NodeId> attachment_points_;
+  topology::AllPairsShortestPaths paths_;
+};
+
+}  // namespace lina::analytic

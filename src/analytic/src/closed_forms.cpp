@@ -1,0 +1,41 @@
+#include "lina/analytic/closed_forms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lina::analytic {
+
+double chain_indirection_stretch(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("chain_indirection_stretch: n == 0");
+  const double nd = static_cast<double>(n);
+  return (nd * nd - 1.0) / (3.0 * nd);
+}
+
+double chain_name_based_update_cost(std::size_t n) {
+  if (n == 0)
+    throw std::invalid_argument("chain_name_based_update_cost: n == 0");
+  // Summing the paper's own per-router expression
+  //   E[update_k] = [(k-1)(n-k+1) + (n-1) + (n-k)k] / n^2
+  // over k = 1..n and dividing by n gives (n^2 + 3n - 4) / 3n^2. The
+  // paper prints (n^3 + 3n^2 - n) / 3n^3 = (n^2 + 3n - 1) / 3n^2, which
+  // differs by exactly 1/n^2 (an algebra slip in the TR); both are 1/3
+  // asymptotically. We use the per-router-consistent form so that
+  // TradeoffAnalyzer::exact() matches it to machine precision.
+  const double nd = static_cast<double>(n);
+  return (nd * nd + 3.0 * nd - 4.0) / (3.0 * nd * nd);
+}
+
+std::vector<Table1Row> paper_table1(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("paper_table1: n < 2");
+  const double nd = static_cast<double>(n);
+  const double log2n = std::log2(nd);
+  return {
+      {"chain", chain_indirection_stretch(n), 1.0 / nd, 0.0,
+       chain_name_based_update_cost(n)},
+      {"clique", 1.0, 1.0 / nd, 0.0, 1.0},
+      {"binary tree", 2.0 * log2n, 1.0 / nd, 0.0, 2.0 * log2n / (nd - 1.0)},
+      {"star", 2.0, 1.0 / nd, 0.0, 1.0 / (nd + 1.0)},
+  };
+}
+
+}  // namespace lina::analytic

@@ -1,0 +1,180 @@
+#include "lina/analytic/compact_routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lina::analytic {
+
+using topology::Graph;
+using topology::NodeId;
+
+CompactRoutingScheme::CompactRoutingScheme(const Graph& graph,
+                                           CompactRoutingConfig config)
+    : graph_(&graph), paths_(graph) {
+  const std::size_t n = graph.node_count();
+  if (n == 0)
+    throw std::invalid_argument("CompactRoutingScheme: empty graph");
+  if (!graph.connected())
+    throw std::invalid_argument("CompactRoutingScheme: graph not connected");
+
+  std::size_t k = config.landmark_count;
+  if (k == 0) {
+    k = static_cast<std::size_t>(std::ceil(
+        std::sqrt(static_cast<double>(n) *
+                  std::max(std::log(static_cast<double>(n)), 1.0))));
+  }
+  k = std::min(k, n);
+
+  // Sample k distinct landmarks (partial Fisher-Yates).
+  stats::Rng rng(config.seed, "compact-routing");
+  std::vector<NodeId> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(pool[i], pool[i + rng.index(n - i)]);
+  }
+  landmarks_.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(landmarks_.begin(), landmarks_.end());
+  landmark_flag_.assign(n, false);
+  for (const NodeId l : landmarks_) landmark_flag_[l] = true;
+
+  // Nearest landmark per node.
+  nearest_landmark_.assign(n, topology::kNoNode);
+  landmark_distance_.assign(n, std::numeric_limits<double>::infinity());
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId l : landmarks_) {
+      const double d = paths_.distance(v, l);
+      if (d < landmark_distance_[v]) {
+        landmark_distance_[v] = d;
+        nearest_landmark_[v] = l;
+      }
+    }
+  }
+
+  // Direct entries: u holds w (w not a landmark, w != u) iff
+  // d(u, w) < d(w, l(w)).
+  direct_entries_.assign(n, {});
+  holders_.assign(n, {});
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == u || landmark_flag_[w]) continue;
+      if (paths_.distance(u, w) < landmark_distance_[w]) {
+        direct_entries_[u].push_back(w);
+        holders_[w].push_back(u);
+      }
+    }
+  }
+}
+
+bool CompactRoutingScheme::is_landmark(NodeId node) const {
+  if (node >= landmark_flag_.size())
+    throw std::out_of_range("CompactRoutingScheme::is_landmark");
+  return landmark_flag_[node];
+}
+
+NodeId CompactRoutingScheme::nearest_landmark(NodeId node) const {
+  if (node >= nearest_landmark_.size())
+    throw std::out_of_range("CompactRoutingScheme::nearest_landmark");
+  return nearest_landmark_[node];
+}
+
+std::span<const NodeId> CompactRoutingScheme::direct_entries(
+    NodeId node) const {
+  if (node >= direct_entries_.size())
+    throw std::out_of_range("CompactRoutingScheme::direct_entries");
+  return direct_entries_[node];
+}
+
+std::size_t CompactRoutingScheme::table_size(NodeId node) const {
+  return landmarks_.size() + direct_entries(node).size();
+}
+
+double CompactRoutingScheme::average_table_size() const {
+  double total = 0.0;
+  for (NodeId u = 0; u < direct_entries_.size(); ++u) {
+    total += static_cast<double>(table_size(u));
+  }
+  return total / static_cast<double>(direct_entries_.size());
+}
+
+std::size_t CompactRoutingScheme::max_table_size() const {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < direct_entries_.size(); ++u) {
+    best = std::max(best, table_size(u));
+  }
+  return best;
+}
+
+std::size_t CompactRoutingScheme::route_length(NodeId u, NodeId v) const {
+  if (u >= direct_entries_.size() || v >= direct_entries_.size())
+    throw std::out_of_range("CompactRoutingScheme::route_length");
+  const NodeId landmark = nearest_landmark_[v];
+  NodeId current = u;
+  std::size_t hops = 0;
+  bool descending = false;  // switched to the direct/landmark descent
+  while (current != v) {
+    // Direct entry available (or v is a landmark, or we reached v's
+    // landmark): descend along the shortest-path tree toward v.
+    if (!descending) {
+      const bool knows_direct =
+          landmark_flag_[v] ||
+          std::binary_search(direct_entries_[current].begin(),
+                             direct_entries_[current].end(), v);
+      if (knows_direct || current == landmark) descending = true;
+    }
+    const NodeId toward = descending ? v : landmark;
+    current = paths_.next_hop(current, toward);
+    if (++hops > 3 * graph_->node_count())
+      throw std::logic_error("CompactRoutingScheme: routing loop");
+  }
+  return hops;
+}
+
+double CompactRoutingScheme::stretch(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  return static_cast<double>(route_length(u, v)) / paths_.distance(u, v);
+}
+
+double CompactRoutingScheme::update_fraction(NodeId from, NodeId to) const {
+  if (from >= holders_.size() || to >= holders_.size())
+    throw std::out_of_range("CompactRoutingScheme::update_fraction");
+  // Holders of either attachment's entry, the two landmarks' directory
+  // records, deduplicated.
+  std::vector<NodeId> touched;
+  touched.insert(touched.end(), holders_[from].begin(), holders_[from].end());
+  touched.insert(touched.end(), holders_[to].begin(), holders_[to].end());
+  touched.push_back(nearest_landmark_[from]);
+  touched.push_back(nearest_landmark_[to]);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return static_cast<double>(touched.size()) /
+         static_cast<double>(holders_.size());
+}
+
+CompactRoutingScheme::Summary CompactRoutingScheme::evaluate(
+    std::size_t sample_pairs, stats::Rng& rng) const {
+  if (sample_pairs == 0)
+    throw std::invalid_argument("CompactRoutingScheme::evaluate: no samples");
+  Summary summary;
+  summary.avg_table_size = average_table_size();
+  summary.max_table_size = max_table_size();
+
+  const std::size_t n = direct_entries_.size();
+  double stretch_sum = 0.0, update_sum = 0.0;
+  for (std::size_t i = 0; i < sample_pairs; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(n));
+    auto v = static_cast<NodeId>(rng.index(n));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    const double s = stretch(u, v);
+    stretch_sum += s;
+    summary.max_stretch = std::max(summary.max_stretch, s);
+    update_sum += update_fraction(u, v);
+  }
+  summary.avg_stretch = stretch_sum / static_cast<double>(sample_pairs);
+  summary.avg_update_fraction =
+      update_sum / static_cast<double>(sample_pairs);
+  return summary;
+}
+
+}  // namespace lina::analytic

@@ -1,0 +1,138 @@
+#include "lina/analytic/mobility_models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "lina/stats/distributions.hpp"
+
+namespace lina::analytic {
+
+using topology::NodeId;
+
+namespace {
+
+NodeId uniform_pick(std::span<const NodeId> attachments, stats::Rng& rng) {
+  if (attachments.empty())
+    throw std::invalid_argument("MobilityModel: no attachment points");
+  return attachments[rng.index(attachments.size())];
+}
+
+class UniformJumpModel final : public MobilityModel {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "uniform-jump";
+  }
+  [[nodiscard]] NodeId initial(std::span<const NodeId> attachments,
+                               stats::Rng& rng) const override {
+    return uniform_pick(attachments, rng);
+  }
+  [[nodiscard]] NodeId next(NodeId, std::span<const NodeId> attachments,
+                            stats::Rng& rng) const override {
+    return uniform_pick(attachments, rng);
+  }
+};
+
+class StickyModel final : public MobilityModel {
+ public:
+  explicit StickyModel(double stay) : stay_(stay) {
+    if (stay < 0.0 || stay >= 1.0)
+      throw std::invalid_argument("StickyModel: stay must be in [0, 1)");
+  }
+  [[nodiscard]] std::string_view name() const override { return "sticky"; }
+  [[nodiscard]] NodeId initial(std::span<const NodeId> attachments,
+                               stats::Rng& rng) const override {
+    return uniform_pick(attachments, rng);
+  }
+  [[nodiscard]] NodeId next(NodeId current,
+                            std::span<const NodeId> attachments,
+                            stats::Rng& rng) const override {
+    if (rng.chance(stay_)) return current;
+    return uniform_pick(attachments, rng);
+  }
+
+ private:
+  double stay_;
+};
+
+class PreferentialModel final : public MobilityModel {
+ public:
+  explicit PreferentialModel(double exponent) : exponent_(exponent) {
+    if (exponent < 0.0)
+      throw std::invalid_argument("PreferentialModel: negative exponent");
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "preferential-return";
+  }
+  [[nodiscard]] NodeId initial(std::span<const NodeId> attachments,
+                               stats::Rng& rng) const override {
+    return pick(attachments, rng);
+  }
+  [[nodiscard]] NodeId next(NodeId, std::span<const NodeId> attachments,
+                            stats::Rng& rng) const override {
+    return pick(attachments, rng);
+  }
+
+ private:
+  NodeId pick(std::span<const NodeId> attachments, stats::Rng& rng) const {
+    if (attachments.empty())
+      throw std::invalid_argument("MobilityModel: no attachment points");
+    const stats::Zipf zipf(attachments.size(), exponent_);
+    return attachments[zipf.sample(rng) - 1];
+  }
+
+  double exponent_;
+};
+
+class NeighborWalkModel final : public MobilityModel {
+ public:
+  explicit NeighborWalkModel(const topology::Graph& graph) : graph_(&graph) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "neighbor-walk";
+  }
+  [[nodiscard]] NodeId initial(std::span<const NodeId> attachments,
+                               stats::Rng& rng) const override {
+    return uniform_pick(attachments, rng);
+  }
+  [[nodiscard]] NodeId next(NodeId current,
+                            std::span<const NodeId> attachments,
+                            stats::Rng& rng) const override {
+    if (current >= graph_->node_count())
+      throw std::out_of_range("NeighborWalkModel: current not a graph node");
+    // Neighbors that are attachment points; stay put if none.
+    std::vector<NodeId> candidates;
+    for (const topology::Graph::Edge& edge : graph_->neighbors(current)) {
+      if (std::find(attachments.begin(), attachments.end(), edge.to) !=
+          attachments.end()) {
+        candidates.push_back(edge.to);
+      }
+    }
+    if (candidates.empty()) return current;
+    return candidates[rng.index(candidates.size())];
+  }
+
+ private:
+  const topology::Graph* graph_;
+};
+
+}  // namespace
+
+std::unique_ptr<MobilityModel> make_uniform_jump_model() {
+  return std::make_unique<UniformJumpModel>();
+}
+
+std::unique_ptr<MobilityModel> make_sticky_model(double stay) {
+  return std::make_unique<StickyModel>(stay);
+}
+
+std::unique_ptr<MobilityModel> make_preferential_model(double zipf_exponent) {
+  return std::make_unique<PreferentialModel>(zipf_exponent);
+}
+
+std::unique_ptr<MobilityModel> make_neighbor_walk_model(
+    const topology::Graph& graph) {
+  return std::make_unique<NeighborWalkModel>(graph);
+}
+
+}  // namespace lina::analytic

@@ -1,0 +1,129 @@
+#include "lina/analytic/tradeoff.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lina::analytic {
+
+using topology::Graph;
+using topology::NodeId;
+
+TradeoffAnalyzer::TradeoffAnalyzer(const Graph& graph)
+    : TradeoffAnalyzer(graph, [&graph] {
+        std::vector<NodeId> all(graph.node_count());
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+      }()) {}
+
+TradeoffAnalyzer::TradeoffAnalyzer(const Graph& graph,
+                                   std::vector<NodeId> attachment_points)
+    : graph_(graph),
+      attachment_points_(std::move(attachment_points)),
+      paths_(graph_) {
+  if (attachment_points_.empty())
+    throw std::invalid_argument("TradeoffAnalyzer: no attachment points");
+  if (!graph.connected())
+    throw std::invalid_argument("TradeoffAnalyzer: graph not connected");
+  for (const NodeId a : attachment_points_) {
+    if (a >= graph.node_count())
+      throw std::out_of_range("TradeoffAnalyzer: attachment out of range");
+  }
+}
+
+double TradeoffAnalyzer::expected_update_cost_at(NodeId k) const {
+  if (k >= graph_.node_count())
+    throw std::out_of_range("TradeoffAnalyzer::expected_update_cost_at");
+  // Router k updates iff the endpoint's old and new locations map to
+  // different ports. With locations iid uniform over the attachment set,
+  // P(update) = 1 - sum_port P(location maps to port)^2.
+  std::unordered_map<NodeId, std::size_t> port_counts;
+  for (const NodeId a : attachment_points_) {
+    ++port_counts[paths_.next_hop(k, a)];
+  }
+  const double m = static_cast<double>(attachment_points_.size());
+  double same = 0.0;
+  for (const auto& [_, count] : port_counts) {
+    const double p = static_cast<double>(count) / m;
+    same += p * p;
+  }
+  return 1.0 - same;
+}
+
+TradeoffResult TradeoffAnalyzer::exact() const {
+  TradeoffResult result;
+  const std::size_t n = graph_.node_count();
+  const std::size_t m = attachment_points_.size();
+
+  double stretch_sum = 0.0;
+  for (const NodeId h : attachment_points_) {
+    for (const NodeId l : attachment_points_) {
+      stretch_sum += paths_.distance(h, l);
+    }
+  }
+  result.indirection_stretch =
+      stretch_sum / (static_cast<double>(m) * static_cast<double>(m));
+  result.indirection_update_cost = 1.0 / static_cast<double>(n);
+  result.name_based_stretch = 0.0;
+
+  double update_sum = 0.0;
+  for (NodeId k = 0; k < n; ++k) update_sum += expected_update_cost_at(k);
+  result.name_based_update_cost = update_sum / static_cast<double>(n);
+  return result;
+}
+
+TradeoffResult TradeoffAnalyzer::simulate(std::size_t events,
+                                          stats::Rng& rng) const {
+  return simulate_with(*make_uniform_jump_model(), events, rng);
+}
+
+TradeoffResult TradeoffAnalyzer::simulate_with(const MobilityModel& model,
+                                               std::size_t events,
+                                               stats::Rng& rng) const {
+  if (events == 0)
+    throw std::invalid_argument("TradeoffAnalyzer::simulate: zero events");
+  const std::size_t n = graph_.node_count();
+
+  const NodeId home = model.initial(attachment_points_, rng);
+  NodeId location = model.initial(attachment_points_, rng);
+
+  double stretch_sum = paths_.distance(home, location);
+  double updated_routers = 0.0;
+  for (std::size_t e = 0; e < events; ++e) {
+    const NodeId next = model.next(location, attachment_points_, rng);
+    for (NodeId k = 0; k < n; ++k) {
+      if (paths_.next_hop(k, location) != paths_.next_hop(k, next)) {
+        updated_routers += 1.0;
+      }
+    }
+    location = next;
+    stretch_sum += paths_.distance(home, location);
+  }
+
+  TradeoffResult result;
+  result.indirection_stretch =
+      stretch_sum / static_cast<double>(events + 1);
+  result.indirection_update_cost = 1.0 / static_cast<double>(n);
+  result.name_based_stretch = 0.0;
+  result.name_based_update_cost =
+      updated_routers /
+      (static_cast<double>(events) * static_cast<double>(n));
+  return result;
+}
+
+std::size_t TradeoffAnalyzer::forwarding_path_length(NodeId from,
+                                                     NodeId to) const {
+  std::size_t hops = 0;
+  NodeId current = from;
+  while (current != to) {
+    const NodeId next = paths_.next_hop(current, to);
+    if (next == topology::kNoNode)
+      throw std::logic_error("forwarding_path_length: unreachable");
+    current = next;
+    if (++hops > graph_.node_count())
+      throw std::logic_error("forwarding_path_length: forwarding loop");
+  }
+  return hops;
+}
+
+}  // namespace lina::analytic

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lina/mobility/content_trace.hpp"
+#include "lina/routing/vantage_router.hpp"
+
+namespace lina::core {
+
+/// Per-router forwarding-table compaction achieved by longest-prefix
+/// matching over the hierarchical content name space (§3.3.2, Figure 12).
+struct AggregateabilityResult {
+  std::string router;
+  std::size_t complete_entries = 0;  // one per content name with a route
+  std::size_t lpm_entries = 0;       // after subsumption
+
+  /// The paper's aggregateability metric: complete / LPM table size.
+  [[nodiscard]] double ratio() const {
+    return lpm_entries == 0
+               ? 0.0
+               : static_cast<double>(complete_entries) /
+                     static_cast<double>(lpm_entries);
+  }
+};
+
+/// Builds, per router, the complete name-based forwarding table over the
+/// catalog's final address sets under best-port forwarding, then counts the
+/// entries longest-prefix matching subsumes (an entry whose port equals its
+/// nearest stored ancestor's port is redundant, Figure 3).
+[[nodiscard]] std::vector<AggregateabilityResult> evaluate_aggregateability(
+    std::span<const routing::VantageRouter> routers,
+    std::span<const mobility::ContentTrace> traces);
+
+}  // namespace lina::core

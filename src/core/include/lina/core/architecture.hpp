@@ -1,0 +1,84 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "lina/core/latency_model.hpp"
+#include "lina/core/update_cost.hpp"
+#include "lina/mobility/content_trace.hpp"
+#include "lina/mobility/device_trace.hpp"
+#include "lina/routing/vantage_router.hpp"
+#include "lina/strategy/forwarding_strategy.hpp"
+
+namespace lina::core {
+
+/// The three purist approaches to location independence (§2, Figure 1).
+enum class ArchitectureKind : std::uint8_t {
+  kIndirectionRouting,  // Mobile-IP/GSM style home agent
+  kNameResolution,      // DNS/GNS style extra-network resolver
+  kNameBasedRouting,    // TRIAD/ROFL/NDN style routing on names
+};
+
+[[nodiscard]] std::string_view architecture_name(ArchitectureKind kind);
+
+/// A side-by-side cost-benefit assessment of one architecture on one
+/// workload, in the paper's three metrics.
+struct ArchitectureAssessment {
+  ArchitectureKind kind = ArchitectureKind::kIndirectionRouting;
+
+  /// Expected number of *routers* whose state must change per mobility
+  /// event. Home agents and resolvers count as one updated node; for
+  /// name-based routing this is (mean per-router update rate) x (router
+  /// count), i.e. the expected impacted share of the measurement set.
+  double nodes_updated_per_event = 0.0;
+
+  /// Mean additive data-path delay over direct routing, in ms (the
+  /// triangle-routing detour for indirection; zero otherwise).
+  double mean_extra_delay_ms = 0.0;
+
+  /// Extra connection-setup latency, in ms (the resolution round trip for
+  /// name-resolution architectures; zero otherwise).
+  double connection_setup_ms = 0.0;
+
+  /// Forwarding entries a core router needs for this principal population:
+  /// the base prefix table for address-routed designs; one entry per
+  /// currently displaced principal on top of that for name-based routing
+  /// with devices; per-name entries (after LPM aggregation) for content.
+  double forwarding_entries = 0.0;
+};
+
+/// Facade combining the evaluators into one comparison — the library's
+/// "headline" API used by the quickstart example.
+struct ComparisonConfig {
+  /// One-way client->resolver latency charged to name resolution.
+  double resolver_rtt_ms = 30.0;
+  /// iPlane-style prediction coverage for the stretch sampling.
+  double stretch_coverage = 0.25;
+  std::uint64_t seed = 99;
+};
+
+class ArchitectureComparison {
+ public:
+  ArchitectureComparison(const routing::SyntheticInternet& internet,
+                         std::span<const routing::VantageRouter> routers,
+                         ComparisonConfig config = {});
+
+  /// Assesses all three architectures on a device-mobility workload.
+  [[nodiscard]] std::vector<ArchitectureAssessment> assess_devices(
+      std::span<const mobility::DeviceTrace> traces) const;
+
+  /// Assesses all three architectures on a content-mobility workload under
+  /// the given forwarding strategy for the name-based case.
+  [[nodiscard]] std::vector<ArchitectureAssessment> assess_content(
+      std::span<const mobility::ContentTrace> traces,
+      strategy::StrategyKind strategy_kind) const;
+
+ private:
+  const routing::SyntheticInternet& internet_;
+  std::span<const routing::VantageRouter> routers_;
+  ComparisonConfig config_;
+  LatencyModel latency_;
+};
+
+}  // namespace lina::core

@@ -1,0 +1,40 @@
+#pragma once
+
+namespace lina::core {
+
+/// The paper's §6.2 / §7.3 "back-of-the-envelope" scale projections:
+/// absolute router update load and extra forwarding-table state implied by
+/// a measured per-event update fraction.
+struct UpdateLoadEstimate {
+  double principals = 0.0;        // devices or content names worldwide
+  double events_per_day = 0.0;    // mobility events per principal per day
+  double update_fraction = 0.0;   // fraction of events inducing an update
+
+  /// Aggregate updates a router must absorb per second.
+  [[nodiscard]] double updates_per_second() const {
+    return principals * events_per_day * update_fraction / 86400.0;
+  }
+};
+
+/// §6.2: "if 2 billion smartphones change network addresses three (seven)
+/// times per day ... and 3% of these events induce an update, the update
+/// rate is 2.1K/sec (4.8K/sec)".
+[[nodiscard]] UpdateLoadEstimate device_scale_estimate(
+    double devices = 2e9, double moves_per_day = 3.0,
+    double update_fraction = 0.03);
+
+/// §7.3: "1B content domain names, an update rate of 2/day, and a 0.5%
+/// likelihood ... at most 100 updates/sec".
+[[nodiscard]] UpdateLoadEstimate content_scale_estimate(
+    double names = 1e9, double moves_per_day = 2.0,
+    double update_fraction = 0.005);
+
+/// §6.2 forwarding-table estimate: the expected fraction of all devices
+/// holding an extra (displaced) forwarding entry at a typical router is
+/// (probability a mobility event displaces the device w.r.t. the router) x
+/// (fraction of time spent away from the dominant address). The paper
+/// combines 3% and 30% into "≈1%".
+[[nodiscard]] double displaced_entry_fraction(double update_fraction = 0.03,
+                                              double time_away_fraction = 0.3);
+
+}  // namespace lina::core

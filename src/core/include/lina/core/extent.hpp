@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+
+#include "lina/mobility/device_trace.hpp"
+#include "lina/stats/cdf.hpp"
+
+namespace lina::core {
+
+/// Extent-of-mobility distributions across a device population — the data
+/// behind the paper's Figures 6, 7 and 9.
+struct ExtentOfMobility {
+  // Figure 6: per-user average number of distinct network locations per day.
+  stats::EmpiricalCdf ips_per_day;
+  stats::EmpiricalCdf prefixes_per_day;
+  stats::EmpiricalCdf ases_per_day;
+
+  // Figure 7: per-user average number of transitions per day.
+  stats::EmpiricalCdf ip_transitions_per_day;
+  stats::EmpiricalCdf prefix_transitions_per_day;
+  stats::EmpiricalCdf as_transitions_per_day;
+
+  // Figure 9: per user-day fraction of time at the dominant location.
+  stats::EmpiricalCdf dominant_ip_share;
+  stats::EmpiricalCdf dominant_prefix_share;
+  stats::EmpiricalCdf dominant_as_share;
+};
+
+/// Aggregates per-day statistics of every trace into population CDFs.
+/// Figure 6/7 samples are per-user (averaged over that user's days);
+/// Figure 9 samples are per user-day (the paper pools "all days and all
+/// users").
+[[nodiscard]] ExtentOfMobility analyze_extent(
+    std::span<const mobility::DeviceTrace> traces);
+
+}  // namespace lina::core

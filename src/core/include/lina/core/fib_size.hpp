@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lina/mobility/device_trace.hpp"
+#include "lina/routing/vantage_router.hpp"
+
+namespace lina::core {
+
+/// Empirical forwarding-table-size analysis for name-based device routing
+/// (§6.2 "Forwarding table size").
+///
+/// Under pure name-based routing, a router can aggregate a device's entry
+/// under its home prefix only while the device's current longest-prefix
+/// port equals its home port; while *displaced* (§3.1), the router carries
+/// an extra host-route exception (Figure 2 left). This evaluator replays
+/// the device traces against each router's FIB and samples how many
+/// devices are displaced — i.e. how many extra entries the router holds —
+/// over time. Its mean matches the paper's back-of-the-envelope
+/// (update fraction x away-time share ~= 1%).
+struct DisplacedEntryTimeline {
+  std::string router;
+  /// (hour, number of devices holding an extra entry at that instant).
+  std::vector<std::pair<double, std::size_t>> samples;
+  std::size_t device_count = 0;
+  std::size_t peak = 0;
+  double mean_fraction = 0.0;  // mean displaced devices / device count
+
+  /// Extra forwarding entries projected to a population of `devices`.
+  [[nodiscard]] double projected_extra_entries(double devices) const {
+    return mean_fraction * devices;
+  }
+};
+
+/// Samples each router's displaced-device count every
+/// `sample_interval_hours` across the traces' common time span.
+/// A device is displaced w.r.t. a router at time t iff the router's LPM
+/// port for the device's current address differs from the port for its
+/// dominant (home) address. Throws if traces is empty or the interval is
+/// not positive.
+[[nodiscard]] std::vector<DisplacedEntryTimeline> evaluate_displaced_entries(
+    std::span<const routing::VantageRouter> routers,
+    std::span<const mobility::DeviceTrace> traces,
+    double sample_interval_hours = 1.0);
+
+}  // namespace lina::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// Umbrella header for the `lina` library: a quantitative comparison
+/// framework for location-independent network architectures, reproducing
+/// Gao, Venkataramani, Kurose & Heimlicher, "Towards a Quantitative
+/// Comparison of Location-Independent Network Architectures" (SIGCOMM'14).
+///
+/// Typical flow (see examples/quickstart.cpp):
+///   1. Build a routing::SyntheticInternet (AS topology + vantage FIBs).
+///   2. Generate workloads: mobility::DeviceWorkloadGenerator and/or
+///      mobility::ContentWorkloadGenerator.
+///   3. Evaluate: core::DeviceUpdateCostEvaluator,
+///      core::ContentUpdateCostEvaluator, core::analyze_extent,
+///      core::evaluate_indirection_stretch,
+///      core::evaluate_aggregateability — or the one-call
+///      core::ArchitectureComparison facade.
+
+#include "lina/analytic/closed_forms.hpp"
+#include "lina/analytic/compact_routing.hpp"
+#include "lina/analytic/mobility_models.hpp"
+#include "lina/analytic/tradeoff.hpp"
+#include "lina/core/aggregateability.hpp"
+#include "lina/core/architecture.hpp"
+#include "lina/core/back_of_envelope.hpp"
+#include "lina/core/extent.hpp"
+#include "lina/core/fib_size.hpp"
+#include "lina/core/latency_model.hpp"
+#include "lina/core/name_displacement.hpp"
+#include "lina/core/update_cost.hpp"
+#include "lina/mobility/content_workload.hpp"
+#include "lina/mobility/device_multihoming.hpp"
+#include "lina/mobility/device_workload.hpp"
+#include "lina/mobility/trace_io.hpp"
+#include "lina/names/content_name.hpp"
+#include "lina/names/name_trie.hpp"
+#include "lina/net/ip_trie.hpp"
+#include "lina/net/ipv4.hpp"
+#include "lina/routing/name_fib.hpp"
+#include "lina/routing/rib_io.hpp"
+#include "lina/routing/synthetic_internet.hpp"
+#include "lina/stats/render.hpp"
+#include "lina/strategy/forwarding_strategy.hpp"
+#include "lina/topology/generators.hpp"

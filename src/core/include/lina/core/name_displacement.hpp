@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lina/core/update_cost.hpp"
+#include "lina/mobility/content_trace.hpp"
+#include "lina/routing/vantage_router.hpp"
+#include "lina/stats/rng.hpp"
+
+namespace lina::core {
+
+/// One Figure 2(b) renaming event: content moves across the name hierarchy
+/// (a distribution-rights transfer, a site migration to a new brand) while
+/// its serving locations stay put.
+struct RenameEvent {
+  names::ContentName from;
+  names::ContentName to;
+};
+
+/// Generates cross-hierarchy renames over a content catalog: a subdomain
+/// is re-parented under a different apex domain chosen uniformly (e.g.
+/// s7.p12.com -> s7.p340.com). Only names with routable final address sets
+/// are used; at most `count` events are produced. Deterministic for a
+/// given rng state.
+[[nodiscard]] std::vector<RenameEvent> generate_rename_events(
+    std::span<const mobility::ContentTrace> catalog, std::size_t count,
+    stats::Rng& rng);
+
+/// Per-router displacement cost of a rename sequence (the name-space
+/// analogue of Figure 8): each router's name FIB is seeded with the
+/// catalog's names on their best-port outputs, then the renames are
+/// processed in order; an event counts as an update iff the router had to
+/// install an exception entry. Also reports how much table state the
+/// renames added.
+struct RenameDisplacementResult {
+  RouterUpdateStats updates;
+  std::size_t fib_entries_before = 0;
+  std::size_t fib_entries_after = 0;
+};
+
+[[nodiscard]] std::vector<RenameDisplacementResult>
+evaluate_rename_displacement(std::span<const routing::VantageRouter> routers,
+                             std::span<const mobility::ContentTrace> catalog,
+                             std::span<const RenameEvent> events);
+
+}  // namespace lina::core

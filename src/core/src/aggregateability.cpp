@@ -1,0 +1,30 @@
+#include "lina/core/aggregateability.hpp"
+
+#include "lina/names/name_trie.hpp"
+#include "lina/strategy/forwarding_strategy.hpp"
+#include "lina/strategy/port_oracle.hpp"
+
+namespace lina::core {
+
+std::vector<AggregateabilityResult> evaluate_aggregateability(
+    std::span<const routing::VantageRouter> routers,
+    std::span<const mobility::ContentTrace> traces) {
+  std::vector<AggregateabilityResult> results;
+  results.reserve(routers.size());
+  for (const routing::VantageRouter& router : routers) {
+    const strategy::CachingFibOracle oracle(router.fib());
+    names::NameTrie<routing::Port> table;
+    for (const mobility::ContentTrace& trace : traces) {
+      const auto addrs = trace.final_addresses();
+      if (addrs.empty()) continue;
+      const auto best = strategy::best_entry(oracle, addrs);
+      if (!best.has_value()) continue;
+      table.insert(trace.name(), best->port);
+    }
+    results.push_back({std::string(router.name()), table.size(),
+                       table.lpm_compressed_size()});
+  }
+  return results;
+}
+
+}  // namespace lina::core

@@ -1,0 +1,20 @@
+#include "lina/core/back_of_envelope.hpp"
+
+namespace lina::core {
+
+UpdateLoadEstimate device_scale_estimate(double devices, double moves_per_day,
+                                         double update_fraction) {
+  return {devices, moves_per_day, update_fraction};
+}
+
+UpdateLoadEstimate content_scale_estimate(double names, double moves_per_day,
+                                          double update_fraction) {
+  return {names, moves_per_day, update_fraction};
+}
+
+double displaced_entry_fraction(double update_fraction,
+                                double time_away_fraction) {
+  return update_fraction * time_away_fraction;
+}
+
+}  // namespace lina::core

@@ -1,0 +1,136 @@
+#include "lina/core/latency_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "lina/routing/policy_routing.hpp"
+#include "lina/topology/geo.hpp"
+
+namespace lina::core {
+
+using topology::AsId;
+
+namespace {
+constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+}
+
+LatencyModel::LatencyModel(const routing::SyntheticInternet& internet,
+                           LatencyConfig config)
+    : internet_(internet), config_(config) {}
+
+const std::vector<std::size_t>& LatencyModel::bfs_from(AsId source) const {
+  const auto it = bfs_cache_.find(source);
+  if (it != bfs_cache_.end()) return it->second;
+
+  const auto& graph = internet_.graph();
+  std::vector<std::size_t> dist(graph.as_count(), kUnreached);
+  dist[source] = 0;
+  std::deque<AsId> queue{source};
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    for (const auto& link : graph.links(u)) {
+      if (dist[link.neighbor] == kUnreached) {
+        dist[link.neighbor] = dist[u] + 1;
+        queue.push_back(link.neighbor);
+      }
+    }
+  }
+  return bfs_cache_.emplace(source, std::move(dist)).first->second;
+}
+
+std::size_t LatencyModel::physical_as_hops(AsId from, AsId to) const {
+  if (from >= internet_.graph().as_count() ||
+      to >= internet_.graph().as_count())
+    throw std::out_of_range("LatencyModel::physical_as_hops");
+  const std::size_t d = bfs_from(from)[to];
+  if (d == kUnreached)
+    throw std::logic_error("LatencyModel: AS graph disconnected");
+  return d;
+}
+
+std::optional<std::size_t> LatencyModel::policy_distance(AsId from,
+                                                         AsId to) const {
+  auto it = policy_cache_.find(to);
+  if (it == policy_cache_.end()) {
+    const routing::PolicyRoutes routes(internet_.graph(), to);
+    std::vector<std::optional<std::size_t>> dists(
+        internet_.graph().as_count());
+    for (AsId u = 0; u < internet_.graph().as_count(); ++u) {
+      dists[u] = routes.best_distance(u);
+    }
+    it = policy_cache_.emplace(to, std::move(dists)).first;
+  }
+  return it->second[from];
+}
+
+std::optional<std::size_t> LatencyModel::policy_as_hops(AsId from,
+                                                        AsId to) const {
+  if (from >= internet_.graph().as_count() ||
+      to >= internet_.graph().as_count())
+    throw std::out_of_range("LatencyModel::policy_as_hops");
+  if (from == to) return 0;
+  return policy_distance(from, to);
+}
+
+std::optional<double> LatencyModel::one_way_delay_ms(AsId from,
+                                                     AsId to) const {
+  const auto hops = policy_as_hops(from, to);
+  if (!hops.has_value()) return std::nullopt;
+  const double propagation = topology::propagation_delay_ms(
+      internet_.graph().location(from), internet_.graph().location(to),
+      config_.inflation);
+  return std::max(config_.min_delay_ms,
+                  propagation + 2.0 * config_.access_ms +
+                      config_.per_hop_ms * static_cast<double>(*hops));
+}
+
+IndirectionStretchResult evaluate_indirection_stretch(
+    std::span<const mobility::DeviceTrace> traces, const LatencyModel& model,
+    double coverage, stats::Rng& rng) {
+  IndirectionStretchResult result;
+  for (const mobility::DeviceTrace& trace : traces) {
+    if (trace.visits().empty()) continue;
+    const AsId home = trace.dominant_as();
+    const net::Ipv4Address home_addr = trace.dominant_address();
+
+    double away_time = 0.0;
+    double total_time = 0.0;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen_pairs;
+    for (const mobility::DeviceVisit& visit : trace.visits()) {
+      total_time += visit.duration_hours;
+      const std::size_t physical = visit.as == home
+                                       ? 0
+                                       : model.physical_as_hops(home,
+                                                                visit.as);
+      if (physical >= 2) away_time += visit.duration_hours;
+
+      // Each distinct (dominant, current) address pair contributes one
+      // sample, as in §6.3.2.
+      if (visit.address == home_addr) continue;
+      if (!seen_pairs
+               .emplace(home_addr.value(), visit.address.value())
+               .second) {
+        continue;
+      }
+      ++result.pairs_total;
+      result.physical_hops.add(static_cast<double>(physical));
+      if (!rng.chance(coverage)) continue;  // iPlane had no prediction
+      const auto hops = model.policy_as_hops(home, visit.as);
+      const auto delay = model.one_way_delay_ms(home, visit.as);
+      if (!hops.has_value() || !delay.has_value()) continue;
+      ++result.pairs_sampled;
+      result.policy_hops.add(static_cast<double>(*hops));
+      result.delay_ms.add(*delay);
+    }
+    if (total_time > 0.0) {
+      result.away_time_share.add(away_time / total_time);
+    }
+  }
+  return result;
+}
+
+}  // namespace lina::core

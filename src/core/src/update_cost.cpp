@@ -1,0 +1,117 @@
+#include "lina/core/update_cost.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "lina/strategy/port_oracle.hpp"
+
+namespace lina::core {
+
+namespace {
+
+/// Port value reserved for "no covering prefix" so that uncovered addresses
+/// still participate in the displacement comparison.
+constexpr routing::Port kNoRoutePort =
+    std::numeric_limits<routing::Port>::max();
+
+}  // namespace
+
+DeviceUpdateCostEvaluator::DeviceUpdateCostEvaluator(
+    std::span<const routing::VantageRouter> routers)
+    : routers_(routers) {}
+
+std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate(
+    std::span<const mobility::DeviceTrace> traces) const {
+  return evaluate_filtered(traces, 0.0,
+                           std::numeric_limits<double>::infinity());
+}
+
+std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_day(
+    std::span<const mobility::DeviceTrace> traces, std::size_t day) const {
+  const double begin = static_cast<double>(day) * 24.0;
+  return evaluate_filtered(traces, begin, begin + 24.0);
+}
+
+std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
+    std::span<const mobility::DeviceTrace> traces, double begin_hour,
+    double end_hour) const {
+  std::vector<RouterUpdateStats> stats;
+  stats.reserve(routers_.size());
+  for (const routing::VantageRouter& router : routers_) {
+    RouterUpdateStats tally{std::string(router.name()), 0, 0};
+    std::unordered_map<std::uint32_t, routing::Port> port_cache;
+    const auto port_of = [&](net::Ipv4Address addr) {
+      const auto [it, inserted] = port_cache.try_emplace(addr.value());
+      if (inserted) {
+        it->second = router.port_for(addr).value_or(kNoRoutePort);
+      }
+      return it->second;
+    };
+    for (const mobility::DeviceTrace& trace : traces) {
+      for (const mobility::DeviceMobilityEvent& event : trace.events()) {
+        if (event.hour < begin_hour || event.hour >= end_hour) continue;
+        ++tally.events;
+        if (port_of(event.from) != port_of(event.to)) ++tally.updates;
+      }
+    }
+    stats.push_back(std::move(tally));
+  }
+  return stats;
+}
+
+ContentUpdateCostEvaluator::ContentUpdateCostEvaluator(
+    std::span<const routing::VantageRouter> routers)
+    : routers_(routers) {}
+
+namespace {
+
+/// Shared §3.3.1 replay: each principal's snapshot sequence goes through a
+/// per-(router, principal) strategy instance; changes after the first
+/// observation count as updates. Works for any trace type exposing
+/// snapshots() whose elements carry `.addresses`.
+template <typename Traces>
+std::vector<RouterUpdateStats> evaluate_snapshot_series(
+    std::span<const routing::VantageRouter> routers, const Traces& traces,
+    strategy::StrategyKind kind) {
+  std::vector<RouterUpdateStats> stats;
+  stats.reserve(routers.size());
+  for (const routing::VantageRouter& router : routers) {
+    RouterUpdateStats tally{std::string(router.name()), 0, 0};
+    const strategy::CachingFibOracle oracle(router.fib());
+    const auto strat = strategy::make_strategy(kind);
+    for (const auto& trace : traces) {
+      strat->reset();
+      bool first = true;
+      for (const auto& snapshot : trace.snapshots()) {
+        const bool updated = strat->observe(oracle, snapshot.addresses);
+        if (!first) {
+          ++tally.events;
+          if (updated) ++tally.updates;
+        }
+        first = false;
+      }
+    }
+    stats.push_back(std::move(tally));
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<RouterUpdateStats> ContentUpdateCostEvaluator::evaluate(
+    std::span<const mobility::ContentTrace> traces,
+    strategy::StrategyKind kind) const {
+  return evaluate_snapshot_series(routers_, traces, kind);
+}
+
+MultihomedDeviceUpdateCostEvaluator::MultihomedDeviceUpdateCostEvaluator(
+    std::span<const routing::VantageRouter> routers)
+    : routers_(routers) {}
+
+std::vector<RouterUpdateStats> MultihomedDeviceUpdateCostEvaluator::evaluate(
+    std::span<const mobility::MultihomedDeviceTrace> traces,
+    strategy::StrategyKind kind) const {
+  return evaluate_snapshot_series(routers_, traces, kind);
+}
+
+}  // namespace lina::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lina/names/content_name.hpp"
+#include "lina/net/ipv4.hpp"
+
+namespace lina::mobility {
+
+/// The resolved address set of a content name at one instant — Addrs(d, t)
+/// in the paper's §3.3.1 — as merged across all measurement vantage points.
+struct ContentSnapshot {
+  double hour = 0.0;
+  std::vector<net::Ipv4Address> addresses;  // sorted, deduplicated
+};
+
+/// One content mobility event: the merged address set changed between two
+/// consecutive hourly observations.
+struct ContentMobilityEvent {
+  double hour = 0.0;  // when the new set was observed
+  std::span<const net::Ipv4Address> before;
+  std::span<const net::Ipv4Address> after;
+};
+
+/// The observation history of one content name: the initial address set
+/// plus a snapshot at every change (storing only changes keeps the
+/// 12K-name × 3-week catalog compact).
+class ContentTrace {
+ public:
+  ContentTrace(names::ContentName name, bool popular, bool cdn_backed,
+               std::size_t day_count)
+      : name_(std::move(name)),
+        popular_(popular),
+        cdn_backed_(cdn_backed),
+        day_count_(day_count) {}
+
+  /// Records the address set observed at `hour`. The set is normalized
+  /// (sorted, deduplicated); if it equals the previous snapshot the call is
+  /// a no-op (no mobility event happened). Hours must be non-decreasing;
+  /// the first snapshot must be at hour 0. Empty sets are allowed
+  /// (momentarily unresolvable names).
+  void observe(double hour, std::vector<net::Ipv4Address> addresses);
+
+  [[nodiscard]] const names::ContentName& name() const { return name_; }
+  [[nodiscard]] bool popular() const { return popular_; }
+  [[nodiscard]] bool cdn_backed() const { return cdn_backed_; }
+  [[nodiscard]] std::size_t day_count() const { return day_count_; }
+
+  [[nodiscard]] std::span<const ContentSnapshot> snapshots() const {
+    return snapshots_;
+  }
+
+  /// All mobility events (consecutive snapshot pairs), in time order.
+  [[nodiscard]] std::vector<ContentMobilityEvent> events() const;
+
+  /// Number of mobility events per day (size day_count()).
+  [[nodiscard]] std::vector<std::size_t> daily_event_counts() const;
+
+  /// Average mobility events per day over the whole trace.
+  [[nodiscard]] double events_per_day() const;
+
+  /// The final observed address set (empty if never observed).
+  [[nodiscard]] std::span<const net::Ipv4Address> final_addresses() const;
+
+ private:
+  names::ContentName name_;
+  bool popular_;
+  bool cdn_backed_;
+  std::size_t day_count_;
+  std::vector<ContentSnapshot> snapshots_;
+};
+
+}  // namespace lina::mobility

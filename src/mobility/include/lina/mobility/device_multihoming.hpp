@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lina/mobility/device_trace.hpp"
+#include "lina/net/ipv4.hpp"
+
+namespace lina::mobility {
+
+/// The set of addresses a multihomed device is simultaneously reachable at,
+/// at one instant — the device-side analogue of a content name's
+/// Addrs(d, t). §3.3 notes its model "applies to both device and content
+/// mobility"; this type carries the device case.
+struct DeviceSetSnapshot {
+  double hour = 0.0;
+  std::vector<net::Ipv4Address> addresses;  // sorted, deduplicated
+};
+
+/// A multihomed device's attachment history: a time-ordered sequence of
+/// address-set snapshots (recorded only at changes).
+class MultihomedDeviceTrace {
+ public:
+  explicit MultihomedDeviceTrace(std::uint32_t user_id)
+      : user_id_(user_id) {}
+
+  /// Records the address set at `hour`; normalizes, drops no-op updates,
+  /// requires non-decreasing time with the first snapshot at hour 0.
+  void observe(double hour, std::vector<net::Ipv4Address> addresses);
+
+  [[nodiscard]] std::uint32_t user_id() const { return user_id_; }
+  [[nodiscard]] std::span<const DeviceSetSnapshot> snapshots() const {
+    return snapshots_;
+  }
+
+  /// Number of mobility events (set changes after the first snapshot).
+  [[nodiscard]] std::size_t event_count() const {
+    return snapshots_.empty() ? 0 : snapshots_.size() - 1;
+  }
+
+ private:
+  std::uint32_t user_id_;
+  std::vector<DeviceSetSnapshot> snapshots_;
+};
+
+/// Derives a multihomed ("make-before-break") view of a single-homed
+/// trace: around each address change, both the old and the new interface
+/// are active for `overlap_hours` — a phone holding WiFi and cellular
+/// simultaneously during a handoff. With overlap_hours == 0 the snapshots
+/// degenerate to singleton sets at each transition (break-before-make).
+/// Throws on negative overlap or empty traces.
+[[nodiscard]] MultihomedDeviceTrace multihomed_view(const DeviceTrace& trace,
+                                                    double overlap_hours);
+
+/// Applies multihomed_view to a population.
+[[nodiscard]] std::vector<MultihomedDeviceTrace> multihomed_views(
+    std::span<const DeviceTrace> traces, double overlap_hours);
+
+}  // namespace lina::mobility

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "lina/mobility/content_trace.hpp"
+#include "lina/mobility/device_trace.hpp"
+#include "lina/routing/synthetic_internet.hpp"
+
+namespace lina::mobility {
+
+/// One NomadLog database record, mirroring the §4 schema
+///   device_id | time | ip_addr | net_type | (lat, long)
+/// with time in hours since the device's trace start.
+struct NomadLogRecord {
+  std::uint32_t device_id = 0;
+  double time_hours = 0.0;
+  net::Ipv4Address address;
+  bool cellular = false;
+  bool has_location = false;
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+
+  friend bool operator==(const NomadLogRecord&,
+                         const NomadLogRecord&) = default;
+};
+
+/// Serializes traces as NomadLog CSV (`device_id,time_hours,ip_addr,
+/// net_type,lat,long`), one row per connectivity event (visit start).
+void write_nomadlog_csv(std::ostream& out,
+                        std::span<const DeviceTrace> traces);
+
+/// Parses NomadLog CSV; accepts an optional header row and empty lat/long
+/// fields. Throws std::invalid_argument on malformed rows.
+[[nodiscard]] std::vector<NomadLogRecord> read_nomadlog_csv(std::istream& in);
+
+/// Maps raw logged addresses to routing metadata when reconstructing
+/// traces — real deployments would back this with prefix/AS databases;
+/// experiments back it with the synthetic Internet.
+class AddressResolver {
+ public:
+  virtual ~AddressResolver() = default;
+  [[nodiscard]] virtual net::Prefix prefix_of(net::Ipv4Address addr) const = 0;
+  [[nodiscard]] virtual topology::AsId as_of(net::Ipv4Address addr) const = 0;
+
+ protected:
+  AddressResolver() = default;
+};
+
+/// Resolver backed by a SyntheticInternet's announced prefixes.
+class InternetAddressResolver final : public AddressResolver {
+ public:
+  explicit InternetAddressResolver(const routing::SyntheticInternet& internet)
+      : internet_(&internet) {}
+
+  [[nodiscard]] net::Prefix prefix_of(net::Ipv4Address addr) const override {
+    return internet_->prefix_of(addr);
+  }
+  [[nodiscard]] topology::AsId as_of(net::Ipv4Address addr) const override {
+    return internet_->owner_of(addr);
+  }
+
+ private:
+  const routing::SyntheticInternet* internet_;
+};
+
+/// Reconstructs per-device traces from connectivity-event records: each
+/// device's records are sorted by time and shifted so its first event is
+/// hour 0; each record's address holds until the next record; the last
+/// holds for `tail_hours`. Records with addresses the resolver cannot map
+/// are dropped (the paper logs only usable public addresses). Devices left
+/// with no records are omitted, as are devices spanning under one day
+/// (§4: "we removed users who ran the app for less than a day").
+[[nodiscard]] std::vector<DeviceTrace> traces_from_records(
+    std::span<const NomadLogRecord> records, const AddressResolver& resolver,
+    double tail_hours = 1.0);
+
+/// Serializes a content catalog's traces as CSV
+/// (`name,popular,cdn,day_count,hour,addr|addr|...`), one row per snapshot.
+void write_content_csv(std::ostream& out,
+                       std::span<const ContentTrace> traces);
+
+/// Parses content CSV written by write_content_csv. Throws on malformed
+/// rows or out-of-order snapshots.
+[[nodiscard]] std::vector<ContentTrace> read_content_csv(std::istream& in);
+
+}  // namespace lina::mobility

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lina/stats/rng.hpp"
+#include "lina/topology/geo.hpp"
+
+namespace lina::mobility {
+
+/// Simulates the paper's distributed measurement (§7.1): each of N vantage
+/// points hourly resolves a CDN-delegated name and receives the replicas
+/// nearest to it; the controller merges the per-vantage views. The merged
+/// view is the union of every vantage's k nearest replica sites — replicas
+/// no vantage is near stay invisible, exactly the partial-view artifact the
+/// real methodology has.
+class VantagePointMerger {
+ public:
+  /// `vantages`: measurement node locations; `replicas_per_resolution`: how
+  /// many nearby replicas a locality-aware resolver returns per query.
+  VantagePointMerger(std::vector<topology::GeoPoint> vantages,
+                     std::size_t replicas_per_resolution = 3);
+
+  /// Indices into `replica_sites` visible in the merged view (sorted,
+  /// unique). With replica sets no larger than the resolver's answer size,
+  /// everything is visible.
+  [[nodiscard]] std::vector<std::size_t> visible_sites(
+      std::span<const topology::GeoPoint> replica_sites) const;
+
+  /// Indices the single vantage `v` sees (its k nearest sites).
+  [[nodiscard]] std::vector<std::size_t> sites_seen_by(
+      std::size_t v, std::span<const topology::GeoPoint> replica_sites) const;
+
+  [[nodiscard]] std::size_t vantage_count() const { return vantages_.size(); }
+  [[nodiscard]] std::size_t replicas_per_resolution() const {
+    return replicas_per_resolution_;
+  }
+
+  /// Scatters `count` vantage points around the world metro anchors, the
+  /// synthetic analogue of "74 Planetlab nodes chosen from as many
+  /// different countries as possible".
+  [[nodiscard]] static std::vector<topology::GeoPoint> worldwide_vantages(
+      std::size_t count, stats::Rng& rng);
+
+ private:
+  std::vector<topology::GeoPoint> vantages_;
+  std::size_t replicas_per_resolution_;
+};
+
+}  // namespace lina::mobility

@@ -1,0 +1,56 @@
+#include "lina/mobility/content_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lina::mobility {
+
+void ContentTrace::observe(double hour,
+                           std::vector<net::Ipv4Address> addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+  if (snapshots_.empty()) {
+    if (std::abs(hour) > 1e-9)
+      throw std::invalid_argument(
+          "ContentTrace::observe: first snapshot must be at hour 0");
+  } else {
+    if (hour < snapshots_.back().hour - 1e-9)
+      throw std::invalid_argument("ContentTrace::observe: time went backward");
+    if (addresses == snapshots_.back().addresses) return;  // no change
+  }
+  snapshots_.push_back({hour, std::move(addresses)});
+}
+
+std::vector<ContentMobilityEvent> ContentTrace::events() const {
+  std::vector<ContentMobilityEvent> out;
+  for (std::size_t i = 1; i < snapshots_.size(); ++i) {
+    out.push_back({snapshots_[i].hour, snapshots_[i - 1].addresses,
+                   snapshots_[i].addresses});
+  }
+  return out;
+}
+
+std::vector<std::size_t> ContentTrace::daily_event_counts() const {
+  std::vector<std::size_t> counts(day_count_, 0);
+  for (std::size_t i = 1; i < snapshots_.size(); ++i) {
+    const auto day = static_cast<std::size_t>(snapshots_[i].hour / 24.0);
+    if (day < counts.size()) ++counts[day];
+  }
+  return counts;
+}
+
+double ContentTrace::events_per_day() const {
+  if (day_count_ == 0) return 0.0;
+  const std::size_t events =
+      snapshots_.empty() ? 0 : snapshots_.size() - 1;
+  return static_cast<double>(events) / static_cast<double>(day_count_);
+}
+
+std::span<const net::Ipv4Address> ContentTrace::final_addresses() const {
+  if (snapshots_.empty()) return {};
+  return snapshots_.back().addresses;
+}
+
+}  // namespace lina::mobility

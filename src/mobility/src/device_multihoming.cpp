@@ -1,0 +1,67 @@
+#include "lina/mobility/device_multihoming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lina::mobility {
+
+void MultihomedDeviceTrace::observe(double hour,
+                                    std::vector<net::Ipv4Address> addresses) {
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+  if (snapshots_.empty()) {
+    if (std::abs(hour) > 1e-9)
+      throw std::invalid_argument(
+          "MultihomedDeviceTrace::observe: first snapshot must be at hour 0");
+  } else {
+    if (hour < snapshots_.back().hour - 1e-9)
+      throw std::invalid_argument(
+          "MultihomedDeviceTrace::observe: time went backward");
+    if (addresses == snapshots_.back().addresses) return;
+  }
+  snapshots_.push_back({hour, std::move(addresses)});
+}
+
+MultihomedDeviceTrace multihomed_view(const DeviceTrace& trace,
+                                      double overlap_hours) {
+  if (overlap_hours < 0.0)
+    throw std::invalid_argument("multihomed_view: negative overlap");
+  const auto visits = trace.visits();
+  if (visits.empty())
+    throw std::invalid_argument("multihomed_view: empty trace");
+
+  MultihomedDeviceTrace out(trace.user_id());
+  out.observe(0.0, {visits.front().address});
+  for (std::size_t i = 1; i < visits.size(); ++i) {
+    const DeviceVisit& previous = visits[i - 1];
+    const DeviceVisit& current = visits[i];
+    if (previous.address == current.address) continue;
+    if (overlap_hours > 0.0) {
+      // Make-before-break: both interfaces up across the handoff, until
+      // the old one is torn down (bounded by the new visit's duration).
+      out.observe(current.start_hour,
+                  {previous.address, current.address});
+      const double teardown =
+          current.start_hour +
+          std::min(overlap_hours, current.duration_hours * 0.5);
+      out.observe(teardown, {current.address});
+    } else {
+      out.observe(current.start_hour, {current.address});
+    }
+  }
+  return out;
+}
+
+std::vector<MultihomedDeviceTrace> multihomed_views(
+    std::span<const DeviceTrace> traces, double overlap_hours) {
+  std::vector<MultihomedDeviceTrace> out;
+  out.reserve(traces.size());
+  for (const DeviceTrace& trace : traces) {
+    out.push_back(multihomed_view(trace, overlap_hours));
+  }
+  return out;
+}
+
+}  // namespace lina::mobility

@@ -1,0 +1,71 @@
+#include "lina/mobility/vantage_merger.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::mobility {
+
+VantagePointMerger::VantagePointMerger(
+    std::vector<topology::GeoPoint> vantages,
+    std::size_t replicas_per_resolution)
+    : vantages_(std::move(vantages)),
+      replicas_per_resolution_(replicas_per_resolution) {
+  if (vantages_.empty())
+    throw std::invalid_argument("VantagePointMerger: no vantages");
+  if (replicas_per_resolution_ == 0)
+    throw std::invalid_argument(
+        "VantagePointMerger: zero replicas per resolution");
+}
+
+std::vector<std::size_t> VantagePointMerger::sites_seen_by(
+    std::size_t v, std::span<const topology::GeoPoint> replica_sites) const {
+  if (v >= vantages_.size())
+    throw std::out_of_range("VantagePointMerger::sites_seen_by");
+  std::vector<std::size_t> order(replica_sites.size());
+  std::iota(order.begin(), order.end(), 0);
+  const topology::GeoPoint here = vantages_[v];
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = topology::great_circle_km(here, replica_sites[a]);
+    const double db = topology::great_circle_km(here, replica_sites[b]);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  order.resize(std::min(replicas_per_resolution_, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> VantagePointMerger::visible_sites(
+    std::span<const topology::GeoPoint> replica_sites) const {
+  if (replica_sites.size() <= replicas_per_resolution_) {
+    std::vector<std::size_t> all(replica_sites.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::set<std::size_t> merged;
+  for (std::size_t v = 0; v < vantages_.size(); ++v) {
+    for (const std::size_t s : sites_seen_by(v, replica_sites)) {
+      merged.insert(s);
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<topology::GeoPoint> VantagePointMerger::worldwide_vantages(
+    std::size_t count, stats::Rng& rng) {
+  const auto anchors = topology::metro_anchors();
+  std::vector<topology::GeoPoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const topology::GeoPoint base = anchors[i % anchors.size()];
+    out.push_back({base.latitude_deg + rng.uniform(-10.0, 10.0),
+                   base.longitude_deg + rng.uniform(-10.0, 10.0)});
+  }
+  return out;
+}
+
+}  // namespace lina::mobility

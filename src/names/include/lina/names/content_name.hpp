@@ -1,0 +1,84 @@
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lina::names {
+
+/// A hierarchical content name: an ordered list of components with the most
+/// significant (root-most) component first.
+///
+/// Two surface syntaxes are supported, mirroring the two families in the
+/// paper:
+///  - DNS domain names, least-significant-first on the wire:
+///    "travel.yahoo.com" parses to components {com, yahoo, travel};
+///  - NDN/TRIAD-style URIs, most-significant-first:
+///    "/Disney/StarWarsIV" parses to components {Disney, StarWarsIV}.
+///
+/// Longest-prefix relationships ("travel.yahoo.com is a subdomain of
+/// yahoo.com") become component-wise prefix relationships in this
+/// representation, which is what the name trie and the aggregateability
+/// metric (§3.3.2) operate on.
+class ContentName {
+ public:
+  ContentName() = default;
+  explicit ContentName(std::vector<std::string> components);
+
+  /// Parses a DNS-style dotted name; throws std::invalid_argument on empty
+  /// names or empty labels.
+  static ContentName from_dns(std::string_view dotted);
+
+  /// Parses an NDN-style slash-separated URI (leading slash optional);
+  /// throws std::invalid_argument on empty names or empty components.
+  static ContentName from_uri(std::string_view uri);
+
+  [[nodiscard]] std::span<const std::string> components() const {
+    return components_;
+  }
+  [[nodiscard]] std::size_t depth() const { return components_.size(); }
+  [[nodiscard]] bool empty() const { return components_.empty(); }
+
+  /// The name with the last component removed; throws on empty names.
+  [[nodiscard]] ContentName parent() const;
+
+  /// This name extended by one component.
+  [[nodiscard]] ContentName child(std::string_view component) const;
+
+  /// True iff this name is a (non-strict) hierarchical prefix of `other`:
+  /// yahoo.com is a prefix of travel.yahoo.com and of itself.
+  [[nodiscard]] bool is_prefix_of(const ContentName& other) const;
+
+  /// True iff this name is a *strict* subdomain of `other` (the paper's
+  /// d1 ≺ d2 relation): travel.yahoo.com ≺ yahoo.com.
+  [[nodiscard]] bool is_strict_subname_of(const ContentName& other) const;
+
+  /// Renders as a DNS dotted name (least significant first).
+  [[nodiscard]] std::string to_dns() const;
+
+  /// Renders as an NDN-style URI "/a/b/c".
+  [[nodiscard]] std::string to_uri() const;
+
+  friend auto operator<=>(const ContentName&, const ContentName&) = default;
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace lina::names
+
+template <>
+struct std::hash<lina::names::ContentName> {
+  std::size_t operator()(const lina::names::ContentName& n) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& c : n.components()) {
+      h ^= std::hash<std::string>{}(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};

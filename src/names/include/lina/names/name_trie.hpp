@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "lina/names/content_name.hpp"
+
+namespace lina::names {
+
+/// A component-wise trie over hierarchical content names with
+/// longest-matching-prefix lookup — the name-based-routing analogue of the
+/// IP FIB (Figure 2 right, Figure 3).
+///
+/// `lpm_compressed_size()` counts the entries that a router actually needs
+/// to store once longest-prefix matching subsumes entries equal to their
+/// nearest stored ancestor; `size() / lpm_compressed_size()` is exactly the
+/// paper's aggregateability metric (§3.3.2).
+template <typename T>
+class NameTrie {
+ public:
+  NameTrie() = default;
+
+  NameTrie(const NameTrie&) = delete;
+  NameTrie& operator=(const NameTrie&) = delete;
+  NameTrie(NameTrie&&) noexcept = default;
+  NameTrie& operator=(NameTrie&&) noexcept = default;
+
+  /// Inserts or overwrites the value at `name`. Returns true if a new entry
+  /// was created.
+  bool insert(const ContentName& name, T value) {
+    Node* node = &root_;
+    for (const auto& component : name.components()) {
+      auto& child = node->children[component];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Longest-matching-prefix lookup: the most specific stored entry whose
+  /// name is a hierarchical prefix of `name`.
+  [[nodiscard]] std::optional<std::pair<ContentName, T>> lookup(
+      const ContentName& name) const {
+    const Node* node = &root_;
+    const Node* best = nullptr;
+    std::size_t best_depth = 0;
+    std::size_t depth = 0;
+    if (node->value.has_value()) best = node;
+    for (const auto& component : name.components()) {
+      const auto it = node->children.find(component);
+      if (it == node->children.end()) break;
+      node = it->second.get();
+      ++depth;
+      if (node->value.has_value()) {
+        best = node;
+        best_depth = depth;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    std::vector<std::string> parts(name.components().begin(),
+                                   name.components().begin() +
+                                       static_cast<std::ptrdiff_t>(best_depth));
+    return std::make_pair(ContentName(std::move(parts)), *best->value);
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* exact(const ContentName& name) const {
+    const Node* node = descend(name);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+
+  /// Removes the entry at `name` if present; returns whether it existed.
+  bool erase(const ContentName& name) {
+    Node* node = const_cast<Node*>(descend(name));
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every stored (name, value) pair in lexicographic trie order.
+  void visit(
+      const std::function<void(const ContentName&, const T&)>& fn) const {
+    std::vector<std::string> path;
+    visit_node(&root_, path, fn);
+  }
+
+  /// Entries surviving longest-prefix-match subsumption (see class comment).
+  [[nodiscard]] std::size_t lpm_compressed_size() const {
+    return compressed_count(&root_, nullptr);
+  }
+
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  const Node* descend(const ContentName& name) const {
+    const Node* node = &root_;
+    for (const auto& component : name.components()) {
+      const auto it = node->children.find(component);
+      if (it == node->children.end()) return nullptr;
+      node = it->second.get();
+    }
+    return node;
+  }
+
+  static void visit_node(
+      const Node* node, std::vector<std::string>& path,
+      const std::function<void(const ContentName&, const T&)>& fn) {
+    if (node->value.has_value()) fn(ContentName(path), *node->value);
+    for (const auto& [component, child] : node->children) {
+      path.push_back(component);
+      visit_node(child.get(), path, fn);
+      path.pop_back();
+    }
+  }
+
+  static std::size_t compressed_count(const Node* node, const T* inherited) {
+    std::size_t count = 0;
+    const T* effective = inherited;
+    if (node->value.has_value()) {
+      if (inherited == nullptr || !(*inherited == *node->value)) ++count;
+      effective = &*node->value;
+    }
+    for (const auto& [_, child] : node->children) {
+      count += compressed_count(child.get(), effective);
+    }
+    return count;
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lina::names

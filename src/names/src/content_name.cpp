@@ -1,0 +1,92 @@
+#include "lina/names/content_name.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lina::names {
+
+namespace {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    const std::string_view part =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    if (part.empty())
+      throw std::invalid_argument("ContentName: empty component");
+    parts.emplace_back(part);
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+ContentName::ContentName(std::vector<std::string> components)
+    : components_(std::move(components)) {
+  for (const auto& c : components_) {
+    if (c.empty()) throw std::invalid_argument("ContentName: empty component");
+  }
+}
+
+ContentName ContentName::from_dns(std::string_view dotted) {
+  if (dotted.empty()) throw std::invalid_argument("ContentName: empty name");
+  auto parts = split(dotted, '.');
+  std::reverse(parts.begin(), parts.end());
+  return ContentName(std::move(parts));
+}
+
+ContentName ContentName::from_uri(std::string_view uri) {
+  if (!uri.empty() && uri.front() == '/') uri.remove_prefix(1);
+  if (uri.empty()) throw std::invalid_argument("ContentName: empty name");
+  return ContentName(split(uri, '/'));
+}
+
+ContentName ContentName::parent() const {
+  if (components_.empty())
+    throw std::logic_error("ContentName::parent: empty name");
+  std::vector<std::string> parts(components_.begin(),
+                                 components_.end() - 1);
+  return ContentName(std::move(parts));
+}
+
+ContentName ContentName::child(std::string_view component) const {
+  std::vector<std::string> parts = components_;
+  parts.emplace_back(component);
+  return ContentName(std::move(parts));
+}
+
+bool ContentName::is_prefix_of(const ContentName& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool ContentName::is_strict_subname_of(const ContentName& other) const {
+  return other.components_.size() < components_.size() &&
+         other.is_prefix_of(*this);
+}
+
+std::string ContentName::to_dns() const {
+  std::string out;
+  for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+    if (!out.empty()) out.push_back('.');
+    out += *it;
+  }
+  return out;
+}
+
+std::string ContentName::to_uri() const {
+  std::string out;
+  for (const auto& c : components_) {
+    out.push_back('/');
+    out += c;
+  }
+  return out.empty() ? "/" : out;
+}
+
+}  // namespace lina::names

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "lina/net/ipv4.hpp"
+
+namespace lina::net {
+
+/// A binary trie keyed by IP prefixes supporting longest-prefix-match
+/// lookups — the data structure underlying every FIB in the library.
+///
+/// T is the payload stored per prefix (an output port, a next hop, ...).
+/// Operations:
+///  - insert / assign a value for an exact prefix,
+///  - longest-prefix match for an address,
+///  - exact-match lookup and erase,
+///  - in-order visitation of all stored entries,
+///  - `lpm_compressed_size()`: the number of entries that survive
+///    longest-prefix-match subsumption (an entry equal to its nearest stored
+///    ancestor is redundant) — the quantity behind the paper's
+///    aggregateability metric (§3.3.2) applied to IP tables.
+template <typename T>
+class IpTrie {
+ public:
+  IpTrie() = default;
+
+  IpTrie(const IpTrie&) = delete;
+  IpTrie& operator=(const IpTrie&) = delete;
+  IpTrie(IpTrie&&) noexcept = default;
+  IpTrie& operator=(IpTrie&&) noexcept = default;
+
+  /// Inserts or overwrites the value at `prefix`. Returns true if a new
+  /// entry was created, false if an existing entry was overwritten.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend_or_create(prefix);
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Longest-prefix match: the most specific stored entry containing `addr`.
+  [[nodiscard]] std::optional<std::pair<Prefix, T>> lookup(
+      Ipv4Address addr) const {
+    const Node* best = nullptr;
+    Prefix best_prefix;
+    const Node* node = root_.get();
+    Prefix path(Ipv4Address(0), 0);
+    unsigned depth = 0;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        best = node;
+        best_prefix = path;
+      }
+      if (depth == 32) break;
+      const bool bit = addr.bit(depth);
+      path = Prefix(addr, depth + 1);
+      node = bit ? node->one.get() : node->zero.get();
+      ++depth;
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(best_prefix, *best->value);
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* exact(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+
+  [[nodiscard]] T* exact(const Prefix& prefix) {
+    return const_cast<T*>(std::as_const(*this).exact(prefix));
+  }
+
+  /// Removes the entry at `prefix` if present; returns whether it existed.
+  /// (Interior nodes are left in place; lookups remain correct.)
+  bool erase(const Prefix& prefix) {
+    Node* node = const_cast<Node*>(descend(prefix));
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every stored (prefix, value) pair in trie order.
+  void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit_node(root_.get(), Prefix(Ipv4Address(0), 0), fn);
+  }
+
+  /// Number of entries remaining after removing entries subsumed by their
+  /// nearest stored ancestor (same payload, as compared by ==).
+  [[nodiscard]] std::size_t lpm_compressed_size() const {
+    return compressed_count(root_.get(), nullptr);
+  }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (unsigned depth = 0; depth < prefix.length() && node != nullptr;
+         ++depth) {
+      node = prefix.network().bit(depth) ? node->one.get() : node->zero.get();
+    }
+    return node;
+  }
+
+  Node* descend_or_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      std::unique_ptr<Node>& child =
+          prefix.network().bit(depth) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    return node;
+  }
+
+  static void visit_node(
+      const Node* node, const Prefix& path,
+      const std::function<void(const Prefix&, const T&)>& fn) {
+    if (node == nullptr) return;
+    if (node->value.has_value()) fn(path, *node->value);
+    if (path.length() == 32) return;
+    visit_node(node->zero.get(), path.left_half(), fn);
+    visit_node(node->one.get(), path.right_half(), fn);
+  }
+
+  static std::size_t compressed_count(const Node* node,
+                                      const T* inherited) {
+    if (node == nullptr) return 0;
+    std::size_t count = 0;
+    const T* effective = inherited;
+    if (node->value.has_value()) {
+      if (inherited == nullptr || !(*inherited == *node->value)) ++count;
+      effective = &*node->value;
+    }
+    return count + compressed_count(node->zero.get(), effective) +
+           compressed_count(node->one.get(), effective);
+  }
+
+  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  std::size_t size_ = 0;
+};
+
+}  // namespace lina::net

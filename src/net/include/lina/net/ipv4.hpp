@@ -1,0 +1,99 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lina::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"); throws std::invalid_argument
+  /// on malformed input.
+  static Ipv4Address parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// The i-th most significant bit (i in [0, 32)).
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    return ((value_ >> (31u - i)) & 1u) != 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: an address with the low (32 - length) bits zeroed.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Constructs from an address and length (0..32); host bits are masked off
+  /// so equal prefixes always compare equal. Throws on length > 32.
+  Prefix(Ipv4Address addr, unsigned length);
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on malformed input.
+  static Prefix parse(std::string_view text);
+
+  /// The /32 prefix for a single address.
+  static Prefix host(Ipv4Address addr) { return Prefix(addr, 32); }
+
+  [[nodiscard]] Ipv4Address network() const { return network_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+
+  /// True iff `addr` falls inside this prefix.
+  [[nodiscard]] bool contains(Ipv4Address addr) const;
+
+  /// True iff `other` is equal to or nested inside this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  /// The immediate left/right halves of this prefix (length + 1); used by
+  /// generators carving address space. Throws if length() == 32.
+  [[nodiscard]] Prefix left_half() const;
+  [[nodiscard]] Prefix right_half() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address network_;
+  unsigned length_ = 0;
+};
+
+/// Bit mask with the top `length` bits set.
+[[nodiscard]] constexpr std::uint32_t prefix_mask(unsigned length) {
+  return length == 0 ? 0u
+                     : ~std::uint32_t{0} << (32u - length);
+}
+
+}  // namespace lina::net
+
+template <>
+struct std::hash<lina::net::Ipv4Address> {
+  std::size_t operator()(const lina::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<lina::net::Prefix> {
+  std::size_t operator()(const lina::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 6) | p.length());
+  }
+};

@@ -1,0 +1,95 @@
+#include "lina/net/ipv4.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace lina::net {
+
+namespace {
+
+std::uint32_t parse_octet(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+    throw std::invalid_argument("Ipv4Address::parse: expected digit");
+  unsigned value = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<unsigned>(text[pos] - '0');
+    ++pos;
+    if (++digits > 3 || value > 255)
+      throw std::invalid_argument("Ipv4Address::parse: octet out of range");
+  }
+  return value;
+}
+
+}  // namespace
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.')
+        throw std::invalid_argument("Ipv4Address::parse: expected '.'");
+      ++pos;
+    }
+    value = (value << 8) | parse_octet(text, pos);
+  }
+  if (pos != text.size())
+    throw std::invalid_argument("Ipv4Address::parse: trailing characters");
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+Prefix::Prefix(Ipv4Address addr, unsigned length) : length_(length) {
+  if (length > 32) throw std::invalid_argument("Prefix: length > 32");
+  network_ = Ipv4Address(addr.value() & prefix_mask(length));
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos)
+    throw std::invalid_argument("Prefix::parse: missing '/'");
+  const Ipv4Address addr = Ipv4Address::parse(text.substr(0, slash));
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size())
+    throw std::invalid_argument("Prefix::parse: bad length");
+  return Prefix(addr, length);
+}
+
+bool Prefix::contains(Ipv4Address addr) const {
+  return (addr.value() & prefix_mask(length_)) == network_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+Prefix Prefix::left_half() const {
+  if (length_ >= 32) throw std::logic_error("Prefix::left_half: /32");
+  return Prefix(network_, length_ + 1);
+}
+
+Prefix Prefix::right_half() const {
+  if (length_ >= 32) throw std::logic_error("Prefix::right_half: /32");
+  const std::uint32_t flipped =
+      network_.value() | (1u << (31u - length_));
+  return Prefix(Ipv4Address(flipped), length_ + 1);
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace lina::net

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::routing {
+
+/// A BGP AS path: the sequence of ASes a route traverses, nearest first
+/// (front() is the next-hop AS, back() is the origin AS).
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<topology::AsId> hops) : hops_(std::move(hops)) {}
+
+  [[nodiscard]] const std::vector<topology::AsId>& hops() const {
+    return hops_;
+  }
+  [[nodiscard]] std::size_t length() const { return hops_.size(); }
+  [[nodiscard]] bool empty() const { return hops_.empty(); }
+
+  /// Next-hop AS (the paper's output-port proxy, §6.2.2). Requires
+  /// non-empty.
+  [[nodiscard]] topology::AsId next_hop() const { return hops_.front(); }
+
+  /// Origin AS. Requires non-empty.
+  [[nodiscard]] topology::AsId origin() const { return hops_.back(); }
+
+  [[nodiscard]] bool contains(topology::AsId as) const {
+    return std::find(hops_.begin(), hops_.end(), as) != hops_.end();
+  }
+
+  /// True iff no AS appears twice (BGP loop prevention invariant).
+  [[nodiscard]] bool loop_free() const {
+    auto sorted = hops_;
+    std::sort(sorted.begin(), sorted.end());
+    return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+  }
+
+  /// Renders as "701 3356 15169".
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (const topology::AsId as : hops_) {
+      if (!out.empty()) out.push_back(' ');
+      out += std::to_string(as);
+    }
+    return out;
+  }
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<topology::AsId> hops_;
+};
+
+}  // namespace lina::routing

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "lina/net/ip_trie.hpp"
+#include "lina/net/ipv4.hpp"
+#include "lina/routing/rib.hpp"
+
+namespace lina::routing {
+
+/// One forwarding entry: the selected route's port plus the preference
+/// attributes needed to compare routes *across* prefixes (best-port
+/// forwarding over an address set picks the address whose route the router
+/// prefers most, §3.3.1).
+struct FibEntry {
+  Port port = 0;
+  RouteClass route_class = RouteClass::kProvider;
+  std::uint32_t path_length = 0;
+  std::uint32_t med = 0;
+
+  friend bool operator==(const FibEntry&, const FibEntry&) = default;
+};
+
+/// Returns true if entry `a` is strictly preferred over `b` when choosing
+/// which member of an address set to forward toward (mirrors
+/// `route_preferred` minus local-pref, which FIBs do not retain).
+[[nodiscard]] bool entry_preferred(const FibEntry& a, const FibEntry& b);
+
+/// A forwarding information base: longest-prefix-match table from IP
+/// prefixes to selected forwarding entries.
+class Fib {
+ public:
+  Fib() = default;
+
+  /// Derives a FIB by running best-route selection on every prefix of the
+  /// RIB (§6.2.1 rules).
+  static Fib from_rib(const Rib& rib);
+
+  void insert(const net::Prefix& prefix, FibEntry entry);
+
+  /// Longest-prefix match; nullopt if no entry covers the address.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, FibEntry>> lookup(
+      net::Ipv4Address addr) const;
+
+  /// The forwarding port for an address, or nullopt if uncovered.
+  [[nodiscard]] std::optional<Port> port_for(net::Ipv4Address addr) const;
+
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+
+  /// Entries surviving longest-prefix-match subsumption; size() divided by
+  /// this is the aggregateability of the IP table.
+  [[nodiscard]] std::size_t lpm_compressed_size() const {
+    return trie_.lpm_compressed_size();
+  }
+
+  /// Number of distinct output ports — the "next-hop degree" the paper uses
+  /// to explain cross-router differences in update rate (§6.2.2).
+  [[nodiscard]] std::size_t next_hop_degree() const;
+
+  /// Visits all entries.
+  void visit(const std::function<void(const net::Prefix&, const FibEntry&)>&
+                 fn) const {
+    trie_.visit(fn);
+  }
+
+ private:
+  net::IpTrie<FibEntry> trie_;
+};
+
+}  // namespace lina::routing

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "lina/routing/as_path.hpp"
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::routing {
+
+/// Infers AS business relationships from observed AS paths using the
+/// degree-based heuristic of Gao [IEEE/ACM ToN 2001], which the paper
+/// applies to substitute for the missing local-preference values ("we simply
+/// rely on the customer > peer > provider policy using standard techniques
+/// for inferring AS relationships [20]").
+///
+/// Algorithm (phases as in the original):
+///  1. compute each AS's degree as the number of distinct neighbors seen
+///     across all paths;
+///  2. for each path, locate the highest-degree AS (the "top provider");
+///     every edge before it votes customer-to-provider, every edge after it
+///     votes provider-to-customer;
+///  3. edges with conflicting votes, or edges adjacent to the top whose
+///     endpoint degrees are within `peer_degree_ratio`, are classified as
+///     peering.
+class AsRelationshipInference {
+ public:
+  explicit AsRelationshipInference(std::span<const AsPath> paths,
+                                   double peer_degree_ratio = 2.0);
+
+  /// The inferred role of `b` relative to `a`, or nullopt if the pair never
+  /// appeared adjacent in any path.
+  [[nodiscard]] std::optional<topology::AsRelationship> relationship(
+      topology::AsId a, topology::AsId b) const;
+
+  /// Degree of an AS as observed in the input paths (0 if unseen).
+  [[nodiscard]] std::size_t observed_degree(topology::AsId as) const;
+
+  /// Number of distinct adjacent AS pairs classified.
+  [[nodiscard]] std::size_t classified_pair_count() const {
+    return verdicts_.size();
+  }
+
+ private:
+  struct Votes {
+    std::size_t first_provides_second = 0;  // a provides transit to b
+    std::size_t second_provides_first = 0;
+    bool top_adjacent = false;  // edge touched a path's top provider
+  };
+
+  // Key: canonical (min, max) pair packed into 64 bits.
+  static std::uint64_t key(topology::AsId a, topology::AsId b);
+
+  std::unordered_map<std::uint64_t, Votes> votes_;
+  std::unordered_map<topology::AsId, std::size_t> degrees_;
+  std::unordered_map<std::uint64_t, topology::AsRelationship> verdicts_;
+  // verdicts_ stores the role of the higher-id AS relative to the lower-id.
+};
+
+}  // namespace lina::routing

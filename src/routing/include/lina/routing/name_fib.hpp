@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+
+#include "lina/names/content_name.hpp"
+#include "lina/names/name_trie.hpp"
+#include "lina/routing/rib.hpp"
+
+namespace lina::routing {
+
+/// A name-based router's forwarding table (Figure 2 right): hierarchical
+/// name prefixes mapped to output ports, looked up by longest matching
+/// prefix, with the §3.1 displacement rule for renamed content.
+///
+/// The motivating example: router Q holds [/20thCenturyFox/* -> 5] and
+/// [/Disney/* -> 3]. When /20thCenturyFox/StarWarsIV is renamed to
+/// /Disney/StarWarsIV because of a distribution-rights transfer — while
+/// the bits keep being served from the same place — Q must install the
+/// exception [/Disney/StarWarsIV -> 5] iff its LPM ports for the old and
+/// new names differ.
+class NameFib {
+ public:
+  /// Announces a name prefix on an output port (overwrites on repeat).
+  void announce(const names::ContentName& prefix, Port port);
+
+  /// Withdraws an announcement; returns whether it existed.
+  bool withdraw(const names::ContentName& prefix);
+
+  /// Longest-matching-prefix port for `name`; nullopt if uncovered.
+  [[nodiscard]] std::optional<Port> port_for(
+      const names::ContentName& name) const;
+
+  /// Processes a Figure 2(b) rename: the content formerly reachable as
+  /// `from` is now requested as `to`, still served from `from`'s location.
+  /// If the LPM ports differ (the content is displaced w.r.t. this
+  /// router), installs the exception [to -> port_for(from)] and returns
+  /// true (update cost 1); otherwise leaves the table unchanged and
+  /// returns false. Throws std::invalid_argument if `from` has no route.
+  bool process_rename(const names::ContentName& from,
+                      const names::ContentName& to);
+
+  /// Stored entries (announcements + rename exceptions).
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+
+  /// Exception entries installed by renames so far.
+  [[nodiscard]] std::size_t exception_count() const { return exceptions_; }
+
+  /// Entries surviving LPM subsumption (§3.3.2 aggregateability basis).
+  [[nodiscard]] std::size_t lpm_compressed_size() const {
+    return trie_.lpm_compressed_size();
+  }
+
+ private:
+  names::NameTrie<Port> trie_;
+  std::size_t exceptions_ = 0;
+};
+
+}  // namespace lina::routing

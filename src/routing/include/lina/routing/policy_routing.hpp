@@ -1,0 +1,62 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lina/routing/as_path.hpp"
+#include "lina/routing/rib.hpp"
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::routing {
+
+/// Valley-free policy routes from every AS toward one destination AS.
+///
+/// A route is valley-free if it climbs customer-to-provider links, crosses
+/// at most one peering link, then descends provider-to-customer links.
+/// Route preference at each AS is customer > peer > provider, shortest
+/// within a class — i.e. Gao-Rexford-stable routing, which is the global
+/// behaviour a real router's RIB "already incorporates" (§3.2). The engine
+/// is what lets us manufacture realistic multi-candidate RIBs for synthetic
+/// vantage routers without simulating BGP message exchange.
+class PolicyRoutes {
+ public:
+  /// Computes routes over `graph` toward `destination`.
+  PolicyRoutes(const topology::AsGraph& graph, topology::AsId destination);
+
+  [[nodiscard]] topology::AsId destination() const { return destination_; }
+
+  /// Hop count of the best route of the given class from `as`, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> distance(topology::AsId as,
+                                                    RouteClass cls) const;
+
+  /// The most preferred class available at `as` (customer < peer <
+  /// provider), or nullopt if the destination is unreachable.
+  [[nodiscard]] std::optional<RouteClass> best_class(topology::AsId as) const;
+
+  /// Hop count of the overall best route, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> best_distance(
+      topology::AsId as) const;
+
+  /// AS path (next hop first, destination last) of the route of a given
+  /// class from `as`; nullopt if that class has no route. For
+  /// as == destination returns an empty path.
+  [[nodiscard]] std::optional<AsPath> path(topology::AsId as,
+                                           RouteClass cls) const;
+
+  /// AS path of the overall best route.
+  [[nodiscard]] std::optional<AsPath> best_path(topology::AsId as) const;
+
+ private:
+  static constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t raw_distance(topology::AsId as,
+                                         RouteClass cls) const;
+
+  topology::AsId destination_;
+  // Per-class distances and next-hop ("parent") pointers.
+  std::vector<std::size_t> customer_dist_, peer_dist_, provider_dist_;
+  std::vector<topology::AsId> customer_parent_, peer_parent_,
+      provider_parent_;
+};
+
+}  // namespace lina::routing

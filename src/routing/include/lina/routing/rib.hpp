@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "lina/net/ipv4.hpp"
+#include "lina/routing/as_path.hpp"
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::routing {
+
+/// A forwarding "port". Per the paper's §6.2.2 proxy, the port of a route is
+/// its next-hop AS: "we use the next hop AS path attribute as a proxy for
+/// the output port".
+using Port = topology::AsId;
+
+/// Route-preference class derived from the business relationship of the
+/// next hop, standing in for local-preference (the paper found
+/// local_preference uniformly 0 in the dumps and substituted inferred AS
+/// relationships: customer > peer > provider).
+enum class RouteClass : std::uint8_t {
+  kCustomer = 0,  // most preferred
+  kPeer = 1,
+  kProvider = 2,  // least preferred
+};
+
+/// One candidate route in a router's RIB.
+struct RibRoute {
+  net::Prefix prefix;
+  AsPath as_path;           // front() is the next hop
+  RouteClass route_class = RouteClass::kProvider;
+  std::uint32_t local_pref = 0;  // kept for fidelity; uniformly 0 in dumps
+  std::uint32_t med = 0;
+
+  [[nodiscard]] Port port() const { return as_path.next_hop(); }
+};
+
+/// The paper's route-ranking rules (§6.2.1), applied in priority order:
+///   1. higher local-preference — with uniformly zero local-pref this
+///      devolves to customer > peer > provider on the inferred relationship;
+///   2. shorter AS path;
+///   3. smaller MED;
+/// plus a deterministic final tie-break on next-hop id so that route
+/// selection (and therefore every port comparison downstream) is stable.
+/// Returns true if `a` is strictly preferred over `b`.
+[[nodiscard]] bool route_preferred(const RibRoute& a, const RibRoute& b);
+
+/// A routing information base: per-prefix candidate route sets, as collected
+/// from a router's BGP neighbors.
+class Rib {
+ public:
+  /// Adds a candidate route. Throws if the route's AS path is empty or has
+  /// a loop.
+  void add(RibRoute route);
+
+  /// All candidates for a prefix (unordered), empty span if none.
+  [[nodiscard]] std::span<const RibRoute> candidates(
+      const net::Prefix& prefix) const;
+
+  /// The best route for a prefix under `route_preferred`, or nullopt.
+  [[nodiscard]] std::optional<RibRoute> best(const net::Prefix& prefix) const;
+
+  /// All prefixes with at least one candidate.
+  [[nodiscard]] std::vector<net::Prefix> prefixes() const;
+
+  [[nodiscard]] std::size_t prefix_count() const { return routes_.size(); }
+  [[nodiscard]] std::size_t route_count() const { return route_count_; }
+
+ private:
+  std::unordered_map<net::Prefix, std::vector<RibRoute>> routes_;
+  std::size_t route_count_ = 0;
+};
+
+}  // namespace lina::routing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "lina/routing/rib.hpp"
+#include "lina/routing/vantage_router.hpp"
+
+namespace lina::routing {
+
+/// Text serialization of RIBs in a Routeviews-style table format
+/// (`show ip bgp`-like, one candidate route per line):
+///
+///   PREFIX|NEXT_HOP_AS|LOCAL_PREF|MED|REL|AS_PATH
+///   1.0.0.0/16|7|0|3|customer|7 12 99
+///
+/// REL is the inferred relationship class of the route's next hop
+/// (customer/peer/provider) — the paper's stand-in for local preference
+/// (§6.2.1). This is the ingestion path for real router dumps: convert a
+/// table dump to this format and build a VantageRouter from it.
+
+/// Writes every candidate route of `rib`.
+void write_rib(std::ostream& out, const Rib& rib);
+
+/// Parses routes written by write_rib (or hand-converted dumps); accepts
+/// an optional header line starting with "PREFIX". Throws
+/// std::invalid_argument on malformed rows.
+[[nodiscard]] Rib read_rib(std::istream& in);
+
+/// Convenience: a named router built from a parsed dump.
+[[nodiscard]] VantageRouter vantage_from_dump(std::istream& in,
+                                              std::string name,
+                                              topology::AsId as_number,
+                                              topology::GeoPoint location);
+
+}  // namespace lina::routing

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lina/net/ipv4.hpp"
+#include "lina/routing/fib.hpp"
+#include "lina/routing/rib.hpp"
+#include "lina/topology/geo.hpp"
+
+namespace lina::routing {
+
+/// A named measurement router: a RIB collected from its neighbors plus the
+/// FIB derived from it — the synthetic counterpart of one Routeviews/RIPE
+/// vantage in the paper (Oregon-1 ... Sydney).
+class VantageRouter {
+ public:
+  VantageRouter(std::string name, topology::AsId as_number,
+                topology::GeoPoint location)
+      : name_(std::move(name)), as_(as_number), location_(location) {}
+
+  /// Adds a candidate route to the RIB. Invalidates the cached FIB.
+  void install(RibRoute route);
+
+  /// Selects best routes for every prefix. Called lazily by lookups but
+  /// exposed so bulk loading can pay the cost once.
+  void build_fib() const;
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] topology::AsId as_number() const { return as_; }
+  [[nodiscard]] topology::GeoPoint location() const { return location_; }
+
+  [[nodiscard]] const Rib& rib() const { return rib_; }
+  [[nodiscard]] const Fib& fib() const;
+
+  /// The forwarding entry whose prefix is the longest match for `addr`.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, FibEntry>> route_for(
+      net::Ipv4Address addr) const;
+
+  /// The output port (next-hop AS) for `addr`; nullopt if uncovered.
+  [[nodiscard]] std::optional<Port> port_for(net::Ipv4Address addr) const;
+
+  /// Distinct output ports across the FIB.
+  [[nodiscard]] std::size_t next_hop_degree() const;
+
+ private:
+  std::string name_;
+  topology::AsId as_;
+  topology::GeoPoint location_;
+  Rib rib_;
+  mutable Fib fib_;
+  mutable bool fib_valid_ = false;
+};
+
+}  // namespace lina::routing

@@ -1,0 +1,50 @@
+#include "lina/routing/fib.hpp"
+
+namespace lina::routing {
+
+bool entry_preferred(const FibEntry& a, const FibEntry& b) {
+  if (a.route_class != b.route_class) return a.route_class < b.route_class;
+  if (a.path_length != b.path_length) return a.path_length < b.path_length;
+  if (a.med != b.med) return a.med < b.med;
+  return a.port < b.port;
+}
+
+Fib Fib::from_rib(const Rib& rib) {
+  Fib fib;
+  for (const net::Prefix& prefix : rib.prefixes()) {
+    const auto best = rib.best(prefix);
+    if (!best.has_value()) continue;
+    fib.insert(prefix,
+               FibEntry{.port = best->port(),
+                        .route_class = best->route_class,
+                        .path_length =
+                            static_cast<std::uint32_t>(best->as_path.length()),
+                        .med = best->med});
+  }
+  return fib;
+}
+
+void Fib::insert(const net::Prefix& prefix, FibEntry entry) {
+  trie_.insert(prefix, entry);
+}
+
+std::optional<std::pair<net::Prefix, FibEntry>> Fib::lookup(
+    net::Ipv4Address addr) const {
+  return trie_.lookup(addr);
+}
+
+std::optional<Port> Fib::port_for(net::Ipv4Address addr) const {
+  const auto hit = trie_.lookup(addr);
+  if (!hit.has_value()) return std::nullopt;
+  return hit->second.port;
+}
+
+std::size_t Fib::next_hop_degree() const {
+  std::set<Port> ports;
+  trie_.visit([&ports](const net::Prefix&, const FibEntry& e) {
+    ports.insert(e.port);
+  });
+  return ports.size();
+}
+
+}  // namespace lina::routing

@@ -1,0 +1,107 @@
+#include "lina/routing/inference.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace lina::routing {
+
+using topology::AsId;
+using topology::AsRelationship;
+
+std::uint64_t AsRelationshipInference::key(AsId a, AsId b) {
+  const AsId lo = std::min(a, b);
+  const AsId hi = std::max(a, b);
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+AsRelationshipInference::AsRelationshipInference(std::span<const AsPath> paths,
+                                                 double peer_degree_ratio) {
+  // Phase 1: observed degrees.
+  std::unordered_map<AsId, std::set<AsId>> neighbors;
+  for (const AsPath& path : paths) {
+    const auto& hops = path.hops();
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      neighbors[hops[i]].insert(hops[i + 1]);
+      neighbors[hops[i + 1]].insert(hops[i]);
+    }
+  }
+  for (const auto& [as, nbrs] : neighbors) degrees_[as] = nbrs.size();
+
+  // Phase 2: per-path top provider + directional votes.
+  for (const AsPath& path : paths) {
+    const auto& hops = path.hops();
+    if (hops.size() < 2) continue;
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (degrees_[hops[i]] > degrees_[hops[top]]) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const AsId a = hops[i];
+      const AsId b = hops[i + 1];
+      Votes& v = votes_[key(a, b)];
+      // Uphill before the top: the later AS provides transit to the earlier.
+      // Downhill at or after the top: the earlier provides to the later.
+      const bool later_provides = (i + 1 <= top);
+      const AsId provider = later_provides ? b : a;
+      const AsId lo = std::min(a, b);
+      if (provider == lo) {
+        ++v.first_provides_second;
+      } else {
+        ++v.second_provides_first;
+      }
+      if (i == top || i + 1 == top) v.top_adjacent = true;
+    }
+  }
+
+  // Phase 3: classification.
+  for (const auto& [k, v] : votes_) {
+    const auto lo = static_cast<AsId>(k >> 32);
+    const auto hi = static_cast<AsId>(k & 0xffffffffu);
+    const double dlo = static_cast<double>(std::max<std::size_t>(degrees_[lo], 1));
+    const double dhi = static_cast<double>(std::max<std::size_t>(degrees_[hi], 1));
+    const double ratio = std::max(dlo, dhi) / std::min(dlo, dhi);
+
+    const bool conflicting =
+        v.first_provides_second > 0 && v.second_provides_first > 0;
+    const bool similar_degree = ratio <= peer_degree_ratio;
+
+    AsRelationship role_of_hi;  // relative to lo
+    if ((conflicting && similar_degree) ||
+        (v.top_adjacent && similar_degree)) {
+      role_of_hi = AsRelationship::kPeer;
+    } else if (v.first_provides_second >= v.second_provides_first) {
+      // lo provides transit to hi: hi is lo's customer.
+      role_of_hi = AsRelationship::kCustomer;
+    } else {
+      role_of_hi = AsRelationship::kProvider;
+    }
+    verdicts_[k] = role_of_hi;
+  }
+}
+
+std::optional<AsRelationship> AsRelationshipInference::relationship(
+    AsId a, AsId b) const {
+  const auto it = verdicts_.find(key(a, b));
+  if (it == verdicts_.end()) return std::nullopt;
+  const AsId lo = std::min(a, b);
+  AsRelationship role_of_hi = it->second;
+  if (a == lo) return role_of_hi;  // asking for role of b (== hi) wrt a
+  // Asking for role of b (== lo) wrt a (== hi): invert.
+  switch (role_of_hi) {
+    case AsRelationship::kPeer:
+      return AsRelationship::kPeer;
+    case AsRelationship::kCustomer:
+      return AsRelationship::kProvider;
+    case AsRelationship::kProvider:
+      return AsRelationship::kCustomer;
+  }
+  return std::nullopt;
+}
+
+std::size_t AsRelationshipInference::observed_degree(AsId as) const {
+  const auto it = degrees_.find(as);
+  return it == degrees_.end() ? 0 : it->second;
+}
+
+}  // namespace lina::routing

@@ -1,0 +1,190 @@
+#include "lina/routing/policy_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "lina/topology/graph.hpp"
+
+namespace lina::routing {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::AsRelationship;
+using topology::kNoNode;
+
+PolicyRoutes::PolicyRoutes(const AsGraph& graph, AsId destination)
+    : destination_(destination) {
+  const std::size_t n = graph.as_count();
+  if (destination >= n)
+    throw std::out_of_range("PolicyRoutes: destination out of range");
+
+  customer_dist_.assign(n, kUnreachable);
+  peer_dist_.assign(n, kUnreachable);
+  provider_dist_.assign(n, kUnreachable);
+  customer_parent_.assign(n, kNoNode);
+  peer_parent_.assign(n, kNoNode);
+  provider_parent_.assign(n, kNoNode);
+
+  // Phase 1 — customer routes: at AS u, a route learned from a customer of
+  // u whose own route is also a customer route (pure downhill toward the
+  // destination). BFS from the destination climbing provider links.
+  customer_dist_[destination] = 0;
+  std::deque<AsId> queue{destination};
+  while (!queue.empty()) {
+    const AsId v = queue.front();
+    queue.pop_front();
+    for (const AsGraph::Link& link : graph.links(v)) {
+      // link.rel is the role of link.neighbor relative to v; we want ASes u
+      // for which v is a customer, i.e. v's providers.
+      if (link.rel != AsRelationship::kProvider) continue;
+      const AsId u = link.neighbor;
+      const std::size_t candidate = customer_dist_[v] + 1;
+      if (candidate < customer_dist_[u] ||
+          (candidate == customer_dist_[u] && v < customer_parent_[u])) {
+        const bool first_visit = customer_dist_[u] == kUnreachable;
+        customer_dist_[u] = candidate;
+        customer_parent_[u] = v;
+        if (first_visit) queue.push_back(u);
+      }
+    }
+  }
+
+  // Phase 2 — peer routes: one lateral peering hop into a customer route.
+  for (AsId u = 0; u < n; ++u) {
+    for (const AsGraph::Link& link : graph.links(u)) {
+      if (link.rel != AsRelationship::kPeer) continue;
+      const AsId w = link.neighbor;
+      if (customer_dist_[w] == kUnreachable) continue;
+      const std::size_t candidate = customer_dist_[w] + 1;
+      if (candidate < peer_dist_[u] ||
+          (candidate == peer_dist_[u] && w < peer_parent_[u])) {
+        peer_dist_[u] = candidate;
+        peer_parent_[u] = w;
+      }
+    }
+  }
+
+  // Phase 3 — provider routes: climb to a provider and take its best route
+  // of any class (providers export everything to customers). Multi-source
+  // Dijkstra keyed by each AS's best known distance, relaxing downward to
+  // customers.
+  const auto base = [this](AsId x) {
+    return std::min(customer_dist_[x], peer_dist_[x]);
+  };
+  using Item = std::pair<std::size_t, AsId>;  // (value used to relax, AS)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (AsId x = 0; x < n; ++x) {
+    if (base(x) != kUnreachable) heap.push({base(x), x});
+  }
+  while (!heap.empty()) {
+    const auto [value, x] = heap.top();
+    heap.pop();
+    const std::size_t best_x = std::min(base(x), provider_dist_[x]);
+    if (value > best_x) continue;  // stale entry
+    for (const AsGraph::Link& link : graph.links(x)) {
+      // We relax to ASes u that are customers of x.
+      if (link.rel != AsRelationship::kCustomer) continue;
+      const AsId u = link.neighbor;
+      const std::size_t candidate = value + 1;
+      if (candidate < provider_dist_[u] ||
+          (candidate == provider_dist_[u] && x < provider_parent_[u])) {
+        provider_dist_[u] = candidate;
+        provider_parent_[u] = x;
+        heap.push({candidate, u});
+      }
+    }
+  }
+}
+
+std::size_t PolicyRoutes::raw_distance(AsId as, RouteClass cls) const {
+  switch (cls) {
+    case RouteClass::kCustomer:
+      return customer_dist_[as];
+    case RouteClass::kPeer:
+      return peer_dist_[as];
+    case RouteClass::kProvider:
+      return provider_dist_[as];
+  }
+  return kUnreachable;
+}
+
+std::optional<std::size_t> PolicyRoutes::distance(AsId as,
+                                                  RouteClass cls) const {
+  if (as >= customer_dist_.size())
+    throw std::out_of_range("PolicyRoutes::distance");
+  const std::size_t d = raw_distance(as, cls);
+  if (d == kUnreachable) return std::nullopt;
+  return d;
+}
+
+std::optional<RouteClass> PolicyRoutes::best_class(AsId as) const {
+  if (as >= customer_dist_.size())
+    throw std::out_of_range("PolicyRoutes::best_class");
+  // Preference order is class-first, not distance-first (Gao-Rexford).
+  if (customer_dist_[as] != kUnreachable) return RouteClass::kCustomer;
+  if (peer_dist_[as] != kUnreachable) return RouteClass::kPeer;
+  if (provider_dist_[as] != kUnreachable) return RouteClass::kProvider;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> PolicyRoutes::best_distance(AsId as) const {
+  const auto cls = best_class(as);
+  if (!cls.has_value()) return std::nullopt;
+  return raw_distance(as, *cls);
+}
+
+std::optional<AsPath> PolicyRoutes::path(AsId as, RouteClass cls) const {
+  if (distance(as, cls) == std::nullopt) return std::nullopt;
+  std::vector<AsId> hops;
+  AsId current = as;
+  RouteClass mode = cls;
+  // Walk parent pointers; a provider-route walk switches to the parent's
+  // best class once the climb reaches an AS with a customer/peer route.
+  while (current != destination_) {
+    AsId next = kNoNode;
+    switch (mode) {
+      case RouteClass::kCustomer:
+        next = customer_parent_[current];
+        mode = RouteClass::kCustomer;
+        break;
+      case RouteClass::kPeer:
+        next = peer_parent_[current];
+        mode = RouteClass::kCustomer;  // after a peer hop, pure downhill
+        break;
+      case RouteClass::kProvider: {
+        next = provider_parent_[current];
+        // At the parent, continue in whichever class realized its value.
+        const std::size_t via_customer = customer_dist_[next];
+        const std::size_t via_peer = peer_dist_[next];
+        const std::size_t via_provider = provider_dist_[next];
+        const std::size_t best =
+            std::min({via_customer, via_peer, via_provider});
+        if (best == via_customer) {
+          mode = RouteClass::kCustomer;
+        } else if (best == via_peer) {
+          mode = RouteClass::kPeer;
+        } else {
+          mode = RouteClass::kProvider;
+        }
+        break;
+      }
+    }
+    if (next == kNoNode)
+      throw std::logic_error("PolicyRoutes::path: broken parent chain");
+    hops.push_back(next);
+    current = next;
+    if (hops.size() > customer_dist_.size())
+      throw std::logic_error("PolicyRoutes::path: loop in parent chain");
+  }
+  return AsPath(std::move(hops));
+}
+
+std::optional<AsPath> PolicyRoutes::best_path(AsId as) const {
+  const auto cls = best_class(as);
+  if (!cls.has_value()) return std::nullopt;
+  return path(as, *cls);
+}
+
+}  // namespace lina::routing

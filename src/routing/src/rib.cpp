@@ -1,0 +1,48 @@
+#include "lina/routing/rib.hpp"
+
+#include <stdexcept>
+
+namespace lina::routing {
+
+bool route_preferred(const RibRoute& a, const RibRoute& b) {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.route_class != b.route_class) return a.route_class < b.route_class;
+  if (a.as_path.length() != b.as_path.length())
+    return a.as_path.length() < b.as_path.length();
+  if (a.med != b.med) return a.med < b.med;
+  return a.port() < b.port();
+}
+
+void Rib::add(RibRoute route) {
+  if (route.as_path.empty())
+    throw std::invalid_argument("Rib::add: empty AS path");
+  if (!route.as_path.loop_free())
+    throw std::invalid_argument("Rib::add: AS path has a loop");
+  routes_[route.prefix].push_back(std::move(route));
+  ++route_count_;
+}
+
+std::span<const RibRoute> Rib::candidates(const net::Prefix& prefix) const {
+  const auto it = routes_.find(prefix);
+  if (it == routes_.end()) return {};
+  return it->second;
+}
+
+std::optional<RibRoute> Rib::best(const net::Prefix& prefix) const {
+  const auto it = routes_.find(prefix);
+  if (it == routes_.end() || it->second.empty()) return std::nullopt;
+  const RibRoute* best = &it->second.front();
+  for (const RibRoute& r : it->second) {
+    if (route_preferred(r, *best)) best = &r;
+  }
+  return *best;
+}
+
+std::vector<net::Prefix> Rib::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(routes_.size());
+  for (const auto& [prefix, _] : routes_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace lina::routing

@@ -1,0 +1,121 @@
+#include "lina/routing/rib_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lina::routing {
+
+namespace {
+
+const char* class_name(RouteClass cls) {
+  switch (cls) {
+    case RouteClass::kCustomer:
+      return "customer";
+    case RouteClass::kPeer:
+      return "peer";
+    case RouteClass::kProvider:
+      return "provider";
+  }
+  throw std::invalid_argument("rib_io: unknown route class");
+}
+
+RouteClass parse_class(const std::string& text) {
+  if (text == "customer") return RouteClass::kCustomer;
+  if (text == "peer") return RouteClass::kPeer;
+  if (text == "provider") return RouteClass::kProvider;
+  throw std::invalid_argument("rib_io: bad relationship '" + text + "'");
+}
+
+std::uint32_t parse_u32(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long value = std::stoul(text, &pos);
+    if (pos != text.size() || value > 0xffffffffUL)
+      throw std::invalid_argument(what);
+    return static_cast<std::uint32_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("rib_io: bad ") + what +
+                                " field: '" + text + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, sep)) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_rib(std::ostream& out, const Rib& rib) {
+  out << "PREFIX|NEXT_HOP_AS|LOCAL_PREF|MED|REL|AS_PATH\n";
+  for (const net::Prefix& prefix : rib.prefixes()) {
+    for (const RibRoute& route : rib.candidates(prefix)) {
+      out << prefix.to_string() << '|' << route.port() << '|'
+          << route.local_pref << '|' << route.med << '|'
+          << class_name(route.route_class) << '|'
+          << route.as_path.to_string() << '\n';
+    }
+  }
+}
+
+Rib read_rib(std::istream& in) {
+  Rib rib;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("PREFIX", 0) == 0) continue;  // header
+    }
+    const auto fields = split(line, '|');
+    if (fields.size() != 6)
+      throw std::invalid_argument("rib_io: row needs 6 fields: '" + line +
+                                  "'");
+    RibRoute route;
+    route.prefix = net::Prefix::parse(fields[0]);
+    const std::uint32_t next_hop = parse_u32(fields[1], "next hop");
+    route.local_pref = parse_u32(fields[2], "local pref");
+    route.med = parse_u32(fields[3], "med");
+    route.route_class = parse_class(fields[4]);
+
+    std::vector<topology::AsId> hops;
+    std::istringstream path_stream(fields[5]);
+    std::string token;
+    while (path_stream >> token) {
+      hops.push_back(parse_u32(token, "AS path hop"));
+    }
+    if (hops.empty())
+      throw std::invalid_argument("rib_io: empty AS path: '" + line + "'");
+    if (hops.front() != next_hop)
+      throw std::invalid_argument(
+          "rib_io: NEXT_HOP_AS must equal the AS path's first hop: '" +
+          line + "'");
+    route.as_path = AsPath(std::move(hops));
+    rib.add(std::move(route));
+  }
+  return rib;
+}
+
+VantageRouter vantage_from_dump(std::istream& in, std::string name,
+                                topology::AsId as_number,
+                                topology::GeoPoint location) {
+  VantageRouter router(std::move(name), as_number, location);
+  const Rib rib = read_rib(in);
+  for (const net::Prefix& prefix : rib.prefixes()) {
+    for (const RibRoute& route : rib.candidates(prefix)) {
+      router.install(route);
+    }
+  }
+  router.build_fib();
+  return router;
+}
+
+}  // namespace lina::routing

@@ -1,0 +1,35 @@
+#include "lina/routing/vantage_router.hpp"
+
+namespace lina::routing {
+
+void VantageRouter::install(RibRoute route) {
+  rib_.add(std::move(route));
+  fib_valid_ = false;
+}
+
+void VantageRouter::build_fib() const {
+  if (!fib_valid_) {
+    fib_ = Fib::from_rib(rib_);
+    fib_valid_ = true;
+  }
+}
+
+const Fib& VantageRouter::fib() const {
+  build_fib();
+  return fib_;
+}
+
+std::optional<std::pair<net::Prefix, FibEntry>> VantageRouter::route_for(
+    net::Ipv4Address addr) const {
+  return fib().lookup(addr);
+}
+
+std::optional<Port> VantageRouter::port_for(net::Ipv4Address addr) const {
+  return fib().port_for(addr);
+}
+
+std::size_t VantageRouter::next_hop_degree() const {
+  return fib().next_hop_degree();
+}
+
+}  // namespace lina::routing

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lina/sim/fabric.hpp"
+#include "lina/sim/session.hpp"
+#include "lina/stats/cdf.hpp"
+#include "lina/stats/rng.hpp"
+
+namespace lina::sim {
+
+/// An NDN-style content-retrieval session: a consumer issues interests for
+/// Zipf-popular segments of a named catalog; routers forward interests
+/// toward their current belief of the publisher's attachment (flooded
+/// name-update wavefront, as in name-based routing); data returns along
+/// the interest path, leaving copies in per-router LRU content stores.
+///
+/// This exercises the paper's §8 discussion: on-path caching absorbs the
+/// popular head even across publisher mobility, but "does not suffice to
+/// ensure reachability to at least one copy" — uncached segments are lost
+/// while router beliefs are stale.
+struct ContentSessionConfig {
+  topology::AsId consumer = 0;
+  std::vector<MobilityStep> publisher_schedule;  // first step at 0
+
+  std::size_t catalog_segments = 1000;
+  double zipf_exponent = 1.0;
+
+  double request_interval_ms = 10.0;
+  double duration_ms = 20000.0;
+
+  std::size_t cache_capacity = 64;  // per router; 0 disables caching
+  double update_hop_ms = 5.0;       // name-update wavefront speed
+  std::size_t interest_ttl_hops = 64;
+
+  std::uint64_t seed = 1;
+};
+
+struct ContentSessionStats {
+  std::size_t interests_sent = 0;
+  std::size_t satisfied_from_cache = 0;
+  std::size_t satisfied_from_publisher = 0;
+  std::size_t unsatisfied = 0;
+
+  stats::EmpiricalCdf retrieval_delay_ms;
+
+  [[nodiscard]] std::size_t satisfied() const {
+    return satisfied_from_cache + satisfied_from_publisher;
+  }
+  [[nodiscard]] double reachability() const {
+    return interests_sent == 0
+               ? 0.0
+               : static_cast<double>(satisfied()) /
+                     static_cast<double>(interests_sent);
+  }
+  [[nodiscard]] double cache_hit_ratio() const {
+    return satisfied() == 0
+               ? 0.0
+               : static_cast<double>(satisfied_from_cache) /
+                     static_cast<double>(satisfied());
+  }
+};
+
+/// Runs one consumer->publisher content session over the fabric.
+/// Throws std::invalid_argument on malformed configs.
+[[nodiscard]] ContentSessionStats simulate_content_session(
+    const ForwardingFabric& fabric, const ContentSessionConfig& config);
+
+}  // namespace lina::sim

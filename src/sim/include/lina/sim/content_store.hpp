@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace lina::sim {
+
+/// An NDN-style router content store: an LRU cache of content segments.
+/// Capacity 0 disables caching (every lookup misses).
+class ContentStore {
+ public:
+  explicit ContentStore(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True iff the segment is cached; a hit refreshes its recency.
+  bool lookup(std::uint64_t segment);
+
+  /// Inserts (or refreshes) a segment, evicting the least recently used
+  /// entry when full.
+  void insert(std::uint64_t segment);
+
+  [[nodiscard]] bool contains(std::uint64_t segment) const {
+    return index_.contains(segment);
+  }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> recency_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      index_;
+};
+
+}  // namespace lina::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lina::sim {
+
+/// A discrete-event simulation clock and queue.
+///
+/// Events are callbacks scheduled at absolute times (milliseconds of
+/// simulated time); equal-time events fire in scheduling order. The queue
+/// owns the clock: `now()` is the time of the event currently (or most
+/// recently) executing.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `time_ms` (>= now()); throws on
+  /// attempts to schedule in the past.
+  void schedule(double time_ms, Callback callback);
+
+  /// Schedules `callback` `delay_ms` (>= 0) after now().
+  void schedule_in(double delay_ms, Callback callback);
+
+  /// Runs the earliest event; returns false if the queue is empty.
+  bool run_next();
+
+  /// Runs until the queue drains or `max_events` have executed; returns
+  /// the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] double now() const { return now_ms_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double time_ms;
+    std::uint64_t sequence;  // FIFO tie-break
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace lina::sim

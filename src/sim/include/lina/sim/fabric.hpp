@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lina/routing/synthetic_internet.hpp"
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::sim {
+
+struct FabricConfig {
+  double per_hop_ms = 2.0;   // per-AS processing/queueing
+  double inflation = 1.6;    // geographic route inflation
+  double min_link_ms = 0.2;  // floor for intra-metro links
+};
+
+/// The packet-forwarding substrate: per-destination next hops along the
+/// synthetic Internet's valley-free policy routes, and per-link delays
+/// from AS geography. All architecture simulators forward through this
+/// fabric; they differ only in *which destination* each element of the
+/// network believes the mobile endpoint is at.
+class ForwardingFabric {
+ public:
+  explicit ForwardingFabric(const routing::SyntheticInternet& internet,
+                            FabricConfig config = {});
+
+  /// Next hop from `at` toward destination AS `dest`; `at` itself when
+  /// at == dest; nullopt if the policy plane has no route.
+  [[nodiscard]] std::optional<topology::AsId> next_hop(
+      topology::AsId at, topology::AsId dest) const;
+
+  /// One-hop delay across the (a, b) link.
+  [[nodiscard]] double link_delay_ms(topology::AsId a,
+                                     topology::AsId b) const;
+
+  /// End-to-end delay along the policy route, or nullopt if unroutable.
+  [[nodiscard]] std::optional<double> path_delay_ms(topology::AsId from,
+                                                    topology::AsId to) const;
+
+  /// Hop count of the policy route, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> path_hops(
+      topology::AsId from, topology::AsId to) const;
+
+  /// Physical (policy-free) AS-hop distance; used for update wavefronts.
+  [[nodiscard]] std::size_t physical_hops(topology::AsId from,
+                                          topology::AsId to) const;
+
+  [[nodiscard]] const routing::SyntheticInternet& internet() const {
+    return *internet_;
+  }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+ private:
+  const std::vector<topology::AsId>& next_hops_toward(
+      topology::AsId dest) const;
+  const std::vector<std::size_t>& bfs_from(topology::AsId source) const;
+
+  const routing::SyntheticInternet* internet_;
+  FabricConfig config_;
+  mutable std::unordered_map<topology::AsId, std::vector<topology::AsId>>
+      next_hop_cache_;
+  mutable std::unordered_map<topology::AsId, std::vector<std::size_t>>
+      bfs_cache_;
+};
+
+}  // namespace lina::sim

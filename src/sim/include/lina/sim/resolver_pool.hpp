@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "lina/sim/fabric.hpp"
+
+namespace lina::sim {
+
+/// A geo-replicated name-resolution service — the paper's proposed
+/// augmentation for device mobility ("a next-generation name resolution
+/// service [49]", MobilityFirst's GNS). Replicas hold copies of a mobile
+/// endpoint's location record; clients query their nearest replica;
+/// updates land at the replica nearest the device and propagate to the
+/// rest with network delay. More replicas cut lookup latency and spread
+/// update load, at the price of wider (but still O(replicas), not
+/// O(routers)) update fan-out.
+class ResolverPool {
+ public:
+  /// Throws if `replicas` is empty or contains out-of-range ASes.
+  ResolverPool(const ForwardingFabric& fabric,
+               std::vector<topology::AsId> replicas);
+
+  [[nodiscard]] std::span<const topology::AsId> replicas() const {
+    return replicas_;
+  }
+
+  /// The replica with the lowest path delay from `client`.
+  [[nodiscard]] topology::AsId nearest_replica(topology::AsId client) const;
+
+  /// One-way delay from `client` to its nearest replica.
+  [[nodiscard]] double nearest_replica_delay_ms(topology::AsId client) const;
+
+  /// Per-replica record-arrival times for an update issued at
+  /// `update_time_ms` from `device_as`: the update reaches the nearest
+  /// replica first and is relayed from there to every other replica.
+  /// Result is indexed like replicas().
+  [[nodiscard]] std::vector<double> propagation_times_ms(
+      topology::AsId device_as, double update_time_ms) const;
+
+  /// Messages one update costs: device->primary plus primary->others.
+  [[nodiscard]] std::size_t update_message_count() const {
+    return replicas_.size();
+  }
+
+  /// Places `count` replicas on the prefix-announcing ASes nearest the
+  /// world metro anchors (round-robin), the natural GNS deployment.
+  [[nodiscard]] static std::vector<topology::AsId> metro_placement(
+      const routing::SyntheticInternet& internet, std::size_t count);
+
+ private:
+  const ForwardingFabric* fabric_;
+  std::vector<topology::AsId> replicas_;
+};
+
+}  // namespace lina::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "lina/sim/fabric.hpp"
+#include "lina/stats/cdf.hpp"
+
+namespace lina::sim {
+
+/// Which location-independence machinery carries the session's packets.
+enum class SimArchitecture : std::uint8_t {
+  kIndirection,          // home agent registration + triangle forwarding
+  kNameResolution,       // resolver + TTL-cached direct sending
+  kNameBased,            // per-router belief updated by a flooding wavefront
+  kReplicatedResolution, // GNS-style geo-replicated resolver pool [49]
+};
+
+[[nodiscard]] std::string_view sim_architecture_name(SimArchitecture arch);
+
+/// One attachment change of the mobile endpoint.
+struct MobilityStep {
+  double time_ms = 0.0;  // first step must be at 0 (initial attachment)
+  topology::AsId as = 0;
+};
+
+/// A correspondent streaming constant-bit-rate packets at a mobile device.
+struct SessionConfig {
+  topology::AsId correspondent = 0;
+  std::vector<MobilityStep> schedule;  // time-ordered, first at 0
+  double packet_interval_ms = 20.0;
+  double duration_ms = 10000.0;
+
+  /// Indirection: the home agent AS (defaults to the initial attachment).
+  std::optional<topology::AsId> home_as;
+
+  /// Name resolution: resolver AS and the correspondent's cache lifetime.
+  std::optional<topology::AsId> resolver_as;
+  double resolver_ttl_ms = 500.0;
+
+  /// Replicated resolution: replica ASes of the GNS-style pool (must be
+  /// non-empty for kReplicatedResolution).
+  std::vector<topology::AsId> resolver_replicas;
+
+  /// Name-based routing: the per-AS-hop latency of the update wavefront
+  /// that re-points router beliefs after a move.
+  double update_hop_ms = 5.0;
+
+  /// Name-based routing: flooding scope in physical AS hops around the new
+  /// attachment (§8's hybrid direction). Routers beyond the scope keep
+  /// routing toward the initial (globally announced) attachment, so scoped
+  /// flooding suits metro-local mobility. SIZE_MAX = global flooding.
+  std::size_t update_scope_hops = SIZE_MAX;
+
+  /// Packets are dropped after this many forwarding hops (transient loops
+  /// during name-based convergence).
+  std::size_t packet_ttl_hops = 64;
+};
+
+/// Delivery metrics of one simulated session.
+struct SessionStats {
+  std::size_t packets_sent = 0;
+  std::size_t packets_delivered = 0;
+  std::size_t packets_lost = 0;
+  std::size_t control_messages = 0;  // registrations / resolutions / updates
+
+  stats::EmpiricalCdf delivery_delay_ms;
+  /// Delivered delay divided by the direct-path delay at delivery time —
+  /// the multiplicative data-path stretch.
+  stats::EmpiricalCdf stretch;
+  /// Per mobility event: time until the first post-move delivery.
+  stats::EmpiricalCdf outage_ms;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return packets_sent == 0
+               ? 0.0
+               : static_cast<double>(packets_delivered) /
+                     static_cast<double>(packets_sent);
+  }
+};
+
+/// Runs one correspondent->mobile session under the chosen architecture on
+/// a packet-by-packet discrete-event simulation over the fabric. Validates
+/// the §2/§5 trade-offs dynamically: indirection pays stretch, name
+/// resolution pays staleness on mobility, name-based routing pays
+/// convergence (and router updates) but no steady-state stretch.
+/// Throws std::invalid_argument on malformed configs.
+[[nodiscard]] SessionStats simulate_session(const ForwardingFabric& fabric,
+                                            SimArchitecture architecture,
+                                            const SessionConfig& config);
+
+}  // namespace lina::sim

@@ -1,0 +1,161 @@
+#include "lina/sim/content_session.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "lina/sim/content_store.hpp"
+#include "lina/sim/event_queue.hpp"
+#include "lina/stats/distributions.hpp"
+
+namespace lina::sim {
+
+using topology::AsId;
+
+namespace {
+
+class ContentSessionRunner {
+ public:
+  ContentSessionRunner(const ForwardingFabric& fabric,
+                       const ContentSessionConfig& config)
+      : fabric_(fabric),
+        config_(config),
+        zipf_(config.catalog_segments, config.zipf_exponent),
+        rng_(config.seed, "content-session") {
+    if (config.publisher_schedule.empty() ||
+        config.publisher_schedule.front().time_ms != 0.0)
+      throw std::invalid_argument(
+          "simulate_content_session: publisher schedule must start at 0");
+    for (std::size_t i = 1; i < config.publisher_schedule.size(); ++i) {
+      if (config.publisher_schedule[i].time_ms <=
+          config.publisher_schedule[i - 1].time_ms)
+        throw std::invalid_argument(
+            "simulate_content_session: schedule times must increase");
+    }
+    if (config.request_interval_ms <= 0.0 || config.duration_ms <= 0.0 ||
+        config.update_hop_ms <= 0.0 || config.catalog_segments == 0)
+      throw std::invalid_argument(
+          "simulate_content_session: non-positive parameter");
+    const std::size_t as_count = fabric.internet().graph().as_count();
+    if (config.consumer >= as_count)
+      throw std::out_of_range("simulate_content_session: consumer AS");
+    for (const MobilityStep& step : config.publisher_schedule) {
+      if (step.as >= as_count)
+        throw std::out_of_range("simulate_content_session: publisher AS");
+    }
+  }
+
+  ContentSessionStats run() {
+    for (double t = 0.0; t < config_.duration_ms;
+         t += config_.request_interval_ms) {
+      queue_.schedule(t, [this] {
+        ++stats_.interests_sent;
+        const auto segment =
+            static_cast<std::uint64_t>(zipf_.sample(rng_));
+        std::vector<AsId> path;
+        hop(config_.consumer, segment, queue_.now(), 0.0, path, 0);
+      });
+    }
+    queue_.run();
+    stats_.unsatisfied =
+        stats_.interests_sent - stats_.satisfied();
+    return std::move(stats_);
+  }
+
+ private:
+  [[nodiscard]] AsId publisher_location(double time_ms) const {
+    AsId location = config_.publisher_schedule.front().as;
+    for (const MobilityStep& step : config_.publisher_schedule) {
+      if (step.time_ms > time_ms) break;
+      location = step.as;
+    }
+    return location;
+  }
+
+  /// The publisher attachment router `at` currently believes in (flooded
+  /// update wavefront at update_hop_ms per physical AS hop).
+  [[nodiscard]] AsId belief(AsId at, double time_ms) const {
+    for (auto it = config_.publisher_schedule.rbegin();
+         it != config_.publisher_schedule.rend(); ++it) {
+      const double arrival =
+          it->time_ms + static_cast<double>(fabric_.physical_hops(
+                            at, it->as)) *
+                            config_.update_hop_ms;
+      if (arrival <= time_ms) return it->as;
+    }
+    return config_.publisher_schedule.front().as;
+  }
+
+  ContentStore& store_at(AsId as) {
+    const auto it = stores_.find(as);
+    if (it != stores_.end()) return it->second;
+    return stores_.emplace(as, ContentStore(config_.cache_capacity))
+        .first->second;
+  }
+
+  void satisfy(std::uint64_t segment, double send_time_ms,
+               double forward_delay_ms, const std::vector<AsId>& path,
+               bool from_cache) {
+    // Data retraces the interest path; every on-path store keeps a copy
+    // (leave-copy-everywhere).
+    const double return_delay = forward_delay_ms;
+    queue_.schedule_in(return_delay, [this, segment, send_time_ms, path,
+                                      from_cache] {
+      for (const AsId as : path) store_at(as).insert(segment);
+      if (from_cache) {
+        ++stats_.satisfied_from_cache;
+      } else {
+        ++stats_.satisfied_from_publisher;
+      }
+      stats_.retrieval_delay_ms.add(queue_.now() - send_time_ms);
+    });
+  }
+
+  void hop(AsId at, std::uint64_t segment, double send_time_ms,
+           double forward_delay_ms, std::vector<AsId> path,
+           std::size_t hops) {
+    if (hops > config_.interest_ttl_hops) return;  // interest dies
+    path.push_back(at);
+
+    // Content-store check (skip the consumer's own node for the first
+    // lookup realism; keeping it is also defensible — we check everywhere).
+    if (store_at(at).lookup(segment)) {
+      satisfy(segment, send_time_ms, forward_delay_ms, path, true);
+      return;
+    }
+
+    const AsId dest = belief(at, queue_.now());
+    if (at == dest) {
+      if (publisher_location(queue_.now()) == at) {
+        satisfy(segment, send_time_ms, forward_delay_ms, path, false);
+      }
+      // else: stale belief and no cached copy — unreachable (§8).
+      return;
+    }
+    const auto next = fabric_.next_hop(at, dest);
+    if (!next.has_value()) return;
+    const double link = fabric_.link_delay_ms(at, *next);
+    queue_.schedule_in(
+        link, [this, next = *next, segment, send_time_ms, forward_delay_ms,
+               link, path = std::move(path), hops]() mutable {
+          hop(next, segment, send_time_ms, forward_delay_ms + link,
+              std::move(path), hops + 1);
+        });
+  }
+
+  const ForwardingFabric& fabric_;
+  const ContentSessionConfig& config_;
+  stats::Zipf zipf_;
+  stats::Rng rng_;
+  EventQueue queue_;
+  ContentSessionStats stats_;
+  std::unordered_map<AsId, ContentStore> stores_;
+};
+
+}  // namespace
+
+ContentSessionStats simulate_content_session(
+    const ForwardingFabric& fabric, const ContentSessionConfig& config) {
+  return ContentSessionRunner(fabric, config).run();
+}
+
+}  // namespace lina::sim

@@ -1,0 +1,27 @@
+#include "lina/sim/content_store.hpp"
+
+namespace lina::sim {
+
+bool ContentStore::lookup(std::uint64_t segment) {
+  const auto it = index_.find(segment);
+  if (it == index_.end()) return false;
+  recency_.splice(recency_.begin(), recency_, it->second);
+  return true;
+}
+
+void ContentStore::insert(std::uint64_t segment) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(segment);
+  if (it != index_.end()) {
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  if (index_.size() == capacity_) {
+    index_.erase(recency_.back());
+    recency_.pop_back();
+  }
+  recency_.push_front(segment);
+  index_[segment] = recency_.begin();
+}
+
+}  // namespace lina::sim

@@ -1,0 +1,38 @@
+#include "lina/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lina::sim {
+
+void EventQueue::schedule(double time_ms, Callback callback) {
+  if (time_ms < now_ms_)
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  if (!callback)
+    throw std::invalid_argument("EventQueue::schedule: empty callback");
+  queue_.push({time_ms, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(double delay_ms, Callback callback) {
+  if (delay_ms < 0.0)
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  schedule(now_ms_ + delay_ms, std::move(callback));
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // Copy out before popping: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ms_ = entry.time_ms;
+  entry.callback();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace lina::sim

@@ -1,0 +1,117 @@
+#include "lina/sim/fabric.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "lina/routing/policy_routing.hpp"
+#include "lina/topology/geo.hpp"
+#include "lina/topology/graph.hpp"
+
+namespace lina::sim {
+
+using topology::AsId;
+
+namespace {
+constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+}
+
+ForwardingFabric::ForwardingFabric(const routing::SyntheticInternet& internet,
+                                   FabricConfig config)
+    : internet_(&internet), config_(config) {}
+
+const std::vector<AsId>& ForwardingFabric::next_hops_toward(AsId dest) const {
+  const auto it = next_hop_cache_.find(dest);
+  if (it != next_hop_cache_.end()) return it->second;
+
+  const auto& graph = internet_->graph();
+  const routing::PolicyRoutes routes(graph, dest);
+  std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
+  hops[dest] = dest;
+  for (AsId u = 0; u < graph.as_count(); ++u) {
+    if (u == dest) continue;
+    const auto path = routes.best_path(u);
+    if (path.has_value() && !path->empty()) hops[u] = path->next_hop();
+  }
+  return next_hop_cache_.emplace(dest, std::move(hops)).first->second;
+}
+
+std::optional<AsId> ForwardingFabric::next_hop(AsId at, AsId dest) const {
+  if (at >= internet_->graph().as_count() ||
+      dest >= internet_->graph().as_count())
+    throw std::out_of_range("ForwardingFabric::next_hop");
+  const AsId hop = next_hops_toward(dest)[at];
+  if (hop == topology::kNoNode) return std::nullopt;
+  return hop;
+}
+
+double ForwardingFabric::link_delay_ms(AsId a, AsId b) const {
+  const double propagation = topology::propagation_delay_ms(
+      internet_->graph().location(a), internet_->graph().location(b),
+      config_.inflation);
+  return std::max(config_.min_link_ms, propagation + config_.per_hop_ms);
+}
+
+std::optional<double> ForwardingFabric::path_delay_ms(AsId from,
+                                                      AsId to) const {
+  double total = 0.0;
+  AsId current = from;
+  std::size_t guard = 0;
+  while (current != to) {
+    const auto hop = next_hop(current, to);
+    if (!hop.has_value()) return std::nullopt;
+    total += link_delay_ms(current, *hop);
+    current = *hop;
+    if (++guard > internet_->graph().as_count())
+      throw std::logic_error("ForwardingFabric: routing loop");
+  }
+  return total;
+}
+
+std::optional<std::size_t> ForwardingFabric::path_hops(AsId from,
+                                                       AsId to) const {
+  std::size_t hops = 0;
+  AsId current = from;
+  while (current != to) {
+    const auto hop = next_hop(current, to);
+    if (!hop.has_value()) return std::nullopt;
+    current = *hop;
+    if (++hops > internet_->graph().as_count())
+      throw std::logic_error("ForwardingFabric: routing loop");
+  }
+  return hops;
+}
+
+const std::vector<std::size_t>& ForwardingFabric::bfs_from(
+    AsId source) const {
+  const auto it = bfs_cache_.find(source);
+  if (it != bfs_cache_.end()) return it->second;
+  const auto& graph = internet_->graph();
+  std::vector<std::size_t> dist(graph.as_count(), kUnreached);
+  dist[source] = 0;
+  std::deque<AsId> queue{source};
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    for (const auto& link : graph.links(u)) {
+      if (dist[link.neighbor] == kUnreached) {
+        dist[link.neighbor] = dist[u] + 1;
+        queue.push_back(link.neighbor);
+      }
+    }
+  }
+  return bfs_cache_.emplace(source, std::move(dist)).first->second;
+}
+
+std::size_t ForwardingFabric::physical_hops(AsId from, AsId to) const {
+  if (from >= internet_->graph().as_count() ||
+      to >= internet_->graph().as_count())
+    throw std::out_of_range("ForwardingFabric::physical_hops");
+  const std::size_t d = bfs_from(from)[to];
+  if (d == kUnreached)
+    throw std::logic_error("ForwardingFabric: disconnected AS graph");
+  return d;
+}
+
+}  // namespace lina::sim

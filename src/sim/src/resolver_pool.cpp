@@ -1,0 +1,78 @@
+#include "lina/sim/resolver_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lina::sim {
+
+using topology::AsId;
+
+ResolverPool::ResolverPool(const ForwardingFabric& fabric,
+                           std::vector<AsId> replicas)
+    : fabric_(&fabric), replicas_(std::move(replicas)) {
+  if (replicas_.empty())
+    throw std::invalid_argument("ResolverPool: no replicas");
+  for (const AsId replica : replicas_) {
+    if (replica >= fabric.internet().graph().as_count())
+      throw std::out_of_range("ResolverPool: replica AS out of range");
+  }
+}
+
+AsId ResolverPool::nearest_replica(AsId client) const {
+  AsId best = replicas_.front();
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (const AsId replica : replicas_) {
+    const auto delay = fabric_->path_delay_ms(client, replica);
+    if (delay.has_value() && *delay < best_delay) {
+      best_delay = *delay;
+      best = replica;
+    }
+  }
+  return best;
+}
+
+double ResolverPool::nearest_replica_delay_ms(AsId client) const {
+  const auto delay = fabric_->path_delay_ms(client, nearest_replica(client));
+  return delay.value_or(std::numeric_limits<double>::infinity());
+}
+
+std::vector<double> ResolverPool::propagation_times_ms(
+    AsId device_as, double update_time_ms) const {
+  const AsId primary = nearest_replica(device_as);
+  const double at_primary =
+      update_time_ms +
+      fabric_->path_delay_ms(device_as, primary).value_or(0.0);
+  std::vector<double> times;
+  times.reserve(replicas_.size());
+  for (const AsId replica : replicas_) {
+    if (replica == primary) {
+      times.push_back(at_primary);
+    } else {
+      times.push_back(at_primary +
+                      fabric_->path_delay_ms(primary, replica).value_or(0.0));
+    }
+  }
+  return times;
+}
+
+std::vector<AsId> ResolverPool::metro_placement(
+    const routing::SyntheticInternet& internet, std::size_t count) {
+  std::vector<AsId> out;
+  const auto anchors = topology::metro_anchors();
+  std::size_t anchor = 0;
+  while (out.size() < count) {
+    const auto near =
+        internet.edge_ases_near(anchors[anchor % anchors.size()],
+                                1 + anchor / anchors.size());
+    const AsId candidate = near.back();
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+    ++anchor;
+    if (anchor > count * anchors.size() + anchors.size()) break;  // safety
+  }
+  return out;
+}
+
+}  // namespace lina::sim

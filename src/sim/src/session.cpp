@@ -1,0 +1,381 @@
+#include "lina/sim/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lina/sim/event_queue.hpp"
+#include "lina/sim/resolver_pool.hpp"
+
+namespace lina::sim {
+
+using topology::AsId;
+
+std::string_view sim_architecture_name(SimArchitecture arch) {
+  switch (arch) {
+    case SimArchitecture::kIndirection:
+      return "indirection (home agent)";
+    case SimArchitecture::kNameResolution:
+      return "name resolution (resolver)";
+    case SimArchitecture::kNameBased:
+      return "name-based routing";
+    case SimArchitecture::kReplicatedResolution:
+      return "replicated resolution (GNS)";
+  }
+  throw std::invalid_argument("sim_architecture_name: unknown architecture");
+}
+
+namespace {
+
+void validate(const SessionConfig& config, const ForwardingFabric& fabric,
+              SimArchitecture architecture) {
+  if (config.schedule.empty())
+    throw std::invalid_argument("simulate_session: empty mobility schedule");
+  if (config.schedule.front().time_ms != 0.0)
+    throw std::invalid_argument(
+        "simulate_session: schedule must start at time 0");
+  for (std::size_t i = 1; i < config.schedule.size(); ++i) {
+    if (config.schedule[i].time_ms <= config.schedule[i - 1].time_ms)
+      throw std::invalid_argument(
+          "simulate_session: schedule times must increase");
+  }
+  if (config.packet_interval_ms <= 0.0 || config.duration_ms <= 0.0)
+    throw std::invalid_argument("simulate_session: non-positive timing");
+  if (config.update_hop_ms <= 0.0 || config.resolver_ttl_ms <= 0.0)
+    throw std::invalid_argument("simulate_session: non-positive delays");
+  if (architecture == SimArchitecture::kReplicatedResolution &&
+      config.resolver_replicas.empty())
+    throw std::invalid_argument(
+        "simulate_session: kReplicatedResolution needs resolver_replicas");
+  const std::size_t as_count = fabric.internet().graph().as_count();
+  if (config.correspondent >= as_count)
+    throw std::out_of_range("simulate_session: correspondent AS");
+  for (const MobilityStep& step : config.schedule) {
+    if (step.as >= as_count)
+      throw std::out_of_range("simulate_session: schedule AS");
+  }
+}
+
+/// Shared session machinery; architecture subclasses provide the control
+/// plane (on_move) and the data plane (send_packet).
+class SessionRunner {
+ public:
+  SessionRunner(const ForwardingFabric& fabric, const SessionConfig& config)
+      : fabric_(fabric), config_(config) {}
+  virtual ~SessionRunner() = default;
+
+  SessionStats run() {
+    // Mobility events.
+    for (std::size_t i = 1; i < config_.schedule.size(); ++i) {
+      const MobilityStep& step = config_.schedule[i];
+      queue_.schedule(step.time_ms, [this, step] {
+        if (move_pending_) {
+          // The previous move never saw a delivery: record the censored
+          // outage up to this move.
+          stats_.outage_ms.add(queue_.now() - last_move_ms_);
+        }
+        last_move_ms_ = queue_.now();
+        move_pending_ = true;
+        on_move(step.as);
+      });
+    }
+    // Packet generation.
+    for (double t = 0.0; t < config_.duration_ms;
+         t += config_.packet_interval_ms) {
+      queue_.schedule(t, [this] {
+        ++stats_.packets_sent;
+        send_packet(queue_.now());
+      });
+    }
+    queue_.run();
+    stats_.packets_lost = stats_.packets_sent - stats_.packets_delivered;
+    return std::move(stats_);
+  }
+
+ protected:
+  virtual void on_move(AsId new_as) = 0;
+  virtual void send_packet(double send_time_ms) = 0;
+
+  [[nodiscard]] AsId device_location(double time_ms) const {
+    AsId location = config_.schedule.front().as;
+    for (const MobilityStep& step : config_.schedule) {
+      if (step.time_ms > time_ms) break;
+      location = step.as;
+    }
+    return location;
+  }
+
+  void deliver(double send_time_ms) {
+    ++stats_.packets_delivered;
+    const double delay = queue_.now() - send_time_ms;
+    stats_.delivery_delay_ms.add(delay);
+    const double direct =
+        fabric_.path_delay_ms(config_.correspondent,
+                              device_location(queue_.now()))
+            .value_or(delay);
+    stats_.stretch.add(delay /
+                       std::max(direct, fabric_.config().min_link_ms));
+    if (move_pending_) {
+      stats_.outage_ms.add(queue_.now() - last_move_ms_);
+      move_pending_ = false;
+    }
+  }
+
+  void count_control(std::size_t messages) {
+    stats_.control_messages += messages;
+  }
+
+  const ForwardingFabric& fabric_;
+  const SessionConfig& config_;
+  EventQueue queue_;
+  SessionStats stats_;
+
+ private:
+  double last_move_ms_ = 0.0;
+  bool move_pending_ = false;
+};
+
+class IndirectionRunner final : public SessionRunner {
+ public:
+  IndirectionRunner(const ForwardingFabric& fabric,
+                    const SessionConfig& config)
+      : SessionRunner(fabric, config),
+        home_(config.home_as.value_or(config.schedule.front().as)),
+        registry_(config.schedule.front().as) {}
+
+ private:
+  void on_move(AsId new_as) override {
+    // Registration message travels from the new location to the home agent.
+    count_control(1);
+    const auto delay = fabric_.path_delay_ms(new_as, home_);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+  }
+
+  void send_packet(double send_time_ms) override {
+    // Leg 1: correspondent -> home agent.
+    const auto to_home =
+        fabric_.path_delay_ms(config_.correspondent, home_);
+    if (!to_home.has_value()) return;  // lost
+    queue_.schedule_in(*to_home, [this, send_time_ms] {
+      // Leg 2: home agent -> registered care-of location.
+      const AsId target = registry_;
+      const auto to_target = fabric_.path_delay_ms(home_, target);
+      if (!to_target.has_value()) return;
+      queue_.schedule_in(*to_target, [this, send_time_ms, target] {
+        if (device_location(queue_.now()) == target) {
+          deliver(send_time_ms);
+        }
+      });
+    });
+  }
+
+  AsId home_;
+  AsId registry_;
+};
+
+class ResolutionRunner final : public SessionRunner {
+ public:
+  ResolutionRunner(const ForwardingFabric& fabric,
+                   const SessionConfig& config)
+      : SessionRunner(fabric, config),
+        resolver_(config.resolver_as.value_or(config.correspondent)),
+        registry_(config.schedule.front().as),
+        cache_(config.schedule.front().as) {
+    // Periodic re-resolution; the initial resolution happened at setup.
+    for (double t = config.resolver_ttl_ms; t < config.duration_ms;
+         t += config.resolver_ttl_ms) {
+      queue_.schedule(t, [this] { resolve(); });
+    }
+  }
+
+ private:
+  void resolve() {
+    count_control(1);
+    const auto to_resolver =
+        fabric_.path_delay_ms(config_.correspondent, resolver_);
+    if (!to_resolver.has_value()) return;
+    queue_.schedule_in(*to_resolver, [this] {
+      const AsId answer = registry_;
+      const auto back =
+          fabric_.path_delay_ms(resolver_, config_.correspondent);
+      if (!back.has_value()) return;
+      queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
+    });
+  }
+
+  void on_move(AsId new_as) override {
+    // The device updates the resolver (one message).
+    count_control(1);
+    const auto delay = fabric_.path_delay_ms(new_as, resolver_);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+  }
+
+  void send_packet(double send_time_ms) override {
+    const AsId target = cache_;
+    const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, send_time_ms, target] {
+      if (device_location(queue_.now()) == target) {
+        deliver(send_time_ms);
+      }
+    });
+  }
+
+  AsId resolver_;
+  AsId registry_;  // the resolver's authoritative record
+  AsId cache_;     // the correspondent's cached answer
+};
+
+class ReplicatedResolutionRunner final : public SessionRunner {
+ public:
+  ReplicatedResolutionRunner(const ForwardingFabric& fabric,
+                             const SessionConfig& config)
+      : SessionRunner(fabric, config),
+        pool_(fabric, config.resolver_replicas),
+        records_(config.resolver_replicas.size(),
+                 config.schedule.front().as),
+        cache_(config.schedule.front().as) {
+    // The correspondent always queries its nearest replica.
+    lookup_replica_ = 0;
+    for (std::size_t i = 0; i < pool_.replicas().size(); ++i) {
+      if (pool_.replicas()[i] == pool_.nearest_replica(config.correspondent)) {
+        lookup_replica_ = i;
+      }
+    }
+    for (double t = config.resolver_ttl_ms; t < config.duration_ms;
+         t += config.resolver_ttl_ms) {
+      queue_.schedule(t, [this] { resolve(); });
+    }
+  }
+
+ private:
+  void resolve() {
+    count_control(1);
+    const AsId replica = pool_.replicas()[lookup_replica_];
+    const auto to_replica =
+        fabric_.path_delay_ms(config_.correspondent, replica);
+    if (!to_replica.has_value()) return;
+    queue_.schedule_in(*to_replica, [this, replica] {
+      const AsId answer = records_[lookup_replica_];
+      const auto back = fabric_.path_delay_ms(replica, config_.correspondent);
+      if (!back.has_value()) return;
+      queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
+    });
+  }
+
+  void on_move(AsId new_as) override {
+    // Device -> primary replica, then primary -> every other replica.
+    count_control(pool_.update_message_count());
+    const auto arrivals = pool_.propagation_times_ms(new_as, queue_.now());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      queue_.schedule(arrivals[i], [this, i, new_as] {
+        records_[i] = new_as;
+      });
+    }
+  }
+
+  void send_packet(double send_time_ms) override {
+    const AsId target = cache_;
+    const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, send_time_ms, target] {
+      if (device_location(queue_.now()) == target) {
+        deliver(send_time_ms);
+      }
+    });
+  }
+
+  ResolverPool pool_;
+  std::vector<AsId> records_;  // per-replica registered location
+  std::size_t lookup_replica_;
+  AsId cache_;
+};
+
+class NameBasedRunner final : public SessionRunner {
+ public:
+  NameBasedRunner(const ForwardingFabric& fabric, const SessionConfig& config)
+      : SessionRunner(fabric, config) {
+    history_.push_back({0.0, config.schedule.front().as});
+  }
+
+ private:
+  /// The attachment AS router `at` currently believes the name maps to:
+  /// the newest move whose flooding wavefront (update_hop_ms per physical
+  /// AS hop) has reached `at` by `time_ms`. Scoped flooding (§8 hybrid):
+  /// moves are only ever announced within update_scope_hops of the new
+  /// attachment; out-of-scope routers fall back to the initial, globally
+  /// announced attachment.
+  [[nodiscard]] AsId belief(AsId at, double time_ms) const {
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+      const std::size_t hops = fabric_.physical_hops(at, it->as);
+      const bool announced =
+          it == history_.rend() - 1 || hops <= config_.update_scope_hops;
+      if (!announced) continue;
+      const double arrival =
+          it->time_ms +
+          static_cast<double>(hops) * config_.update_hop_ms;
+      if (arrival <= time_ms) return it->as;
+    }
+    return history_.front().as;
+  }
+
+  void on_move(AsId new_as) override {
+    history_.push_back({queue_.now(), new_as});
+    // Flooding cost: every router within scope (everyone when global).
+    const auto& graph = fabric_.internet().graph();
+    if (config_.update_scope_hops >= graph.as_count()) {
+      count_control(graph.as_count());
+    } else {
+      std::size_t reached = 0;
+      for (AsId as = 0; as < graph.as_count(); ++as) {
+        if (fabric_.physical_hops(as, new_as) <= config_.update_scope_hops) {
+          ++reached;
+        }
+      }
+      count_control(reached);
+    }
+  }
+
+  void send_packet(double send_time_ms) override {
+    hop(config_.correspondent, send_time_ms, 0);
+  }
+
+  void hop(AsId at, double send_time_ms, std::size_t hops) {
+    if (hops > config_.packet_ttl_hops) return;  // dropped in a loop
+    const AsId dest = belief(at, queue_.now());
+    if (at == dest) {
+      if (device_location(queue_.now()) == at) deliver(send_time_ms);
+      return;  // belief said "here" but the device has left: lost
+    }
+    const auto next = fabric_.next_hop(at, dest);
+    if (!next.has_value()) return;
+    const double delay = fabric_.link_delay_ms(at, *next);
+    queue_.schedule_in(delay, [this, next = *next, send_time_ms, hops] {
+      hop(next, send_time_ms, hops + 1);
+    });
+  }
+
+  std::vector<MobilityStep> history_;
+};
+
+}  // namespace
+
+SessionStats simulate_session(const ForwardingFabric& fabric,
+                              SimArchitecture architecture,
+                              const SessionConfig& config) {
+  validate(config, fabric, architecture);
+  switch (architecture) {
+    case SimArchitecture::kIndirection:
+      return IndirectionRunner(fabric, config).run();
+    case SimArchitecture::kNameResolution:
+      return ResolutionRunner(fabric, config).run();
+    case SimArchitecture::kNameBased:
+      return NameBasedRunner(fabric, config).run();
+    case SimArchitecture::kReplicatedResolution:
+      return ReplicatedResolutionRunner(fabric, config).run();
+  }
+  throw std::invalid_argument("simulate_session: unknown architecture");
+}
+
+}  // namespace lina::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lina::stats {
+
+/// Empirical cumulative distribution function over a sample set.
+///
+/// This is the workhorse behind every CDF figure in the paper reproduction
+/// (Figures 6, 7, 9, 10, 11a): build one from per-user or per-domain
+/// statistics, then query quantiles or evaluate P(X <= x).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Builds from a sample; the input is copied and sorted.
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Adds one observation (invalidates nothing; re-sorts lazily).
+  void add(double x);
+
+  [[nodiscard]] bool empty() const { return samples_.size() == 0; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// q-th quantile, q in [0, 1]; linear interpolation between order
+  /// statistics. quantile(0.5) is the median.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Fraction of samples strictly greater than x; convenience for statements
+  /// like "20% of users change more than 10 addresses a day".
+  [[nodiscard]] double fraction_above(double x) const;
+
+  /// Evenly spaced (x, F(x)) points for plotting / printing, one per sample
+  /// quantile; at most `max_points` points.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t max_points = 32) const;
+
+  /// The sorted sample.
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace lina::stats

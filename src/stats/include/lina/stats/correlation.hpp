@@ -1,0 +1,15 @@
+#pragma once
+
+#include <span>
+
+namespace lina::stats {
+
+/// Pearson correlation coefficient between two equally sized samples.
+/// Used to reproduce the paper's §6.2 sensitivity analysis, which reports a
+/// 0.88 correlation between update rates under two different workloads.
+/// Throws if the sizes differ, the samples are shorter than 2, or either
+/// sample has zero variance.
+[[nodiscard]] double pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace lina::stats

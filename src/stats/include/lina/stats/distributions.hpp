@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lina/stats/rng.hpp"
+
+namespace lina::stats {
+
+/// Log-normal sampler parameterized by the *median* and a shape factor
+/// (sigma of the underlying normal). Used for heavy-tailed per-user rates:
+/// e.g. daily IP-transition counts where the median is ~3 but >20% of users
+/// exceed 10.
+class LogNormal {
+ public:
+  LogNormal(double median, double sigma);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// P(X <= x) in closed form; used by tests and calibration.
+  [[nodiscard]] double cdf(double x) const;
+
+  [[nodiscard]] double median() const { return median_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double median_;
+  double mu_;  // log(median)
+  double sigma_;
+};
+
+/// Bounded Pareto sampler (type-I, truncated) for tail-heavy counts such as
+/// subdomain fan-out of popular web properties.
+class BoundedPareto {
+ public:
+  BoundedPareto(double alpha, double lo, double hi);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+/// Zipf distribution over ranks {1..n} with exponent s, sampled by inverse
+/// CDF over precomputed cumulative weights. Used for popularity ranking of
+/// domains and for skewed location-visit preferences.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability of rank k (1-based).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+  std::vector<double> pmf_;
+};
+
+/// Samples an index according to arbitrary non-negative weights.
+/// Throws if the weights are empty or sum to zero.
+[[nodiscard]] std::size_t weighted_index(Rng& rng,
+                                         const std::vector<double>& weights);
+
+/// Splits `total` into `parts` non-negative integers that sum to `total`,
+/// with weights drawn from a symmetric Dirichlet-like stick-breaking scheme;
+/// used to split a day among visited locations.
+[[nodiscard]] std::vector<std::size_t> random_partition(Rng& rng,
+                                                        std::size_t total,
+                                                        std::size_t parts);
+
+}  // namespace lina::stats

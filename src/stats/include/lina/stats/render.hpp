@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lina/stats/cdf.hpp"
+
+namespace lina::stats {
+
+/// Plain-text rendering helpers used by the bench harnesses to print the
+/// paper's tables and figures as aligned text tables and ASCII bar charts.
+/// Keeping rendering here means every bench binary reports in one style.
+
+/// Renders a labelled horizontal bar chart. `scale_max` of 0 auto-scales to
+/// the largest value. Values are printed with `unit` appended.
+[[nodiscard]] std::string bar_chart(
+    std::span<const std::pair<std::string, double>> rows,
+    std::string_view unit = "", double scale_max = 0.0, int width = 48);
+
+/// Renders a CDF as a two-column table (x, cumulative fraction), with an
+/// optional header naming the series.
+[[nodiscard]] std::string cdf_table(const EmpiricalCdf& cdf,
+                                    std::string_view x_label,
+                                    std::size_t points = 16);
+
+/// Renders several CDFs side by side at shared quantiles — the textual
+/// analogue of the paper's multi-series CDF plots (e.g. IP / prefix / AS).
+[[nodiscard]] std::string multi_cdf_table(
+    std::span<const std::pair<std::string, const EmpiricalCdf*>> series,
+    std::string_view quantity, std::size_t points = 11);
+
+/// Renders a generic aligned table. `rows` are cell strings; the first row
+/// is treated as the header.
+[[nodiscard]] std::string text_table(
+    std::span<const std::vector<std::string>> rows);
+
+/// Formats a double with fixed precision; trims trailing zeros.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.137 -> "13.7%".
+[[nodiscard]] std::string pct(double fraction, int precision = 2);
+
+/// Prints a section heading used by bench binaries.
+[[nodiscard]] std::string heading(std::string_view title);
+
+}  // namespace lina::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lina::stats {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; throws on an empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Streaming mean/variance accumulator (Welford); useful when samples are
+/// produced one at a time inside long simulations.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace lina::stats

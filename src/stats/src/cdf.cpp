@@ -1,0 +1,84 @@
+#include "lina/stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lina::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()), sorted_(false) {
+  ensure_sorted();
+}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::at: empty");
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::quantile: empty");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("EmpiricalCdf::quantile: q out of [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double EmpiricalCdf::fraction_above(double x) const { return 1.0 - at(x); }
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t max_points) const {
+  if (samples_.empty()) return {};
+  ensure_sorted();
+  const std::size_t points = std::min(max_points, samples_.size());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = (points == 1)
+                         ? 1.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    const double x = quantile(q);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+const std::vector<double>& EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace lina::stats

@@ -1,0 +1,37 @@
+#include "lina/stats/correlation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lina::stats {
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  if (x.size() < 2)
+    throw std::invalid_argument("pearson_correlation: need >= 2 points");
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0)
+    throw std::invalid_argument("pearson_correlation: zero variance");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace lina::stats

@@ -1,0 +1,108 @@
+#include "lina/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lina::stats {
+
+LogNormal::LogNormal(double median, double sigma)
+    : median_(median), mu_(std::log(median)), sigma_(sigma) {
+  if (median <= 0.0) throw std::invalid_argument("LogNormal: median <= 0");
+  if (sigma <= 0.0) throw std::invalid_argument("LogNormal: sigma <= 0");
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  if (alpha <= 0.0) throw std::invalid_argument("BoundedPareto: alpha <= 0");
+  if (lo <= 0.0 || hi <= lo)
+    throw std::invalid_argument("BoundedPareto: need 0 < lo < hi");
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse CDF of the truncated Pareto.
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n == 0");
+  pmf_.resize(n);
+  cumulative_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    pmf_[k - 1] = 1.0 / std::pow(static_cast<double>(k), s);
+    sum += pmf_[k - 1];
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    pmf_[k] /= sum;
+    acc += pmf_[k];
+    cumulative_[k] = acc;
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k == 0 || k > pmf_.size()) throw std::out_of_range("Zipf::pmf: rank");
+  return pmf_[k - 1];
+}
+
+std::size_t weighted_index(Rng& rng, const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: zero total");
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> random_partition(Rng& rng, std::size_t total,
+                                          std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("random_partition: parts == 0");
+  std::vector<double> weights(parts);
+  for (double& w : weights) w = -std::log(std::max(rng.uniform(), 1e-12));
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  std::vector<std::size_t> out(parts, 0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    out[i] = static_cast<std::size_t>(
+        std::floor(static_cast<double>(total) * weights[i] / sum));
+    assigned += out[i];
+  }
+  // Distribute the rounding remainder one unit at a time.
+  for (std::size_t i = 0; assigned < total; i = (i + 1) % parts) {
+    ++out[i];
+    ++assigned;
+  }
+  return out;
+}
+
+}  // namespace lina::stats

@@ -1,0 +1,117 @@
+#include "lina/stats/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lina::stats {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s.empty() ? "0" : s;
+}
+
+std::string pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string heading(std::string_view title) {
+  std::string line(title.size(), '=');
+  std::string out;
+  out += "\n";
+  out.append(title);
+  out += "\n";
+  out += line;
+  out += "\n";
+  return out;
+}
+
+std::string bar_chart(std::span<const std::pair<std::string, double>> rows,
+                      std::string_view unit, double scale_max, int width) {
+  if (rows.empty()) return "(no data)\n";
+  std::size_t label_width = 0;
+  double max_val = scale_max;
+  for (const auto& [label, value] : rows) {
+    label_width = std::max(label_width, label.size());
+    if (scale_max <= 0.0) max_val = std::max(max_val, value);
+  }
+  if (max_val <= 0.0) max_val = 1.0;
+
+  std::ostringstream os;
+  for (const auto& [label, value] : rows) {
+    const int bars = static_cast<int>(
+        std::lround(value / max_val * static_cast<double>(width)));
+    os << "  " << label << std::string(label_width - label.size(), ' ')
+       << " | " << std::string(static_cast<std::size_t>(std::max(bars, 0)), '#')
+       << " " << fmt(value) << unit << "\n";
+  }
+  return os.str();
+}
+
+std::string cdf_table(const EmpiricalCdf& cdf, std::string_view x_label,
+                      std::size_t points) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({std::string(x_label), "CDF"});
+  for (const auto& [x, f] : cdf.curve(points)) {
+    rows.push_back({fmt(x), pct(f, 1)});
+  }
+  return text_table(rows);
+}
+
+std::string multi_cdf_table(
+    std::span<const std::pair<std::string, const EmpiricalCdf*>> series,
+    std::string_view quantity, std::size_t points) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{std::string("quantile")};
+  for (const auto& [name, _] : series) {
+    header.push_back(name + " (" + std::string(quantity) + ")");
+  }
+  rows.push_back(header);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = (points == 1)
+                         ? 0.5
+                         : static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    std::vector<std::string> row{pct(q, 0)};
+    for (const auto& [_, cdf] : series) row.push_back(fmt(cdf->quantile(q)));
+    rows.push_back(std::move(row));
+  }
+  return text_table(rows);
+}
+
+std::string text_table(std::span<const std::vector<std::string>> rows) {
+  if (rows.empty()) return "(no data)\n";
+  std::size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      os << rows[r][c]
+         << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 2;
+      for (const std::size_t w : widths) total += w + 2;
+      os << "  " << std::string(total - 2, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lina::stats

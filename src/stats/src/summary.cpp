@@ -1,0 +1,49 @@
+#include "lina/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lina::stats {
+
+Summary summarize(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty sample");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  RunningStats acc;
+  for (const double x : sorted) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: empty");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::variance: empty");
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace lina::stats

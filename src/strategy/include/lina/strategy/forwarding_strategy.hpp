@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+
+#include "lina/net/ipv4.hpp"
+#include "lina/routing/fib.hpp"
+#include "lina/strategy/port_oracle.hpp"
+
+namespace lina::strategy {
+
+/// Which §3.3.1 forwarding strategy a content router runs.
+enum class StrategyKind : std::uint8_t {
+  kBestPort,           // forward on the single most-preferred eligible port
+  kControlledFlooding, // forward on every eligible port
+  kHistoryUnion,       // §3.3.3: eligible ports of the union of all past
+                       // addresses — trades forwarding traffic for updates
+};
+
+[[nodiscard]] std::string_view strategy_name(StrategyKind kind);
+
+/// Tracks one router's forwarding state for one principal (device or content
+/// name) across its sequence of address-set observations, and reports
+/// whether each observation changed the state — i.e. the per-event update
+/// cost of §3.3.1 (1 if changed, 0 otherwise).
+///
+/// Usage: construct one instance per (router, principal) series, then call
+/// `observe` once per snapshot in time order. The first observation
+/// initializes state and never counts as an update.
+class ForwardingStrategy {
+ public:
+  virtual ~ForwardingStrategy() = default;
+
+  ForwardingStrategy(const ForwardingStrategy&) = delete;
+  ForwardingStrategy& operator=(const ForwardingStrategy&) = delete;
+
+  [[nodiscard]] virtual StrategyKind kind() const = 0;
+  [[nodiscard]] std::string_view name() const {
+    return strategy_name(kind());
+  }
+
+  /// Observes the principal's address set at the next instant; returns true
+  /// iff the router must update its forwarding state for this principal.
+  virtual bool observe(const PortOracle& oracle,
+                       std::span<const net::Ipv4Address> addrs) = 0;
+
+  /// The ports the router currently forwards on for this principal
+  /// (singleton for best-port; empty before any observation or when no
+  /// address has a route).
+  [[nodiscard]] virtual const std::set<routing::Port>& current_ports()
+      const = 0;
+
+  /// Forgets all state.
+  virtual void reset() = 0;
+
+ protected:
+  ForwardingStrategy() = default;
+};
+
+/// Factory for the three strategies.
+[[nodiscard]] std::unique_ptr<ForwardingStrategy> make_strategy(
+    StrategyKind kind);
+
+/// Computes the set of eligible ports for an address set at a router: the
+/// FIB ports of each address that has a route (§3.3.1, F(R,d,t)).
+[[nodiscard]] std::set<routing::Port> eligible_ports(
+    const PortOracle& oracle, std::span<const net::Ipv4Address> addrs);
+
+/// Picks the most-preferred eligible entry: best(FIB(R,d,t)). Returns
+/// nullopt when no address has a route.
+[[nodiscard]] std::optional<routing::FibEntry> best_entry(
+    const PortOracle& oracle, std::span<const net::Ipv4Address> addrs);
+
+}  // namespace lina::strategy

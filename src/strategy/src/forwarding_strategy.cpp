@@ -1,0 +1,161 @@
+#include "lina/strategy/forwarding_strategy.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lina::strategy {
+
+std::string_view strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBestPort:
+      return "best-port";
+    case StrategyKind::kControlledFlooding:
+      return "controlled-flooding";
+    case StrategyKind::kHistoryUnion:
+      return "history-union";
+  }
+  throw std::invalid_argument("strategy_name: unknown kind");
+}
+
+std::set<routing::Port> eligible_ports(
+    const PortOracle& oracle, std::span<const net::Ipv4Address> addrs) {
+  std::set<routing::Port> ports;
+  for (const net::Ipv4Address addr : addrs) {
+    const auto port = oracle.port_for(addr);
+    if (port.has_value()) ports.insert(*port);
+  }
+  return ports;
+}
+
+std::optional<routing::FibEntry> best_entry(
+    const PortOracle& oracle, std::span<const net::Ipv4Address> addrs) {
+  std::optional<routing::FibEntry> best;
+  for (const net::Ipv4Address addr : addrs) {
+    const auto hit = oracle.entry_for(addr);
+    if (!hit.has_value()) continue;
+    if (!best.has_value() || routing::entry_preferred(*hit, *best)) {
+      best = *hit;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+class BestPortStrategy final : public ForwardingStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const override {
+    return StrategyKind::kBestPort;
+  }
+
+  bool observe(const PortOracle& oracle,
+               std::span<const net::Ipv4Address> addrs) override {
+    const auto best = best_entry(oracle, addrs);
+    std::set<routing::Port> ports;
+    if (best.has_value()) ports.insert(best->port);
+    const bool changed = initialized_ && ports != ports_;
+    ports_ = std::move(ports);
+    initialized_ = true;
+    return changed;
+  }
+
+  [[nodiscard]] const std::set<routing::Port>& current_ports()
+      const override {
+    return ports_;
+  }
+
+  void reset() override {
+    ports_.clear();
+    initialized_ = false;
+  }
+
+ private:
+  std::set<routing::Port> ports_;
+  bool initialized_ = false;
+};
+
+class ControlledFloodingStrategy final : public ForwardingStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const override {
+    return StrategyKind::kControlledFlooding;
+  }
+
+  bool observe(const PortOracle& oracle,
+               std::span<const net::Ipv4Address> addrs) override {
+    std::set<routing::Port> ports = eligible_ports(oracle, addrs);
+    const bool changed = initialized_ && ports != ports_;
+    ports_ = std::move(ports);
+    initialized_ = true;
+    return changed;
+  }
+
+  [[nodiscard]] const std::set<routing::Port>& current_ports()
+      const override {
+    return ports_;
+  }
+
+  void reset() override {
+    ports_.clear();
+    initialized_ = false;
+  }
+
+ private:
+  std::set<routing::Port> ports_;
+  bool initialized_ = false;
+};
+
+class HistoryUnionStrategy final : public ForwardingStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const override {
+    return StrategyKind::kHistoryUnion;
+  }
+
+  bool observe(const PortOracle& oracle,
+               std::span<const net::Ipv4Address> addrs) override {
+    // FIB state is computed over the union of every address ever observed
+    // (§3.3.3), so the port set can only grow; an update happens only when
+    // a genuinely new network location adds a new port.
+    for (const net::Ipv4Address addr : addrs) history_.insert(addr.value());
+    std::set<routing::Port> ports;
+    for (const std::uint32_t raw : history_) {
+      const auto port = oracle.port_for(net::Ipv4Address(raw));
+      if (port.has_value()) ports.insert(*port);
+    }
+    const bool changed = initialized_ && ports != ports_;
+    ports_ = std::move(ports);
+    initialized_ = true;
+    return changed;
+  }
+
+  [[nodiscard]] const std::set<routing::Port>& current_ports()
+      const override {
+    return ports_;
+  }
+
+  void reset() override {
+    history_.clear();
+    ports_.clear();
+    initialized_ = false;
+  }
+
+ private:
+  std::unordered_set<std::uint32_t> history_;
+  std::set<routing::Port> ports_;
+  bool initialized_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ForwardingStrategy> make_strategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBestPort:
+      return std::make_unique<BestPortStrategy>();
+    case StrategyKind::kControlledFlooding:
+      return std::make_unique<ControlledFloodingStrategy>();
+    case StrategyKind::kHistoryUnion:
+      return std::make_unique<HistoryUnionStrategy>();
+  }
+  throw std::invalid_argument("make_strategy: unknown kind");
+}
+
+}  // namespace lina::strategy

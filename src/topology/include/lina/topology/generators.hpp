@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "lina/stats/rng.hpp"
+#include "lina/topology/graph.hpp"
+
+namespace lina::topology {
+
+/// Deterministic generators for the §5 analytic topologies plus standard
+/// random-graph families used for robustness sweeps.
+
+/// Routers 0-1-2-...-(n-1) in a line (Figure 5). Requires n >= 1.
+[[nodiscard]] Graph make_chain(std::size_t n);
+
+/// Complete graph on n nodes. Requires n >= 1.
+[[nodiscard]] Graph make_clique(std::size_t n);
+
+/// Hub node 0 with n-1 leaves. Requires n >= 1.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// Complete binary tree with n nodes, heap-indexed (children of i are
+/// 2i+1, 2i+2). Requires n >= 1.
+[[nodiscard]] Graph make_binary_tree(std::size_t n);
+
+/// rows x cols grid. Requires rows, cols >= 1.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// Erdos-Renyi G(n, p), conditioned on connectivity by adding a random
+/// spanning tree first. Requires n >= 1, p in [0, 1].
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p,
+                                     stats::Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new node attaches to `m`
+/// existing nodes. Produces the heavy-tailed degree distribution typical of
+/// router-level Internet graphs. Requires n >= m + 1, m >= 1.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                         stats::Rng& rng);
+
+}  // namespace lina::topology

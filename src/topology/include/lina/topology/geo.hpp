@@ -1,0 +1,23 @@
+#pragma once
+
+namespace lina::topology {
+
+/// A point on the globe; used to place ASes and vantage routers so that the
+/// latency model (DESIGN.md substitution for iPlane) can compute
+/// distance-proportional delays.
+struct GeoPoint {
+  double latitude_deg = 0.0;   // [-90, 90]
+  double longitude_deg = 0.0;  // [-180, 180]
+};
+
+/// Great-circle distance in kilometers (haversine; mean Earth radius).
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay in milliseconds for a great-circle path,
+/// assuming light in fiber (~2/3 c) and a route-inflation factor that
+/// accounts for paths not following geodesics (default 1.6, a conventional
+/// fit to measured Internet RTTs).
+[[nodiscard]] double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                                          double inflation = 1.6);
+
+}  // namespace lina::topology

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lina::topology {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (unreachable destinations, missing parents).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// An undirected weighted graph stored as adjacency lists.
+///
+/// This is the substrate for the analytic-model topologies (§5: chain,
+/// clique, tree, star) and for router-level simulations. Node ids are dense
+/// integers [0, node_count()). Edges carry a positive weight (hop metrics
+/// use weight 1).
+class Graph {
+ public:
+  struct Edge {
+    NodeId to;
+    double weight;
+  };
+
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge. Throws on self-loops, out-of-range ids,
+  /// non-positive weights, or duplicate edges.
+  void add_edge(NodeId a, NodeId b, double weight = 1.0);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Weight of edge (a, b); throws if absent.
+  [[nodiscard]] double edge_weight(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId node) const;
+  [[nodiscard]] std::size_t degree(NodeId node) const;
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// True iff every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace lina::topology

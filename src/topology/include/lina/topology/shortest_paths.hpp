@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "lina/topology/graph.hpp"
+
+namespace lina::topology {
+
+/// Single-source shortest-path tree.
+///
+/// Ties are broken deterministically in favor of the lower-id predecessor so
+/// that forwarding "ports" are stable across runs — essential because the
+/// update-cost methodology compares ports before and after mobility events.
+struct SsspTree {
+  NodeId source = kNoNode;
+  std::vector<double> distance;   // distance[v]; +inf if unreachable
+  std::vector<NodeId> parent;     // predecessor toward source; kNoNode at src
+  std::vector<NodeId> first_hop;  // first hop from source toward v; source at v==source
+};
+
+/// Dijkstra with deterministic tie-breaking. Throws on out-of-range source.
+[[nodiscard]] SsspTree dijkstra(const Graph& graph, NodeId source);
+
+/// All-pairs next-hop and distance tables, built by running Dijkstra from
+/// every node. next_hop(u, v) is the neighbor of u on the (deterministic)
+/// shortest path toward v — i.e. u's forwarding "port" for an endpoint
+/// attached at v, the quantity the §5 name-based-routing analysis compares
+/// across mobility events.
+class AllPairsShortestPaths {
+ public:
+  explicit AllPairsShortestPaths(const Graph& graph);
+
+  [[nodiscard]] double distance(NodeId u, NodeId v) const;
+
+  /// The forwarding port at u for destination v; u itself for v == u
+  /// (the "local port"); kNoNode if unreachable.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t node_count() const { return trees_.size(); }
+
+  /// Largest finite pairwise distance.
+  [[nodiscard]] double diameter() const;
+
+ private:
+  std::vector<SsspTree> trees_;
+};
+
+}  // namespace lina::topology

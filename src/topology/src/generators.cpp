@@ -1,0 +1,113 @@
+#include "lina/topology/generators.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lina::topology {
+
+Graph make_chain(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_chain: n == 0");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph make_clique(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_clique: n == 0");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_star: n == 0");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph make_binary_tree(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_binary_tree: n == 0");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("make_grid: empty dimension");
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, stats::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_erdos_renyi: n == 0");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("make_erdos_renyi: p out of [0,1]");
+  Graph g(n);
+  // Random spanning tree guarantees connectivity: attach each node to a
+  // uniformly random earlier node.
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.index(i)), static_cast<NodeId>(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto a = static_cast<NodeId>(i);
+      const auto b = static_cast<NodeId>(j);
+      if (!g.has_edge(a, b) && rng.chance(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, stats::Rng& rng) {
+  if (m == 0) throw std::invalid_argument("make_barabasi_albert: m == 0");
+  if (n < m + 1)
+    throw std::invalid_argument("make_barabasi_albert: n < m + 1");
+  Graph g(n);
+  // Seed: star over the first m+1 nodes.
+  std::vector<NodeId> endpoint_pool;  // node repeated once per incident edge
+  for (std::size_t i = 1; i <= m; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+    endpoint_pool.push_back(0);
+    endpoint_pool.push_back(static_cast<NodeId>(i));
+  }
+  for (std::size_t i = m + 1; i < n; ++i) {
+    const auto node = static_cast<NodeId>(i);
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId candidate = endpoint_pool[rng.index(endpoint_pool.size())];
+      if (candidate != node && !g.has_edge(node, candidate)) {
+        targets.push_back(candidate);
+        g.add_edge(node, candidate);
+      }
+    }
+    for (const NodeId t : targets) {
+      endpoint_pool.push_back(t);
+      endpoint_pool.push_back(node);
+    }
+  }
+  return g;
+}
+
+}  // namespace lina::topology

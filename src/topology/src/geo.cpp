@@ -1,0 +1,30 @@
+#include "lina/topology/geo.hpp"
+
+#include <cmath>
+
+namespace lina::topology {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+// Speed of light in fiber: ~200,000 km/s => 200 km/ms.
+constexpr double kFiberKmPerMs = 200.0;
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.latitude_deg * kDegToRad;
+  const double lat2 = b.latitude_deg * kDegToRad;
+  const double dlat = lat2 - lat1;
+  const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                            double inflation) {
+  return great_circle_km(a, b) * inflation / kFiberKmPerMs;
+}
+
+}  // namespace lina::topology

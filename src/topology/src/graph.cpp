@@ -1,0 +1,78 @@
+#include "lina/topology/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lina::topology {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::check_node(NodeId node) const {
+  if (node >= adjacency_.size())
+    throw std::out_of_range("Graph: node id out of range");
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double weight) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (weight <= 0.0)
+    throw std::invalid_argument("Graph::add_edge: non-positive weight");
+  if (has_edge(a, b))
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& adj = adjacency_[a];
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+double Graph::edge_weight(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  for (const Edge& e : adjacency_[a]) {
+    if (e.to == b) return e.weight;
+  }
+  throw std::invalid_argument("Graph::edge_weight: no such edge");
+}
+
+std::span<const Graph::Edge> Graph::neighbors(NodeId node) const {
+  check_node(node);
+  return adjacency_[node];
+}
+
+std::size_t Graph::degree(NodeId node) const {
+  check_node(node);
+  return adjacency_[node].size();
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Edge& e : adjacency_[u]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace lina::topology

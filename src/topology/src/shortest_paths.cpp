@@ -1,0 +1,82 @@
+#include "lina/topology/shortest_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lina::topology {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SsspTree dijkstra(const Graph& graph, NodeId source) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) throw std::out_of_range("dijkstra: source out of range");
+
+  SsspTree tree;
+  tree.source = source;
+  tree.distance.assign(n, kInf);
+  tree.parent.assign(n, kNoNode);
+  tree.first_hop.assign(n, kNoNode);
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  tree.distance[source] = 0.0;
+  tree.first_hop[source] = source;
+  queue.push({0.0, source});
+
+  std::vector<bool> done(n, false);
+  while (!queue.empty()) {
+    const auto [dist, u] = queue.top();
+    queue.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (const Graph::Edge& e : graph.neighbors(u)) {
+      const double candidate = dist + e.weight;
+      const bool better = candidate < tree.distance[e.to];
+      // Deterministic tie-break: equal distance, lower-id parent wins.
+      const bool tie_win =
+          candidate == tree.distance[e.to] && u < tree.parent[e.to];
+      if (better || tie_win) {
+        tree.distance[e.to] = candidate;
+        tree.parent[e.to] = u;
+        tree.first_hop[e.to] = (u == source) ? e.to : tree.first_hop[u];
+        if (better) queue.push({candidate, e.to});
+      }
+    }
+  }
+  return tree;
+}
+
+AllPairsShortestPaths::AllPairsShortestPaths(const Graph& graph) {
+  trees_.reserve(graph.node_count());
+  for (std::size_t u = 0; u < graph.node_count(); ++u) {
+    trees_.push_back(dijkstra(graph, static_cast<NodeId>(u)));
+  }
+}
+
+double AllPairsShortestPaths::distance(NodeId u, NodeId v) const {
+  if (u >= trees_.size() || v >= trees_.size())
+    throw std::out_of_range("AllPairsShortestPaths::distance");
+  return trees_[u].distance[v];
+}
+
+NodeId AllPairsShortestPaths::next_hop(NodeId u, NodeId v) const {
+  if (u >= trees_.size() || v >= trees_.size())
+    throw std::out_of_range("AllPairsShortestPaths::next_hop");
+  return trees_[u].first_hop[v];
+}
+
+double AllPairsShortestPaths::diameter() const {
+  double best = 0.0;
+  for (const SsspTree& tree : trees_) {
+    for (const double d : tree.distance) {
+      if (d != kInf) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace lina::topology

@@ -1,0 +1,77 @@
+#include "lina/analytic/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lina::analytic {
+namespace {
+
+TEST(ClosedFormsTest, ChainStretchExactFormula) {
+  // (n^2 - 1) / 3n from §5.1.1; asymptotically n/3.
+  EXPECT_NEAR(chain_indirection_stretch(2), 0.5, 1e-12);
+  EXPECT_NEAR(chain_indirection_stretch(10), 3.3, 1e-12);
+  EXPECT_NEAR(chain_indirection_stretch(1000), 1000.0 / 3.0, 0.2);
+}
+
+TEST(ClosedFormsTest, ChainUpdateCostExactFormula) {
+  // Asymptotically 1/3 (paper §5.1.2); exact per-router-consistent form
+  // (n^2 + 3n - 4) / 3n^2 — see closed_forms.cpp for the 1/n^2 erratum.
+  EXPECT_NEAR(chain_name_based_update_cost(1000), 1.0 / 3.0, 0.002);
+  // n = 2: (4 + 6 - 4) / 12 = 0.5.
+  EXPECT_NEAR(chain_name_based_update_cost(2), 0.5, 1e-12);
+}
+
+TEST(ClosedFormsTest, RejectsZero) {
+  EXPECT_THROW((void)chain_indirection_stretch(0), std::invalid_argument);
+  EXPECT_THROW((void)chain_name_based_update_cost(0), std::invalid_argument);
+  EXPECT_THROW((void)paper_table1(1), std::invalid_argument);
+}
+
+TEST(ClosedFormsTest, Table1RowsAndValues) {
+  const auto table = paper_table1(1023);
+  ASSERT_EQ(table.size(), 4u);
+
+  EXPECT_EQ(table[0].topology, "chain");
+  EXPECT_NEAR(table[0].indirection_stretch, 1023.0 / 3.0, 0.5);
+  EXPECT_NEAR(table[0].indirection_update_cost, 1.0 / 1023.0, 1e-9);
+  EXPECT_DOUBLE_EQ(table[0].name_based_stretch, 0.0);
+  EXPECT_NEAR(table[0].name_based_update_cost, 1.0 / 3.0, 0.01);
+
+  EXPECT_EQ(table[1].topology, "clique");
+  EXPECT_DOUBLE_EQ(table[1].indirection_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(table[1].name_based_update_cost, 1.0);
+
+  EXPECT_EQ(table[2].topology, "binary tree");
+  EXPECT_NEAR(table[2].indirection_stretch, 2.0 * std::log2(1023.0), 1e-9);
+  EXPECT_NEAR(table[2].name_based_update_cost,
+              2.0 * std::log2(1023.0) / 1022.0, 1e-9);
+
+  EXPECT_EQ(table[3].topology, "star");
+  EXPECT_DOUBLE_EQ(table[3].indirection_stretch, 2.0);
+  EXPECT_NEAR(table[3].name_based_update_cost, 1.0 / 1024.0, 1e-9);
+}
+
+TEST(ClosedFormsTest, AllRowsIndirectionUpdateIsOneRouter) {
+  for (const std::size_t n : {15u, 63u, 255u}) {
+    for (const Table1Row& row : paper_table1(n)) {
+      EXPECT_NEAR(row.indirection_update_cost, 1.0 / static_cast<double>(n),
+                  1e-12)
+          << row.topology;
+      EXPECT_DOUBLE_EQ(row.name_based_stretch, 0.0) << row.topology;
+    }
+  }
+}
+
+TEST(ClosedFormsTest, TradeoffDirectionHolds) {
+  // The table's qualitative content: indirection trades stretch for cheap
+  // updates; name-based routing trades updates for zero stretch.
+  for (const Table1Row& row : paper_table1(255)) {
+    EXPECT_GT(row.indirection_stretch, row.name_based_stretch)
+        << row.topology;
+    EXPECT_GT(row.name_based_update_cost, 0.0) << row.topology;
+  }
+}
+
+}  // namespace
+}  // namespace lina::analytic

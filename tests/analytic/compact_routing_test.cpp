@@ -1,0 +1,129 @@
+#include "lina/analytic/compact_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lina/topology/generators.hpp"
+
+namespace lina::analytic {
+namespace {
+
+using topology::NodeId;
+
+TEST(CompactRoutingTest, RejectsBadGraphs) {
+  topology::Graph disconnected(3);
+  disconnected.add_edge(0, 1);
+  EXPECT_THROW(CompactRoutingScheme{disconnected}, std::invalid_argument);
+  EXPECT_THROW(CompactRoutingScheme{topology::Graph{}},
+               std::invalid_argument);
+}
+
+TEST(CompactRoutingTest, LandmarkCountDefaultsToSqrtScale) {
+  const auto graph = topology::make_grid(10, 10);
+  const CompactRoutingScheme scheme(graph);
+  const double expected =
+      std::sqrt(100.0 * std::log(100.0));
+  EXPECT_NEAR(static_cast<double>(scheme.landmarks().size()), expected, 2.0);
+  for (const NodeId l : scheme.landmarks()) {
+    EXPECT_TRUE(scheme.is_landmark(l));
+  }
+}
+
+TEST(CompactRoutingTest, NearestLandmarkIsNearest) {
+  stats::Rng rng(2);
+  const auto graph = topology::make_erdos_renyi(60, 0.08, rng);
+  const CompactRoutingScheme scheme(graph);
+  const topology::AllPairsShortestPaths paths(graph);
+  for (NodeId v = 0; v < graph.node_count(); v += 7) {
+    const double to_nearest = paths.distance(v, scheme.nearest_landmark(v));
+    for (const NodeId l : scheme.landmarks()) {
+      EXPECT_LE(to_nearest, paths.distance(v, l));
+    }
+  }
+}
+
+TEST(CompactRoutingTest, RoutingReachesEveryDestination) {
+  stats::Rng rng(3);
+  const auto graph = topology::make_erdos_renyi(50, 0.1, rng);
+  const CompactRoutingScheme scheme(graph);
+  for (NodeId u = 0; u < graph.node_count(); u += 3) {
+    for (NodeId v = 0; v < graph.node_count(); v += 5) {
+      if (u == v) {
+        EXPECT_EQ(scheme.route_length(u, v), 0u);
+        continue;
+      }
+      EXPECT_GE(scheme.route_length(u, v), 1u);
+    }
+  }
+}
+
+// The headline property: worst-case multiplicative stretch <= 3.
+class CompactRoutingStretchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactRoutingStretchTest, StretchAtMostThree) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) + 10);
+  const auto graph = topology::make_erdos_renyi(70, 0.06, rng);
+  const CompactRoutingScheme scheme(
+      graph, {.landmark_count = 0,
+              .seed = static_cast<std::uint64_t>(GetParam())});
+  const topology::AllPairsShortestPaths paths(graph);
+  for (NodeId u = 0; u < graph.node_count(); u += 2) {
+    for (NodeId v = 0; v < graph.node_count(); v += 3) {
+      if (u == v) continue;
+      EXPECT_LE(static_cast<double>(scheme.route_length(u, v)),
+                3.0 * paths.distance(u, v) + 1e-9)
+          << u << " -> " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactRoutingStretchTest,
+                         ::testing::Range(0, 4));
+
+TEST(CompactRoutingTest, TablesAreCompact) {
+  stats::Rng rng(5);
+  const auto graph = topology::make_barabasi_albert(300, 2, rng);
+  const CompactRoutingScheme scheme(graph);
+  // Far fewer than n entries on average (the whole point of §2.1).
+  EXPECT_LT(scheme.average_table_size(),
+            static_cast<double>(graph.node_count()) / 2.0);
+  EXPECT_GE(scheme.average_table_size(),
+            static_cast<double>(scheme.landmarks().size()));
+}
+
+TEST(CompactRoutingTest, UpdateFractionIsSubLinear) {
+  stats::Rng rng(6);
+  const auto graph = topology::make_barabasi_albert(300, 2, rng);
+  const CompactRoutingScheme scheme(graph);
+  const auto summary = scheme.evaluate(400, rng);
+  // Mobility touches far fewer routers than pure name-based routing's
+  // global update, but more than a home agent's single node.
+  EXPECT_LT(summary.avg_update_fraction, 0.5);
+  EXPECT_GT(summary.avg_update_fraction, 1.0 / 300.0);
+  EXPECT_LE(summary.max_stretch, 3.0 + 1e-9);
+  EXPECT_GE(summary.avg_stretch, 1.0);
+}
+
+TEST(CompactRoutingTest, AllLandmarksDegeneratesToShortestPath) {
+  const auto graph = topology::make_grid(6, 6);
+  const CompactRoutingScheme scheme(graph, {.landmark_count = 36, .seed = 1});
+  const topology::AllPairsShortestPaths paths(graph);
+  for (NodeId u = 0; u < 36; u += 5) {
+    for (NodeId v = 0; v < 36; v += 7) {
+      if (u == v) continue;
+      EXPECT_DOUBLE_EQ(static_cast<double>(scheme.route_length(u, v)),
+                       paths.distance(u, v));
+    }
+  }
+}
+
+TEST(CompactRoutingTest, EvaluateRejectsZeroSamples) {
+  const auto graph = topology::make_grid(4, 4);
+  const CompactRoutingScheme scheme(graph);
+  stats::Rng rng(1);
+  EXPECT_THROW((void)scheme.evaluate(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::analytic

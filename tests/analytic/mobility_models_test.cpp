@@ -1,0 +1,140 @@
+#include "lina/analytic/mobility_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lina/analytic/tradeoff.hpp"
+#include "lina/topology/generators.hpp"
+
+namespace lina::analytic {
+namespace {
+
+using topology::NodeId;
+
+std::vector<NodeId> nodes(std::size_t n) {
+  std::vector<NodeId> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+TEST(MobilityModelsTest, UniformJumpCoversAllAttachments) {
+  const auto model = make_uniform_jump_model();
+  EXPECT_EQ(model->name(), "uniform-jump");
+  stats::Rng rng(1);
+  const auto attachments = nodes(5);
+  std::map<NodeId, int> counts;
+  NodeId current = model->initial(attachments, rng);
+  for (int i = 0; i < 5000; ++i) {
+    current = model->next(current, attachments, rng);
+    ++counts[current];
+  }
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [_, count] : counts) {
+    EXPECT_NEAR(count / 5000.0, 0.2, 0.03);
+  }
+}
+
+TEST(MobilityModelsTest, StickyStaysAtConfiguredRate) {
+  const auto model = make_sticky_model(0.8);
+  stats::Rng rng(2);
+  const auto attachments = nodes(10);
+  NodeId current = model->initial(attachments, rng);
+  int stays = 0;
+  const int steps = 10000;
+  for (int i = 0; i < steps; ++i) {
+    const NodeId next = model->next(current, attachments, rng);
+    if (next == current) ++stays;
+    current = next;
+  }
+  // stay prob 0.8 plus 0.2 * 1/10 accidental self-jumps.
+  EXPECT_NEAR(static_cast<double>(stays) / steps, 0.82, 0.02);
+}
+
+TEST(MobilityModelsTest, StickyRejectsBadStay) {
+  EXPECT_THROW((void)make_sticky_model(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)make_sticky_model(1.0), std::invalid_argument);
+}
+
+TEST(MobilityModelsTest, PreferentialFavorsLowRanks) {
+  const auto model = make_preferential_model(1.2);
+  stats::Rng rng(3);
+  const auto attachments = nodes(8);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[model->next(0, attachments, rng)];
+  }
+  EXPECT_GT(counts[0], counts[7] * 3);
+}
+
+TEST(MobilityModelsTest, PreferentialRejectsNegativeExponent) {
+  EXPECT_THROW((void)make_preferential_model(-1.0), std::invalid_argument);
+}
+
+TEST(MobilityModelsTest, NeighborWalkMovesAlongEdges) {
+  const auto graph = topology::make_chain(6);
+  const auto model = make_neighbor_walk_model(graph);
+  stats::Rng rng(4);
+  const auto attachments = nodes(6);
+  NodeId current = 2;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId next = model->next(current, attachments, rng);
+    EXPECT_TRUE(graph.has_edge(current, next));
+    current = next;
+  }
+}
+
+TEST(MobilityModelsTest, NeighborWalkStaysWhenIsolated) {
+  const auto graph = topology::make_chain(6);
+  const auto model = make_neighbor_walk_model(graph);
+  stats::Rng rng(4);
+  // Only node 0 is an attachment point: from 0, no attached neighbor.
+  const std::vector<NodeId> only_zero{0};
+  EXPECT_EQ(model->next(0, only_zero, rng), 0u);
+}
+
+TEST(MobilityModelsTest, EmptyAttachmentsThrow) {
+  stats::Rng rng(5);
+  EXPECT_THROW((void)make_uniform_jump_model()->initial({}, rng),
+               std::invalid_argument);
+}
+
+TEST(SimulateWithModelsTest, UniformJumpMatchesPlainSimulate) {
+  const analytic::TradeoffAnalyzer analyzer(topology::make_chain(21));
+  stats::Rng rng1(9);
+  stats::Rng rng2(9);
+  const auto plain = analyzer.simulate(8000, rng1);
+  const auto with_model =
+      analyzer.simulate_with(*make_uniform_jump_model(), 8000, rng2);
+  EXPECT_DOUBLE_EQ(plain.name_based_update_cost,
+                   with_model.name_based_update_cost);
+}
+
+TEST(SimulateWithModelsTest, StickyReducesPerEventCost) {
+  // Self-transitions never displace a router, so per-event update cost
+  // falls as the stay probability rises.
+  const analytic::TradeoffAnalyzer analyzer(topology::make_chain(31));
+  stats::Rng rng(11);
+  const auto jumpy =
+      analyzer.simulate_with(*make_uniform_jump_model(), 20000, rng);
+  const auto sticky =
+      analyzer.simulate_with(*make_sticky_model(0.8), 20000, rng);
+  EXPECT_LT(sticky.name_based_update_cost,
+            jumpy.name_based_update_cost / 2.0);
+}
+
+TEST(SimulateWithModelsTest, NeighborWalkCostsLessThanTeleporting) {
+  // Adjacent moves displace only routers near the boundary; uniform jumps
+  // displace everything between two random points.
+  const auto graph = topology::make_chain(41);
+  const analytic::TradeoffAnalyzer analyzer(graph);
+  stats::Rng rng(13);
+  const auto teleport =
+      analyzer.simulate_with(*make_uniform_jump_model(), 20000, rng);
+  const auto walk =
+      analyzer.simulate_with(*make_neighbor_walk_model(graph), 20000, rng);
+  EXPECT_LT(walk.name_based_update_cost, teleport.name_based_update_cost);
+}
+
+}  // namespace
+}  // namespace lina::analytic

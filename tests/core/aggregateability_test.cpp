@@ -1,0 +1,81 @@
+#include "lina/core/aggregateability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_content_catalog;
+using lina::testing::shared_internet;
+
+TEST(AggregateabilityResultTest, RatioArithmetic) {
+  const AggregateabilityResult r{"x", 100, 20};
+  EXPECT_DOUBLE_EQ(r.ratio(), 5.0);
+  const AggregateabilityResult zero{"x", 0, 0};
+  EXPECT_DOUBLE_EQ(zero.ratio(), 0.0);
+}
+
+TEST(AggregateabilityTest, OneRowPerRouter) {
+  const auto results = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().popular);
+  EXPECT_EQ(results.size(), shared_internet().vantages().size());
+}
+
+TEST(AggregateabilityTest, CompressedNeverExceedsComplete) {
+  const auto results = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().popular);
+  for (const auto& r : results) {
+    EXPECT_LE(r.lpm_entries, r.complete_entries) << r.router;
+    EXPECT_GE(r.lpm_entries, 1u) << r.router;
+  }
+}
+
+TEST(AggregateabilityTest, PopularContentAggregatesSubstantially) {
+  // Figure 12: aggregateability between 2x and 16x across routers.
+  const auto results = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().popular);
+  double max_ratio = 0.0;
+  for (const auto& r : results) {
+    EXPECT_GT(r.ratio(), 1.0) << r.router;
+    max_ratio = std::max(max_ratio, r.ratio());
+  }
+  EXPECT_GT(max_ratio, 2.0);
+}
+
+TEST(AggregateabilityTest, UnpopularContentBarelyAggregates) {
+  // §7.3: unpopular domains have hardly any subdomains, so content routers
+  // nominally store one entry per name.
+  const auto popular = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().popular);
+  const auto unpopular = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().unpopular);
+  for (std::size_t i = 0; i < popular.size(); ++i) {
+    EXPECT_GT(popular[i].ratio(), unpopular[i].ratio())
+        << popular[i].router;
+    EXPECT_LT(unpopular[i].ratio(), 1.6) << unpopular[i].router;
+  }
+}
+
+TEST(AggregateabilityTest, CompleteTableCountsRoutedNames) {
+  const auto results = evaluate_aggregateability(
+      shared_internet().vantages(), shared_content_catalog().popular);
+  // Every catalog address is announced, so every name must be present.
+  for (const auto& r : results) {
+    EXPECT_EQ(r.complete_entries, shared_content_catalog().popular.size())
+        << r.router;
+  }
+}
+
+TEST(AggregateabilityTest, EmptyCatalog) {
+  const auto results =
+      evaluate_aggregateability(shared_internet().vantages(), {});
+  for (const auto& r : results) {
+    EXPECT_EQ(r.complete_entries, 0u);
+    EXPECT_EQ(r.lpm_entries, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lina::core

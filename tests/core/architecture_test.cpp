@@ -1,0 +1,95 @@
+#include "lina/core/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_content_catalog;
+using lina::testing::shared_device_traces;
+using lina::testing::shared_internet;
+
+TEST(ArchitectureNameTest, AllKindsNamed) {
+  EXPECT_EQ(architecture_name(ArchitectureKind::kIndirectionRouting),
+            "indirection routing");
+  EXPECT_EQ(architecture_name(ArchitectureKind::kNameResolution),
+            "name resolution");
+  EXPECT_EQ(architecture_name(ArchitectureKind::kNameBasedRouting),
+            "name-based routing");
+}
+
+const std::vector<ArchitectureAssessment>& device_assessments() {
+  static const std::vector<ArchitectureAssessment> result = [] {
+    const ArchitectureComparison comparison(shared_internet(),
+                                            shared_internet().vantages());
+    return comparison.assess_devices(shared_device_traces());
+  }();
+  return result;
+}
+
+TEST(ArchitectureComparisonTest, ThreeAssessments) {
+  ASSERT_EQ(device_assessments().size(), 3u);
+  EXPECT_EQ(device_assessments()[0].kind,
+            ArchitectureKind::kIndirectionRouting);
+  EXPECT_EQ(device_assessments()[1].kind, ArchitectureKind::kNameResolution);
+  EXPECT_EQ(device_assessments()[2].kind,
+            ArchitectureKind::kNameBasedRouting);
+}
+
+TEST(ArchitectureComparisonTest, IndirectionTradesStretchForCheapUpdates) {
+  const auto& indirection = device_assessments()[0];
+  EXPECT_DOUBLE_EQ(indirection.nodes_updated_per_event, 1.0);
+  EXPECT_GT(indirection.mean_extra_delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(indirection.connection_setup_ms, 0.0);
+}
+
+TEST(ArchitectureComparisonTest, NameResolutionPaysOnlySetupLatency) {
+  const auto& resolution = device_assessments()[1];
+  EXPECT_DOUBLE_EQ(resolution.nodes_updated_per_event, 1.0);
+  EXPECT_DOUBLE_EQ(resolution.mean_extra_delay_ms, 0.0);
+  EXPECT_GT(resolution.connection_setup_ms, 0.0);
+}
+
+TEST(ArchitectureComparisonTest, NameBasedPaysUpdatesAndState) {
+  const auto& name_based = device_assessments()[2];
+  EXPECT_GT(name_based.nodes_updated_per_event, 1.0);
+  EXPECT_DOUBLE_EQ(name_based.mean_extra_delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(name_based.connection_setup_ms, 0.0);
+  // Extra displaced-device entries on top of the base prefix table.
+  EXPECT_GT(name_based.forwarding_entries,
+            device_assessments()[0].forwarding_entries);
+}
+
+TEST(ArchitectureComparisonTest, ContentAssessmentsFavorNameBased) {
+  const ArchitectureComparison comparison(shared_internet(),
+                                          shared_internet().vantages());
+  const auto content = comparison.assess_content(
+      shared_content_catalog().popular, strategy::StrategyKind::kBestPort);
+  ASSERT_EQ(content.size(), 3u);
+  const auto device_nbr = device_assessments()[2].nodes_updated_per_event;
+  const auto content_nbr = content[2].nodes_updated_per_event;
+  // Key finding: name-based routing is far cheaper for content than for
+  // devices.
+  EXPECT_LT(content_nbr, device_nbr);
+  // Name-based content tables benefit from LPM aggregation: fewer entries
+  // than one per name.
+  EXPECT_LT(content[2].forwarding_entries,
+            static_cast<double>(shared_content_catalog().popular.size()));
+}
+
+TEST(ArchitectureComparisonTest, FloodingCostsMoreThanBestPort) {
+  const ArchitectureComparison comparison(shared_internet(),
+                                          shared_internet().vantages());
+  const auto best = comparison.assess_content(
+      shared_content_catalog().popular, strategy::StrategyKind::kBestPort);
+  const auto flooding = comparison.assess_content(
+      shared_content_catalog().popular,
+      strategy::StrategyKind::kControlledFlooding);
+  EXPECT_GE(flooding[2].nodes_updated_per_event,
+            best[2].nodes_updated_per_event);
+}
+
+}  // namespace
+}  // namespace lina::core

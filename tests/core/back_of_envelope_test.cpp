@@ -1,0 +1,53 @@
+#include "lina/core/back_of_envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::core {
+namespace {
+
+TEST(BackOfEnvelopeTest, PaperDeviceMedianNumbers) {
+  // §6.2: 2B devices x 3 moves/day x 3% -> ~2.1K updates/sec.
+  const UpdateLoadEstimate median = device_scale_estimate();
+  EXPECT_NEAR(median.updates_per_second(), 2083.0, 1.0);
+}
+
+TEST(BackOfEnvelopeTest, PaperDeviceMeanNumbers) {
+  // §6.2: 2B devices x 7 moves/day x 3% -> ~4.8K updates/sec.
+  const UpdateLoadEstimate mean = device_scale_estimate(2e9, 7.0, 0.03);
+  EXPECT_NEAR(mean.updates_per_second(), 4861.0, 1.0);
+}
+
+TEST(BackOfEnvelopeTest, PaperContentNumbers) {
+  // §7.3: 1B names x 2/day x 0.5% -> at most ~100 updates/sec.
+  const UpdateLoadEstimate content = content_scale_estimate();
+  EXPECT_NEAR(content.updates_per_second(), 115.7, 1.0);
+  EXPECT_LT(content.updates_per_second(), 120.0);
+}
+
+TEST(BackOfEnvelopeTest, DeviceLoadDwarfsContentLoad) {
+  // The paper's headline comparison: device mobility is prohibitively
+  // expensive for name-based routing, content mobility is not.
+  EXPECT_GT(device_scale_estimate().updates_per_second(),
+            10.0 * content_scale_estimate().updates_per_second());
+}
+
+TEST(BackOfEnvelopeTest, DisplacedEntryFraction) {
+  // §6.2: 3% update likelihood x 30% time away -> ~1% extra entries.
+  EXPECT_NEAR(displaced_entry_fraction(), 0.009, 1e-12);
+  EXPECT_NEAR(displaced_entry_fraction(0.14, 0.3), 0.042, 1e-12);
+  EXPECT_DOUBLE_EQ(displaced_entry_fraction(0.0, 0.5), 0.0);
+}
+
+TEST(BackOfEnvelopeTest, ScalesLinearly) {
+  const double base = device_scale_estimate(1e9, 3.0, 0.03)
+                          .updates_per_second();
+  EXPECT_NEAR(device_scale_estimate(2e9, 3.0, 0.03).updates_per_second(),
+              2.0 * base, 1e-6);
+  EXPECT_NEAR(device_scale_estimate(1e9, 6.0, 0.03).updates_per_second(),
+              2.0 * base, 1e-6);
+  EXPECT_NEAR(device_scale_estimate(1e9, 3.0, 0.06).updates_per_second(),
+              2.0 * base, 1e-6);
+}
+
+}  // namespace
+}  // namespace lina::core

@@ -1,0 +1,77 @@
+#include "lina/core/extent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::core {
+namespace {
+
+using mobility::DeviceTrace;
+using mobility::DeviceVisit;
+
+DeviceVisit visit(double start, double duration, const char* addr,
+                  const char* prefix, topology::AsId as) {
+  return DeviceVisit{start, duration, net::Ipv4Address::parse(addr),
+                     net::Prefix::parse(prefix), as, false};
+}
+
+TEST(ExtentTest, EmptyPopulation) {
+  const ExtentOfMobility extent = analyze_extent({});
+  EXPECT_TRUE(extent.ips_per_day.empty());
+  EXPECT_TRUE(extent.dominant_as_share.empty());
+}
+
+TEST(ExtentTest, SingleStationaryUser) {
+  DeviceTrace trace(0, 2);
+  trace.append(visit(0.0, 48.0, "1.0.0.1", "1.0.0.0/16", 1));
+  const std::vector<DeviceTrace> traces{std::move(trace)};
+  const ExtentOfMobility extent = analyze_extent(traces);
+  EXPECT_DOUBLE_EQ(extent.ips_per_day.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(extent.ip_transitions_per_day.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(extent.dominant_ip_share.quantile(0.5), 1.0);
+  // Figure-9 samples are per user-day: two samples.
+  EXPECT_EQ(extent.dominant_ip_share.size(), 2u);
+  // Figure-6 samples are per user.
+  EXPECT_EQ(extent.ips_per_day.size(), 1u);
+}
+
+TEST(ExtentTest, AveragesOverDays) {
+  // Day 0: two addresses (1 transition); day 1: one address.
+  DeviceTrace trace(0, 2);
+  trace.append(visit(0.0, 12.0, "1.0.0.1", "1.0.0.0/16", 1));
+  trace.append(visit(12.0, 36.0, "2.0.0.1", "2.0.0.0/16", 2));
+  const std::vector<DeviceTrace> traces{std::move(trace)};
+  const ExtentOfMobility extent = analyze_extent(traces);
+  EXPECT_DOUBLE_EQ(extent.ips_per_day.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(extent.ip_transitions_per_day.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(extent.as_transitions_per_day.quantile(0.5), 0.5);
+}
+
+TEST(ExtentTest, PopulationInvariants) {
+  const ExtentOfMobility extent =
+      analyze_extent(lina::testing::shared_device_traces());
+  ASSERT_EQ(extent.ips_per_day.size(),
+            lina::testing::shared_device_traces().size());
+  // Distinct locations per day >= 1 always; shares within (0, 1].
+  EXPECT_GE(extent.ips_per_day.min(), 1.0);
+  EXPECT_GE(extent.ases_per_day.min(), 1.0);
+  EXPECT_GT(extent.dominant_ip_share.min(), 0.0);
+  EXPECT_LE(extent.dominant_ip_share.max(), 1.0 + 1e-9);
+  // Dominant-AS share dominates dominant-IP share at every quantile.
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(extent.dominant_as_share.quantile(q),
+              extent.dominant_prefix_share.quantile(q) - 1e-9);
+    EXPECT_GE(extent.dominant_prefix_share.quantile(q),
+              extent.dominant_ip_share.quantile(q) - 1e-9);
+  }
+}
+
+TEST(ExtentTest, SkipsZeroDayTraces) {
+  const std::vector<DeviceTrace> traces{DeviceTrace(0, 0)};
+  const ExtentOfMobility extent = analyze_extent(traces);
+  EXPECT_TRUE(extent.ips_per_day.empty());
+}
+
+}  // namespace
+}  // namespace lina::core

@@ -1,0 +1,108 @@
+#include "lina/core/fib_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "lina/core/back_of_envelope.hpp"
+#include "lina/core/extent.hpp"
+#include "lina/core/update_cost.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_device_traces;
+using lina::testing::shared_internet;
+
+TEST(FibSizeTest, RejectsBadInputs) {
+  EXPECT_THROW((void)evaluate_displaced_entries(shared_internet().vantages(),
+                                                {}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_displaced_entries(
+                   shared_internet().vantages(), shared_device_traces(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(FibSizeTest, OneTimelinePerRouter) {
+  const auto timelines = evaluate_displaced_entries(
+      shared_internet().vantages(), shared_device_traces(), 6.0);
+  ASSERT_EQ(timelines.size(), shared_internet().vantages().size());
+  for (const auto& timeline : timelines) {
+    EXPECT_EQ(timeline.device_count, shared_device_traces().size());
+    EXPECT_FALSE(timeline.samples.empty());
+    EXPECT_LE(timeline.peak, timeline.device_count);
+    EXPECT_GE(timeline.mean_fraction, 0.0);
+    EXPECT_LE(timeline.mean_fraction, 1.0);
+  }
+}
+
+TEST(FibSizeTest, PeakBoundsEverySample) {
+  const auto timelines = evaluate_displaced_entries(
+      shared_internet().vantages(), shared_device_traces(), 3.0);
+  for (const auto& timeline : timelines) {
+    for (const auto& [hour, displaced] : timeline.samples) {
+      EXPECT_LE(displaced, timeline.peak);
+      EXPECT_GE(hour, 0.0);
+    }
+  }
+}
+
+TEST(FibSizeTest, RemoteRoutersHoldNoExtraState) {
+  // Mauritius/Tokyo never see port differences, so never displaced entries.
+  const auto timelines = evaluate_displaced_entries(
+      shared_internet().vantages(), shared_device_traces(), 6.0);
+  for (const auto& timeline : timelines) {
+    if (timeline.router == "Mauritius" || timeline.router == "Tokyo") {
+      EXPECT_EQ(timeline.peak, 0u) << timeline.router;
+      EXPECT_DOUBLE_EQ(timeline.mean_fraction, 0.0);
+    }
+  }
+}
+
+TEST(FibSizeTest, MeanTracksUpdateRateTimesAwayShare) {
+  // The §6.2 back-of-the-envelope: displaced fraction ~ update rate x time
+  // away from the dominant address. Verify the empirical mean is the same
+  // order of magnitude as the estimate at the busiest router.
+  const DeviceUpdateCostEvaluator update_eval(shared_internet().vantages());
+  const auto update_stats = update_eval.evaluate(shared_device_traces());
+  const auto extent = analyze_extent(shared_device_traces());
+  const double away = 1.0 - extent.dominant_ip_share.quantile(0.5);
+
+  const auto timelines = evaluate_displaced_entries(
+      shared_internet().vantages(), shared_device_traces(), 2.0);
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    const double estimate =
+        displaced_entry_fraction(update_stats[i].rate(), away);
+    if (estimate < 0.005) continue;  // skip near-zero routers
+    EXPECT_GT(timelines[i].mean_fraction, estimate / 6.0)
+        << timelines[i].router;
+    EXPECT_LT(timelines[i].mean_fraction, estimate * 6.0)
+        << timelines[i].router;
+  }
+}
+
+TEST(FibSizeTest, StationaryPopulationNeverDisplaced) {
+  stats::Rng rng(3);
+  std::vector<mobility::DeviceTrace> traces;
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    const auto as = shared_internet().edge_ases()[u];
+    const auto addr = shared_internet().random_address_in(as, rng);
+    mobility::DeviceTrace trace(u, 2);
+    trace.append({0.0, 48.0, addr, shared_internet().prefix_of(addr), as,
+                  false});
+    traces.push_back(std::move(trace));
+  }
+  const auto timelines = evaluate_displaced_entries(
+      shared_internet().vantages(), traces, 12.0);
+  for (const auto& timeline : timelines) {
+    EXPECT_EQ(timeline.peak, 0u) << timeline.router;
+  }
+}
+
+TEST(FibSizeTest, ProjectionScalesLinearly) {
+  DisplacedEntryTimeline timeline;
+  timeline.mean_fraction = 0.01;
+  EXPECT_DOUBLE_EQ(timeline.projected_extra_entries(2e9), 2e7);
+}
+
+}  // namespace
+}  // namespace lina::core

@@ -1,0 +1,131 @@
+#include "lina/core/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_device_traces;
+using lina::testing::shared_internet;
+using topology::AsId;
+
+const LatencyModel& model() {
+  static const LatencyModel instance(shared_internet());
+  return instance;
+}
+
+TEST(LatencyModelTest, SelfDistanceIsZero) {
+  EXPECT_EQ(model().physical_as_hops(3, 3), 0u);
+  EXPECT_EQ(model().policy_as_hops(3, 3), 0u);
+}
+
+TEST(LatencyModelTest, PhysicalHopsSymmetric) {
+  const auto& internet = shared_internet();
+  for (AsId a = 0; a < internet.graph().as_count(); a += 37) {
+    for (AsId b = 0; b < internet.graph().as_count(); b += 53) {
+      EXPECT_EQ(model().physical_as_hops(a, b),
+                model().physical_as_hops(b, a));
+    }
+  }
+}
+
+TEST(LatencyModelTest, PolicyAtLeastPhysical) {
+  // Policy routes are valley-free, so never shorter than the unrestricted
+  // shortest path — the paper's lower-bound argument (§6.3.2).
+  const auto& internet = shared_internet();
+  for (AsId a = 0; a < internet.graph().as_count(); a += 31) {
+    for (AsId b = 0; b < internet.graph().as_count(); b += 41) {
+      const auto policy = model().policy_as_hops(a, b);
+      ASSERT_TRUE(policy.has_value());
+      EXPECT_GE(*policy, model().physical_as_hops(a, b));
+    }
+  }
+}
+
+TEST(LatencyModelTest, AdjacentAsesOneHop) {
+  const auto& internet = shared_internet();
+  const AsId a = internet.edge_ases()[0];
+  const AsId provider = internet.graph().links(a)[0].neighbor;
+  EXPECT_EQ(model().physical_as_hops(a, provider), 1u);
+}
+
+TEST(LatencyModelTest, DelayIncludesAccessAndHops) {
+  const auto& internet = shared_internet();
+  const AsId a = internet.edge_ases()[0];
+  const AsId b = internet.edge_ases()[1];
+  const auto delay = model().one_way_delay_ms(a, b);
+  ASSERT_TRUE(delay.has_value());
+  // Two access legs at minimum.
+  EXPECT_GE(*delay, 2.0 * model().config().access_ms);
+}
+
+TEST(LatencyModelTest, FartherMeansSlowerOnAverage) {
+  const auto& internet = shared_internet();
+  // Compare ASes near the first anchor against one near Sydney.
+  const auto near0 = internet.edge_ases_near(topology::metro_anchors()[0], 2);
+  const auto near9 = internet.edge_ases_near(topology::metro_anchors()[9], 2);
+  const auto close = model().one_way_delay_ms(near0[0], near0[1]);
+  const auto far = model().one_way_delay_ms(near0[0], near9[0]);
+  ASSERT_TRUE(close.has_value());
+  ASSERT_TRUE(far.has_value());
+  EXPECT_LT(*close, *far);
+}
+
+TEST(LatencyModelTest, OutOfRangeThrows) {
+  EXPECT_THROW((void)model().physical_as_hops(0, 1u << 20),
+               std::out_of_range);
+  EXPECT_THROW((void)model().policy_as_hops(1u << 20, 0), std::out_of_range);
+}
+
+TEST(IndirectionStretchTest, FullCoverageSamplesAllPairs) {
+  stats::Rng rng(4);
+  const auto result = evaluate_indirection_stretch(shared_device_traces(),
+                                                   model(), 1.0, rng);
+  EXPECT_EQ(result.pairs_sampled, result.pairs_total);
+  EXPECT_GT(result.pairs_total, 0u);
+  EXPECT_FALSE(result.delay_ms.empty());
+  EXPECT_FALSE(result.policy_hops.empty());
+}
+
+TEST(IndirectionStretchTest, CoverageSubsamples) {
+  // iPlane answered ~5% of queries; the sampler must respect that.
+  stats::Rng rng(4);
+  const auto result = evaluate_indirection_stretch(shared_device_traces(),
+                                                   model(), 0.05, rng);
+  EXPECT_LT(result.pairs_sampled, result.pairs_total / 5);
+  EXPECT_GT(result.pairs_sampled, 0u);
+}
+
+TEST(IndirectionStretchTest, AwayShareWithinBounds) {
+  stats::Rng rng(4);
+  const auto result = evaluate_indirection_stretch(shared_device_traces(),
+                                                   model(), 0.25, rng);
+  ASSERT_EQ(result.away_time_share.size(), shared_device_traces().size());
+  EXPECT_GE(result.away_time_share.min(), 0.0);
+  EXPECT_LE(result.away_time_share.max(), 1.0 + 1e-9);
+  // Paper: the median user spends around a quarter of the day two or more
+  // AS hops from home.
+  EXPECT_GT(result.away_time_share.quantile(0.5), 0.05);
+  EXPECT_LT(result.away_time_share.quantile(0.5), 0.6);
+}
+
+TEST(IndirectionStretchTest, PolicyHopsDominatePhysicalMedian) {
+  stats::Rng rng(4);
+  const auto result = evaluate_indirection_stretch(shared_device_traces(),
+                                                   model(), 1.0, rng);
+  EXPECT_GE(result.policy_hops.quantile(0.5),
+            result.physical_hops.quantile(0.5));
+}
+
+TEST(IndirectionStretchTest, EmptyTraces) {
+  stats::Rng rng(4);
+  const auto result =
+      evaluate_indirection_stretch({}, model(), 1.0, rng);
+  EXPECT_EQ(result.pairs_total, 0u);
+  EXPECT_TRUE(result.delay_ms.empty());
+}
+
+}  // namespace
+}  // namespace lina::core

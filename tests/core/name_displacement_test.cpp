@@ -1,0 +1,106 @@
+#include "lina/core/name_displacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_content_catalog;
+using lina::testing::shared_internet;
+
+const std::vector<RenameEvent>& events() {
+  static const std::vector<RenameEvent> result = [] {
+    stats::Rng rng(21, "renames");
+    return generate_rename_events(shared_content_catalog().popular, 200,
+                                  rng);
+  }();
+  return result;
+}
+
+TEST(RenameGenerationTest, ProducesCrossHierarchyRenames) {
+  ASSERT_GT(events().size(), 100u);
+  for (const RenameEvent& event : events()) {
+    EXPECT_GE(event.from.depth(), 3u);
+    EXPECT_EQ(event.to.depth(), 3u);
+    // The new parent is a different apex.
+    EXPECT_NE(event.from.parent(), event.to.parent());
+    // The leaf keeps the content's identity (possibly disambiguated when
+    // the new hierarchy already uses that label).
+    const std::string from_leaf(event.from.components().back());
+    const std::string to_leaf(event.to.components().back());
+    EXPECT_EQ(to_leaf.rfind(from_leaf, 0), 0u)
+        << from_leaf << " vs " << to_leaf;
+  }
+}
+
+TEST(RenameGenerationTest, TargetsAreUnique) {
+  std::set<names::ContentName> targets;
+  for (const RenameEvent& event : events()) targets.insert(event.to);
+  EXPECT_EQ(targets.size(), events().size());
+}
+
+TEST(RenameGenerationTest, DeterministicForSeed) {
+  stats::Rng rng1(21, "renames");
+  stats::Rng rng2(21, "renames");
+  const auto a =
+      generate_rename_events(shared_content_catalog().popular, 50, rng1);
+  const auto b =
+      generate_rename_events(shared_content_catalog().popular, 50, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].from, b[i].from);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
+TEST(RenameGenerationTest, EmptyCatalog) {
+  stats::Rng rng(1);
+  EXPECT_TRUE(generate_rename_events({}, 10, rng).empty());
+}
+
+TEST(RenameDisplacementTest, PerRouterResults) {
+  const auto results = evaluate_rename_displacement(
+      shared_internet().vantages(), shared_content_catalog().popular,
+      events());
+  ASSERT_EQ(results.size(), shared_internet().vantages().size());
+  for (const auto& result : results) {
+    EXPECT_EQ(result.updates.events, events().size());
+    EXPECT_LE(result.updates.updates, result.updates.events);
+    // Exceptions are exactly the added entries.
+    EXPECT_EQ(result.fib_entries_after - result.fib_entries_before,
+              result.updates.updates);
+    EXPECT_GT(result.fib_entries_before, 0u);
+  }
+}
+
+TEST(RenameDisplacementTest, SomeRoutersDisplacedSomeNot) {
+  // Cross-hierarchy renames displace routers whose ports differ between
+  // the hierarchies; routers with near-uniform port maps (remote edges)
+  // are barely touched.
+  const auto results = evaluate_rename_displacement(
+      shared_internet().vantages(), shared_content_catalog().popular,
+      events());
+  double max_rate = 0.0, min_rate = 1.0;
+  for (const auto& result : results) {
+    max_rate = std::max(max_rate, result.updates.rate());
+    min_rate = std::min(min_rate, result.updates.rate());
+  }
+  EXPECT_GT(max_rate, 0.2);
+  EXPECT_LT(min_rate, max_rate);
+}
+
+TEST(RenameDisplacementTest, NoEventsNoUpdates) {
+  const auto results = evaluate_rename_displacement(
+      shared_internet().vantages(), shared_content_catalog().popular, {});
+  for (const auto& result : results) {
+    EXPECT_EQ(result.updates.events, 0u);
+    EXPECT_EQ(result.fib_entries_before, result.fib_entries_after);
+  }
+}
+
+}  // namespace
+}  // namespace lina::core

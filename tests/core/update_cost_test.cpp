@@ -1,0 +1,171 @@
+#include "lina/core/update_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+#include "lina/stats/summary.hpp"
+
+namespace lina::core {
+namespace {
+
+using lina::testing::shared_content_catalog;
+using lina::testing::shared_device_traces;
+using lina::testing::shared_internet;
+
+TEST(RouterUpdateStatsTest, RateHandlesZeroEvents) {
+  const RouterUpdateStats empty{"r", 0, 0};
+  EXPECT_DOUBLE_EQ(empty.rate(), 0.0);
+  const RouterUpdateStats half{"r", 10, 5};
+  EXPECT_DOUBLE_EQ(half.rate(), 0.5);
+}
+
+TEST(DeviceUpdateCostTest, OneStatsRowPerRouter) {
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto stats = evaluator.evaluate(shared_device_traces());
+  ASSERT_EQ(stats.size(), shared_internet().vantages().size());
+  for (const RouterUpdateStats& s : stats) {
+    EXPECT_FALSE(s.router.empty());
+    EXPECT_LE(s.updates, s.events);
+  }
+}
+
+TEST(DeviceUpdateCostTest, AllRoutersSeeSameEventCount) {
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto stats = evaluator.evaluate(shared_device_traces());
+  for (const RouterUpdateStats& s : stats) {
+    EXPECT_EQ(s.events, stats.front().events);
+  }
+}
+
+TEST(DeviceUpdateCostTest, Figure8Shape) {
+  // Paper Figure 8: some routers see double-digit update rates, the median
+  // router is low single digits, and distant edge routers are untouched.
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto stats = evaluator.evaluate(shared_device_traces());
+  double max_rate = 0.0;
+  for (const RouterUpdateStats& s : stats) {
+    max_rate = std::max(max_rate, s.rate());
+    if (s.router == "Mauritius" || s.router == "Tokyo") {
+      EXPECT_LT(s.rate(), 0.01) << s.router;
+    }
+  }
+  EXPECT_GT(max_rate, 0.05);
+  EXPECT_LT(max_rate, 0.5);
+}
+
+TEST(DeviceUpdateCostTest, SameAsMovesNeverUpdate) {
+  // A trace that never leaves one AS cannot displace any router.
+  stats::Rng rng(1);
+  const auto as = shared_internet().edge_ases()[0];
+  mobility::DeviceTrace trace(0, 1);
+  double clock = 0.0;
+  net::Ipv4Address addr = shared_internet().random_address_in(as, rng);
+  for (int i = 0; i < 6; ++i) {
+    trace.append({clock, 4.0, addr,
+                  shared_internet().prefix_of(addr), as, false});
+    clock += 4.0;
+    addr = shared_internet().random_address_in(as, rng);
+  }
+  const std::vector<mobility::DeviceTrace> traces{std::move(trace)};
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  for (const RouterUpdateStats& s : evaluator.evaluate(traces)) {
+    EXPECT_EQ(s.updates, 0u) << s.router;
+  }
+}
+
+TEST(DeviceUpdateCostTest, PerDayEventsSumToTotal) {
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto total = evaluator.evaluate(shared_device_traces());
+  std::size_t events = 0, updates = 0;
+  for (std::size_t day = 0; day < 7; ++day) {
+    const auto daily = evaluator.evaluate_day(shared_device_traces(), day);
+    events += daily[0].events;
+    updates += daily[0].updates;
+  }
+  EXPECT_EQ(events, total[0].events);
+  EXPECT_EQ(updates, total[0].updates);
+}
+
+TEST(DeviceUpdateCostTest, DayToDayRatesAreStable) {
+  // §6.2 sensitivity: per-day update rates vary little (paper stddev
+  // < 0.5% absolute over 20 days).
+  const DeviceUpdateCostEvaluator evaluator(shared_internet().vantages());
+  stats::RunningStats oregon;
+  for (std::size_t day = 0; day < 7; ++day) {
+    const auto daily = evaluator.evaluate_day(shared_device_traces(), day);
+    oregon.add(daily.front().rate());
+  }
+  EXPECT_LT(oregon.stddev(), 0.03);
+}
+
+TEST(ContentUpdateCostTest, FloodingAtLeastBestPort) {
+  const ContentUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto flooding = evaluator.evaluate(
+      shared_content_catalog().popular,
+      strategy::StrategyKind::kControlledFlooding);
+  const auto best = evaluator.evaluate(shared_content_catalog().popular,
+                                       strategy::StrategyKind::kBestPort);
+  ASSERT_EQ(flooding.size(), best.size());
+  for (std::size_t i = 0; i < flooding.size(); ++i) {
+    EXPECT_EQ(flooding[i].events, best[i].events);
+    EXPECT_GE(flooding[i].updates, best[i].updates) << flooding[i].router;
+  }
+}
+
+TEST(ContentUpdateCostTest, PopularExceedsUnpopular) {
+  // Figure 11(b) vs 11(c): unpopular content barely updates routers.
+  const ContentUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto popular = evaluator.evaluate(
+      shared_content_catalog().popular,
+      strategy::StrategyKind::kControlledFlooding);
+  const auto unpopular = evaluator.evaluate(
+      shared_content_catalog().unpopular,
+      strategy::StrategyKind::kControlledFlooding);
+  double popular_max = 0.0, unpopular_max = 0.0;
+  for (const auto& s : popular) popular_max = std::max(popular_max, s.rate());
+  for (const auto& s : unpopular) {
+    unpopular_max = std::max(unpopular_max, s.rate());
+  }
+  EXPECT_GT(popular_max, unpopular_max);
+}
+
+TEST(ContentUpdateCostTest, HistoryUnionCheapestOnRevisitHeavyTraces) {
+  // §3.3.3: for a name flitting between two fixed locations, history-union
+  // update cost approaches zero while best-port keeps paying.
+  mobility::ContentTrace trace(names::ContentName::from_dns("flip.example"),
+                               true, false, 1);
+  stats::Rng rng(2);
+  const auto a = shared_internet().random_address_in(
+      shared_internet().edge_ases()[0], rng);
+  const auto b = shared_internet().random_address_in(
+      shared_internet().edge_ases()[1], rng);
+  std::vector<net::Ipv4Address> set_a{a}, set_b{b};
+  trace.observe(0.0, set_a);
+  for (int t = 1; t < 20; ++t) {
+    trace.observe(static_cast<double>(t), (t % 2 == 0) ? set_a : set_b);
+  }
+  const std::vector<mobility::ContentTrace> traces{std::move(trace)};
+  const ContentUpdateCostEvaluator evaluator(shared_internet().vantages());
+  const auto history = evaluator.evaluate(
+      traces, strategy::StrategyKind::kHistoryUnion);
+  const auto best =
+      evaluator.evaluate(traces, strategy::StrategyKind::kBestPort);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_LE(history[i].updates, 1u) << history[i].router;
+    EXPECT_LE(history[i].updates, best[i].updates + 1);
+  }
+}
+
+TEST(ContentUpdateCostTest, EventCountsMatchTraceEvents) {
+  const ContentUpdateCostEvaluator evaluator(shared_internet().vantages());
+  std::size_t expected = 0;
+  for (const auto& trace : shared_content_catalog().unpopular) {
+    expected += trace.events().size();
+  }
+  const auto stats = evaluator.evaluate(shared_content_catalog().unpopular,
+                                        strategy::StrategyKind::kBestPort);
+  for (const auto& s : stats) EXPECT_EQ(s.events, expected);
+}
+
+}  // namespace
+}  // namespace lina::core

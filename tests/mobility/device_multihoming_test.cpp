@@ -1,0 +1,99 @@
+#include "lina/mobility/device_multihoming.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::mobility {
+namespace {
+
+using net::Ipv4Address;
+
+DeviceTrace simple_trace() {
+  DeviceTrace trace(3, 1);
+  const auto visit = [](double start, double duration, const char* addr,
+                        topology::AsId as) {
+    return DeviceVisit{start, duration, Ipv4Address::parse(addr),
+                       net::Prefix(Ipv4Address::parse(addr), 16), as, false};
+  };
+  trace.append(visit(0.0, 8.0, "1.0.0.1", 1));
+  trace.append(visit(8.0, 8.0, "2.0.0.1", 2));
+  trace.append(visit(16.0, 8.0, "1.0.0.1", 1));
+  return trace;
+}
+
+TEST(MultihomedDeviceTraceTest, ObserveValidation) {
+  MultihomedDeviceTrace trace(1);
+  EXPECT_THROW(trace.observe(2.0, {Ipv4Address::parse("1.0.0.1")}),
+               std::invalid_argument);
+  trace.observe(0.0, {Ipv4Address::parse("1.0.0.1")});
+  EXPECT_THROW(trace.observe(-1.0, {Ipv4Address::parse("2.0.0.1")}),
+               std::invalid_argument);
+}
+
+TEST(MultihomedDeviceTraceTest, DropsNoopsAndNormalizes) {
+  MultihomedDeviceTrace trace(1);
+  trace.observe(0.0, {Ipv4Address::parse("2.0.0.1"),
+                      Ipv4Address::parse("1.0.0.1"),
+                      Ipv4Address::parse("2.0.0.1")});
+  trace.observe(1.0, {Ipv4Address::parse("1.0.0.1"),
+                      Ipv4Address::parse("2.0.0.1")});  // same set
+  EXPECT_EQ(trace.snapshots().size(), 1u);
+  EXPECT_EQ(trace.snapshots()[0].addresses.size(), 2u);
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(MultihomedViewTest, BreakBeforeMakeIsSingletonSequence) {
+  const auto view = multihomed_view(simple_trace(), 0.0);
+  ASSERT_EQ(view.snapshots().size(), 3u);
+  for (const auto& snapshot : view.snapshots()) {
+    EXPECT_EQ(snapshot.addresses.size(), 1u);
+  }
+  EXPECT_EQ(view.event_count(), 2u);
+  EXPECT_EQ(view.user_id(), 3u);
+}
+
+TEST(MultihomedViewTest, MakeBeforeBreakOverlaps) {
+  const auto view = multihomed_view(simple_trace(), 1.0);
+  // {1}, {1,2}@8, {2}@9, {1,2}@16, {1}@17.
+  ASSERT_EQ(view.snapshots().size(), 5u);
+  EXPECT_EQ(view.snapshots()[1].addresses.size(), 2u);
+  EXPECT_DOUBLE_EQ(view.snapshots()[1].hour, 8.0);
+  EXPECT_DOUBLE_EQ(view.snapshots()[2].hour, 9.0);
+  EXPECT_EQ(view.snapshots()[2].addresses,
+            std::vector<Ipv4Address>{Ipv4Address::parse("2.0.0.1")});
+  EXPECT_EQ(view.event_count(), 4u);
+}
+
+TEST(MultihomedViewTest, OverlapBoundedByVisitDuration) {
+  // Overlap longer than the visit: teardown happens at half the visit.
+  const auto view = multihomed_view(simple_trace(), 100.0);
+  ASSERT_GE(view.snapshots().size(), 3u);
+  EXPECT_DOUBLE_EQ(view.snapshots()[2].hour, 12.0);  // 8 + 8/2
+}
+
+TEST(MultihomedViewTest, Validation) {
+  EXPECT_THROW((void)multihomed_view(simple_trace(), -1.0),
+               std::invalid_argument);
+  const DeviceTrace empty(0, 1);
+  EXPECT_THROW((void)multihomed_view(empty, 1.0), std::invalid_argument);
+}
+
+TEST(MultihomedViewTest, PopulationHelper) {
+  std::vector<DeviceTrace> traces;
+  traces.push_back(simple_trace());
+  traces.push_back(simple_trace());
+  const auto views = multihomed_views(traces, 0.5);
+  EXPECT_EQ(views.size(), 2u);
+}
+
+TEST(MultihomedViewTest, SameAddressBoundaryProducesNoSnapshot) {
+  DeviceTrace trace(1, 1);
+  const auto addr = Ipv4Address::parse("1.0.0.1");
+  const net::Prefix prefix(addr, 16);
+  trace.append({0.0, 10.0, addr, prefix, 1, false});
+  trace.append({10.0, 14.0, addr, prefix, 1, true});  // same address
+  const auto view = multihomed_view(trace, 1.0);
+  EXPECT_EQ(view.snapshots().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lina::mobility

@@ -1,0 +1,84 @@
+#include "lina/mobility/vantage_merger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lina::mobility {
+namespace {
+
+using topology::GeoPoint;
+
+TEST(VantagePointMergerTest, RejectsDegenerateConfigs) {
+  EXPECT_THROW(VantagePointMerger({}, 3), std::invalid_argument);
+  EXPECT_THROW(VantagePointMerger({GeoPoint{0, 0}}, 0),
+               std::invalid_argument);
+}
+
+TEST(VantagePointMergerTest, SmallReplicaSetsFullyVisible) {
+  const VantagePointMerger merger({GeoPoint{0, 0}}, 3);
+  const std::vector<GeoPoint> sites{{10, 10}, {20, 20}};
+  const auto visible = merger.visible_sites(sites);
+  EXPECT_EQ(visible, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(VantagePointMergerTest, SingleVantageSeesOnlyNearest) {
+  const VantagePointMerger merger({GeoPoint{0, 0}}, 2);
+  const std::vector<GeoPoint> sites{
+      {1, 1}, {50, 50}, {2, 2}, {60, 60}};
+  const auto visible = merger.visible_sites(sites);
+  EXPECT_EQ(visible, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(VantagePointMergerTest, MergedViewIsUnionOfVantages) {
+  // Two far-apart vantages each see their own nearby replicas.
+  const VantagePointMerger merger({GeoPoint{0, 0}, GeoPoint{0, 179}}, 1);
+  const std::vector<GeoPoint> sites{{0, 1}, {0, 178}, {45, 90}};
+  const auto visible = merger.visible_sites(sites);
+  EXPECT_EQ(visible, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(VantagePointMergerTest, FarReplicaInvisible) {
+  // One vantage, k=1: only the single closest replica is observed — the
+  // partial-view artifact of the measurement methodology (§7.1).
+  const VantagePointMerger merger({GeoPoint{0, 0}}, 1);
+  const std::vector<GeoPoint> sites{{1, 1}, {80, 80}};
+  const auto visible = merger.visible_sites(sites);
+  EXPECT_EQ(visible, (std::vector<std::size_t>{0}));
+}
+
+TEST(VantagePointMergerTest, SitesSeenByIsSortedAndBounded) {
+  const VantagePointMerger merger(
+      {GeoPoint{0, 0}, GeoPoint{10, 10}}, 2);
+  const std::vector<GeoPoint> sites{{5, 5}, {1, 1}, {2, 2}, {3, 3}};
+  const auto seen = merger.sites_seen_by(0, sites);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_THROW((void)merger.sites_seen_by(7, sites), std::out_of_range);
+}
+
+TEST(VantagePointMergerTest, MoreVantagesSeeMore) {
+  stats::Rng rng(3);
+  const auto few = VantagePointMerger::worldwide_vantages(4, rng);
+  stats::Rng rng2(3);
+  const auto many = VantagePointMerger::worldwide_vantages(74, rng2);
+  std::vector<GeoPoint> sites;
+  stats::Rng site_rng(9);
+  for (int i = 0; i < 48; ++i) {
+    sites.push_back(
+        {site_rng.uniform(-60.0, 60.0), site_rng.uniform(-180.0, 180.0)});
+  }
+  const VantagePointMerger merger_few(few, 3);
+  const VantagePointMerger merger_many(many, 3);
+  EXPECT_LE(merger_few.visible_sites(sites).size(),
+            merger_many.visible_sites(sites).size());
+}
+
+TEST(VantagePointMergerTest, WorldwideVantagesCount) {
+  stats::Rng rng(1);
+  const auto vantages = VantagePointMerger::worldwide_vantages(74, rng);
+  EXPECT_EQ(vantages.size(), 74u);
+}
+
+}  // namespace
+}  // namespace lina::mobility

@@ -1,0 +1,109 @@
+#include "lina/names/content_name.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lina::names {
+namespace {
+
+TEST(ContentNameTest, FromDnsReversesLabels) {
+  const ContentName n = ContentName::from_dns("travel.yahoo.com");
+  ASSERT_EQ(n.depth(), 3u);
+  EXPECT_EQ(n.components()[0], "com");
+  EXPECT_EQ(n.components()[1], "yahoo");
+  EXPECT_EQ(n.components()[2], "travel");
+  EXPECT_EQ(n.to_dns(), "travel.yahoo.com");
+}
+
+TEST(ContentNameTest, FromUriKeepsOrder) {
+  const ContentName n = ContentName::from_uri("/Disney/StarWarsIV");
+  ASSERT_EQ(n.depth(), 2u);
+  EXPECT_EQ(n.components()[0], "Disney");
+  EXPECT_EQ(n.components()[1], "StarWarsIV");
+  EXPECT_EQ(n.to_uri(), "/Disney/StarWarsIV");
+}
+
+TEST(ContentNameTest, FromUriWithoutLeadingSlash) {
+  EXPECT_EQ(ContentName::from_uri("a/b"), ContentName::from_uri("/a/b"));
+}
+
+TEST(ContentNameTest, RejectsMalformed) {
+  EXPECT_THROW((void)ContentName::from_dns(""), std::invalid_argument);
+  EXPECT_THROW((void)ContentName::from_dns("a..b"), std::invalid_argument);
+  EXPECT_THROW((void)ContentName::from_dns(".a"), std::invalid_argument);
+  EXPECT_THROW((void)ContentName::from_dns("a."), std::invalid_argument);
+  EXPECT_THROW((void)ContentName::from_uri("/"), std::invalid_argument);
+  EXPECT_THROW((void)ContentName::from_uri("//a"), std::invalid_argument);
+  EXPECT_THROW(ContentName({"a", ""}), std::invalid_argument);
+}
+
+TEST(ContentNameTest, ParentAndChild) {
+  const ContentName n = ContentName::from_dns("travel.yahoo.com");
+  EXPECT_EQ(n.parent(), ContentName::from_dns("yahoo.com"));
+  EXPECT_EQ(n.parent().child("travel"), n);
+  EXPECT_THROW((void)ContentName().parent(), std::logic_error);
+}
+
+TEST(ContentNameTest, PrefixRelation) {
+  const ContentName apex = ContentName::from_dns("yahoo.com");
+  const ContentName sub = ContentName::from_dns("travel.yahoo.com");
+  const ContentName other = ContentName::from_dns("cnn.com");
+  EXPECT_TRUE(apex.is_prefix_of(sub));
+  EXPECT_TRUE(apex.is_prefix_of(apex));
+  EXPECT_FALSE(sub.is_prefix_of(apex));
+  EXPECT_FALSE(apex.is_prefix_of(other));
+}
+
+TEST(ContentNameTest, StrictSubnameMatchesPaperNotation) {
+  // The paper's d1 < d2: travel.yahoo.com is a strict subdomain of
+  // yahoo.com.
+  const ContentName d1 = ContentName::from_dns("travel.yahoo.com");
+  const ContentName d2 = ContentName::from_dns("yahoo.com");
+  EXPECT_TRUE(d1.is_strict_subname_of(d2));
+  EXPECT_FALSE(d2.is_strict_subname_of(d1));
+  EXPECT_FALSE(d1.is_strict_subname_of(d1));
+}
+
+TEST(ContentNameTest, LabelBoundaryNotStringPrefix) {
+  // "notyahoo.com" must not be treated as under "yahoo.com".
+  const ContentName apex = ContentName::from_dns("yahoo.com");
+  const ContentName trick = ContentName::from_dns("x.notyahoo.com");
+  EXPECT_FALSE(apex.is_prefix_of(trick));
+}
+
+TEST(ContentNameTest, EmptyName) {
+  const ContentName n;
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n.depth(), 0u);
+  EXPECT_TRUE(n.is_prefix_of(ContentName::from_dns("a.b")));
+  EXPECT_EQ(n.to_uri(), "/");
+}
+
+TEST(ContentNameTest, OrderingAndEquality) {
+  const ContentName a = ContentName::from_dns("a.com");
+  const ContentName b = ContentName::from_dns("b.com");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ContentName::from_dns("a.com"));
+}
+
+TEST(ContentNameTest, Hashable) {
+  std::unordered_set<ContentName> set;
+  set.insert(ContentName::from_dns("a.com"));
+  set.insert(ContentName::from_dns("a.com"));
+  set.insert(ContentName::from_dns("b.a.com"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ContentNameTest, DistributionRightsTransferExample) {
+  // Figure 2 right: /20thCenturyFox/StarWarsIV moving to
+  // /Disney/StarWarsIV changes the name's hierarchical prefix.
+  const ContentName before = ContentName::from_uri("/20thCenturyFox/StarWarsIV");
+  const ContentName after = ContentName::from_uri("/Disney/StarWarsIV");
+  EXPECT_TRUE(ContentName::from_uri("/20thCenturyFox").is_prefix_of(before));
+  EXPECT_FALSE(ContentName::from_uri("/20thCenturyFox").is_prefix_of(after));
+  EXPECT_TRUE(ContentName::from_uri("/Disney").is_prefix_of(after));
+}
+
+}  // namespace
+}  // namespace lina::names

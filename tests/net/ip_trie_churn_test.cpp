@@ -1,0 +1,92 @@
+// Churn property tests: the trie agrees with a reference map under long
+// interleaved insert/overwrite/erase sequences, and compression stays
+// consistent after erasures.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "lina/net/ip_trie.hpp"
+#include "lina/stats/rng.hpp"
+
+namespace lina::net {
+namespace {
+
+Prefix random_prefix(stats::Rng& rng) {
+  const auto addr =
+      Ipv4Address(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff)));
+  // Bias toward a small universe so operations collide.
+  const auto length = static_cast<unsigned>(8 + rng.index(9));
+  return Prefix(Ipv4Address(addr.value() & 0xff000000u), length);
+}
+
+class IpTrieChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IpTrieChurnTest, AgreesWithReferenceUnderChurn) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  IpTrie<int> trie;
+  std::map<Prefix, int> reference;
+
+  for (int step = 0; step < 3000; ++step) {
+    const double op = rng.uniform();
+    if (op < 0.55 || reference.empty()) {
+      const Prefix p = random_prefix(rng);
+      const int value = static_cast<int>(rng.index(100));
+      trie.insert(p, value);
+      reference[p] = value;
+    } else if (op < 0.85) {
+      // Erase a random existing prefix.
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.index(reference.size())));
+      EXPECT_TRUE(trie.erase(it->first));
+      reference.erase(it);
+    } else {
+      // Erase a likely-absent prefix: results must agree.
+      const Prefix p = random_prefix(rng);
+      EXPECT_EQ(trie.erase(p), reference.erase(p) > 0);
+    }
+    ASSERT_EQ(trie.size(), reference.size());
+  }
+
+  // Final: LPM agrees with brute force on random queries.
+  for (int q = 0; q < 400; ++q) {
+    const auto addr = Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff)));
+    std::optional<std::pair<Prefix, int>> expected;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) &&
+          (!expected.has_value() ||
+           prefix.length() > expected->first.length())) {
+        expected = {prefix, value};
+      }
+    }
+    EXPECT_EQ(trie.lookup(addr), expected);
+  }
+
+  // Compression invariant: 1 <= compressed <= size.
+  if (!reference.empty()) {
+    const std::size_t compressed = trie.lpm_compressed_size();
+    EXPECT_GE(compressed, 1u);
+    EXPECT_LE(compressed, trie.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpTrieChurnTest, ::testing::Range(0, 4));
+
+TEST(IpTrieChurnTest, EraseThenReinsertRestoresLookup) {
+  IpTrie<int> trie;
+  const Prefix outer = Prefix::parse("10.0.0.0/8");
+  const Prefix inner = Prefix::parse("10.1.0.0/16");
+  trie.insert(outer, 1);
+  trie.insert(inner, 2);
+  trie.erase(inner);
+  EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.1.2.3"))->second, 1);
+  trie.insert(inner, 3);
+  EXPECT_EQ(trie.lookup(Ipv4Address::parse("10.1.2.3"))->second, 3);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lina::net

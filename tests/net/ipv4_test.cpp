@@ -1,0 +1,61 @@
+#include "lina/net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace lina::net {
+namespace {
+
+TEST(Ipv4AddressTest, ParseRoundTrip) {
+  for (const std::string text :
+       {"0.0.0.0", "255.255.255.255", "192.0.2.1", "10.1.2.3", "1.0.0.1"}) {
+    EXPECT_EQ(Ipv4Address::parse(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4AddressTest, ParseValue) {
+  EXPECT_EQ(Ipv4Address::parse("1.2.3.4").value(), 0x01020304u);
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.1").value(), 1u);
+}
+
+TEST(Ipv4AddressTest, OctetConstructor) {
+  EXPECT_EQ(Ipv4Address(192, 0, 2, 1), Ipv4Address::parse("192.0.2.1"));
+}
+
+class Ipv4ParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseErrorTest, Rejects) {
+  EXPECT_THROW((void)Ipv4Address::parse(GetParam()), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, Ipv4ParseErrorTest,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.0.0.1",
+                                           "1.2.3.400", "a.b.c.d", "1..2.3",
+                                           "1.2.3.4 ", " 1.2.3.4", "1,2,3,4",
+                                           "999.1.1.1", "1.2.3.-4"));
+
+TEST(Ipv4AddressTest, BitExtraction) {
+  const Ipv4Address addr(0x80000001u);  // 128.0.0.1
+  EXPECT_TRUE(addr.bit(0));
+  EXPECT_FALSE(addr.bit(1));
+  EXPECT_FALSE(addr.bit(30));
+  EXPECT_TRUE(addr.bit(31));
+}
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(Ipv4Address::parse("1.0.0.0"), Ipv4Address::parse("2.0.0.0"));
+  EXPECT_EQ(Ipv4Address::parse("9.9.9.9"), Ipv4Address::parse("9.9.9.9"));
+}
+
+TEST(Ipv4AddressTest, Hashable) {
+  std::unordered_set<Ipv4Address> set;
+  set.insert(Ipv4Address::parse("1.2.3.4"));
+  set.insert(Ipv4Address::parse("1.2.3.4"));
+  set.insert(Ipv4Address::parse("4.3.2.1"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lina::net

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "lina/net/ipv4.hpp"
+
+namespace lina::net {
+namespace {
+
+TEST(PrefixTest, ParseAndFormat) {
+  const Prefix p = Prefix::parse("192.168.0.0/16");
+  EXPECT_EQ(p.length(), 16u);
+  EXPECT_EQ(p.to_string(), "192.168.0.0/16");
+}
+
+TEST(PrefixTest, HostBitsMasked) {
+  const Prefix p(Ipv4Address::parse("192.168.77.12"), 16);
+  EXPECT_EQ(p.network(), Ipv4Address::parse("192.168.0.0"));
+  EXPECT_EQ(p, Prefix::parse("192.168.0.0/16"));
+}
+
+TEST(PrefixTest, ZeroLengthCoversEverything) {
+  const Prefix def(Ipv4Address(0), 0);
+  EXPECT_TRUE(def.contains(Ipv4Address::parse("0.0.0.0")));
+  EXPECT_TRUE(def.contains(Ipv4Address::parse("255.255.255.255")));
+}
+
+TEST(PrefixTest, HostPrefix) {
+  const Prefix host = Prefix::host(Ipv4Address::parse("1.2.3.4"));
+  EXPECT_EQ(host.length(), 32u);
+  EXPECT_TRUE(host.contains(Ipv4Address::parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(Ipv4Address::parse("1.2.3.5")));
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  const Prefix p = Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Ipv4Address::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse("11.0.0.0")));
+}
+
+TEST(PrefixTest, ContainsPrefixNesting) {
+  const Prefix outer = Prefix::parse("10.0.0.0/8");
+  const Prefix inner = Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(PrefixTest, DisjointPrefixes) {
+  const Prefix a = Prefix::parse("10.0.0.0/8");
+  const Prefix b = Prefix::parse("11.0.0.0/8");
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+}
+
+TEST(PrefixTest, Halves) {
+  const Prefix p = Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.left_half(), Prefix::parse("10.0.0.0/9"));
+  EXPECT_EQ(p.right_half(), Prefix::parse("10.128.0.0/9"));
+  EXPECT_TRUE(p.contains(p.left_half()));
+  EXPECT_TRUE(p.contains(p.right_half()));
+}
+
+TEST(PrefixTest, HalvesOfHostThrow) {
+  const Prefix host = Prefix::host(Ipv4Address(1));
+  EXPECT_THROW((void)host.left_half(), std::logic_error);
+  EXPECT_THROW((void)host.right_half(), std::logic_error);
+}
+
+TEST(PrefixTest, RejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Address(0), 33), std::invalid_argument);
+  EXPECT_THROW((void)Prefix::parse("1.2.3.4/33"), std::invalid_argument);
+  EXPECT_THROW((void)Prefix::parse("1.2.3.4"), std::invalid_argument);
+  EXPECT_THROW((void)Prefix::parse("1.2.3.4/x"), std::invalid_argument);
+  EXPECT_THROW((void)Prefix::parse("1.2.3.4/8y"), std::invalid_argument);
+}
+
+TEST(PrefixTest, MaskValues) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(8), 0xff000000u);
+  EXPECT_EQ(prefix_mask(32), 0xffffffffu);
+}
+
+TEST(PrefixTest, Hashable) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::parse("10.0.0.0/8"));
+  set.insert(Prefix::parse("10.0.0.0/8"));
+  set.insert(Prefix::parse("10.0.0.0/9"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// Property sweep: every address drawn inside a prefix is contained; the
+// /32 of that address is contained; siblings are disjoint.
+class PrefixPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrefixPropertyTest, ContainmentInvariants) {
+  const unsigned length = GetParam();
+  const Prefix p(Ipv4Address::parse("203.0.113.77"), length);
+  // The masked network address is always contained.
+  EXPECT_TRUE(p.contains(p.network()));
+  if (length < 32) {
+    const Prefix left = p.left_half();
+    const Prefix right = p.right_half();
+    EXPECT_FALSE(left.contains(right));
+    EXPECT_FALSE(right.contains(left));
+    EXPECT_TRUE(p.contains(left));
+    EXPECT_TRUE(p.contains(right));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixPropertyTest,
+                         ::testing::Values(0u, 1u, 7u, 8u, 15u, 16u, 23u, 24u,
+                                           31u, 32u));
+
+}  // namespace
+}  // namespace lina::net

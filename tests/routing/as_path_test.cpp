@@ -1,0 +1,40 @@
+#include "lina/routing/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::routing {
+namespace {
+
+TEST(AsPathTest, EmptyPath) {
+  const AsPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_EQ(path.length(), 0u);
+  EXPECT_TRUE(path.loop_free());
+  EXPECT_EQ(path.to_string(), "");
+}
+
+TEST(AsPathTest, Accessors) {
+  const AsPath path({701, 3356, 15169});
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.next_hop(), 701u);
+  EXPECT_EQ(path.origin(), 15169u);
+  EXPECT_TRUE(path.contains(3356));
+  EXPECT_FALSE(path.contains(7018));
+  EXPECT_EQ(path.to_string(), "701 3356 15169");
+}
+
+TEST(AsPathTest, LoopDetection) {
+  EXPECT_TRUE(AsPath({1, 2, 3}).loop_free());
+  EXPECT_FALSE(AsPath({1, 2, 1}).loop_free());
+  EXPECT_FALSE(AsPath({5, 5}).loop_free());
+  EXPECT_TRUE(AsPath({7}).loop_free());
+}
+
+TEST(AsPathTest, Equality) {
+  EXPECT_EQ(AsPath({1, 2}), AsPath({1, 2}));
+  EXPECT_NE(AsPath({1, 2}), AsPath({2, 1}));
+  EXPECT_NE(AsPath({1}), AsPath({1, 2}));
+}
+
+}  // namespace
+}  // namespace lina::routing

@@ -1,0 +1,300 @@
+#include "lina/routing/policy_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <deque>
+
+#include "lina/topology/as_graph.hpp"
+
+namespace lina::routing {
+namespace {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::AsRelationship;
+using topology::AsTier;
+
+// A small reference topology:
+//
+//        T1a ---peer--- T1b
+//        /  \            |
+//      T2a  T2b ~~peer~ T2c     (~~ = lateral tier-2 peering)
+//      /      \          |
+//    S1        S2        S3
+//
+struct ReferenceTopology {
+  AsGraph g;
+  AsId t1a, t1b, t2a, t2b, t2c, s1, s2, s3;
+
+  ReferenceTopology() {
+    t1a = g.add_as(AsTier::kTier1, {});
+    t1b = g.add_as(AsTier::kTier1, {});
+    t2a = g.add_as(AsTier::kTier2, {});
+    t2b = g.add_as(AsTier::kTier2, {});
+    t2c = g.add_as(AsTier::kTier2, {});
+    s1 = g.add_as(AsTier::kStub, {});
+    s2 = g.add_as(AsTier::kStub, {});
+    s3 = g.add_as(AsTier::kStub, {});
+    g.add_peer_link(t1a, t1b);
+    g.add_provider_link(t2a, t1a);
+    g.add_provider_link(t2b, t1a);
+    g.add_provider_link(t2c, t1b);
+    g.add_peer_link(t2b, t2c);
+    g.add_provider_link(s1, t2a);
+    g.add_provider_link(s2, t2b);
+    g.add_provider_link(s3, t2c);
+  }
+};
+
+TEST(PolicyRoutesTest, CustomerRoutesFollowCustomerCone) {
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  // s1's transit ancestors get customer routes; distance counts hops.
+  EXPECT_EQ(routes.distance(ref.t2a, RouteClass::kCustomer), 1u);
+  EXPECT_EQ(routes.distance(ref.t1a, RouteClass::kCustomer), 2u);
+  // t1b is not an ancestor of s1: no customer route.
+  EXPECT_EQ(routes.distance(ref.t1b, RouteClass::kCustomer), std::nullopt);
+  // Destination itself: distance 0.
+  EXPECT_EQ(routes.distance(ref.s1, RouteClass::kCustomer), 0u);
+}
+
+TEST(PolicyRoutesTest, PeerRoutesOneLateralHop) {
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  // t1b peers with t1a which has a customer route (2) -> peer dist 3.
+  EXPECT_EQ(routes.distance(ref.t1b, RouteClass::kPeer), 3u);
+  // t2b/t2c have no peer with a customer route to s1... t2b peers t2c
+  // (no customer route to s1) so no peer route.
+  EXPECT_EQ(routes.distance(ref.t2b, RouteClass::kPeer), std::nullopt);
+}
+
+TEST(PolicyRoutesTest, ProviderRoutesClimb) {
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  // s3 -> t2c (provider), t2c -> t1b (provider), t1b peers t1a, down to s1:
+  // s3's provider route = 1 + t2c's best. t2c best: peer via t2b? t2b has
+  // no customer route to s1. t2c provider route via t1b = 1 + t1b best
+  // (peer 3) = 4; so s3 = 5.
+  EXPECT_EQ(routes.best_distance(ref.s3), 5u);
+  EXPECT_EQ(routes.best_class(ref.s3), RouteClass::kProvider);
+}
+
+TEST(PolicyRoutesTest, ClassPreferenceOverLength) {
+  // Gao-Rexford: a longer customer route is preferred over a shorter peer
+  // or provider route.
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  EXPECT_EQ(routes.best_class(ref.t1a), RouteClass::kCustomer);
+  EXPECT_EQ(routes.best_distance(ref.t1a), 2u);
+}
+
+TEST(PolicyRoutesTest, PathReconstructionValid) {
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  for (AsId u = 0; u < ref.g.as_count(); ++u) {
+    if (u == ref.s1) continue;
+    const auto path = routes.best_path(u);
+    ASSERT_TRUE(path.has_value()) << "AS " << u;
+    EXPECT_TRUE(path->loop_free());
+    EXPECT_EQ(path->origin(), ref.s1);
+    EXPECT_EQ(path->length(), routes.best_distance(u));
+    // Consecutive hops must be adjacent; the first hop adjacent to u.
+    AsId prev = u;
+    for (const AsId hop : path->hops()) {
+      EXPECT_TRUE(ref.g.relationship(prev, hop).has_value())
+          << prev << " -> " << hop;
+      prev = hop;
+    }
+  }
+}
+
+TEST(PolicyRoutesTest, PathsAreValleyFree) {
+  const ReferenceTopology ref;
+  for (const AsId dest : {ref.s1, ref.s2, ref.s3}) {
+    const PolicyRoutes routes(ref.g, dest);
+    for (AsId u = 0; u < ref.g.as_count(); ++u) {
+      if (u == dest) continue;
+      const auto path = routes.best_path(u);
+      if (!path.has_value()) continue;
+      // Phases: up (provider), then at most one peer, then down (customer).
+      int phase = 0;  // 0=up, 1=peered, 2=down
+      AsId prev = u;
+      for (const AsId hop : path->hops()) {
+        const auto rel = ref.g.relationship(prev, hop);
+        ASSERT_TRUE(rel.has_value());
+        switch (*rel) {
+          case AsRelationship::kProvider:
+            EXPECT_EQ(phase, 0) << "uphill after descent";
+            break;
+          case AsRelationship::kPeer:
+            EXPECT_LT(phase, 1) << "second lateral step";
+            phase = 1;
+            break;
+          case AsRelationship::kCustomer:
+            phase = 2;
+            break;
+        }
+        prev = hop;
+      }
+    }
+  }
+}
+
+TEST(PolicyRoutesTest, DestinationHasEmptyBestPath) {
+  const ReferenceTopology ref;
+  const PolicyRoutes routes(ref.g, ref.s1);
+  const auto path = routes.best_path(ref.s1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(PolicyRoutesTest, OutOfRangeDestinationThrows) {
+  const ReferenceTopology ref;
+  EXPECT_THROW(PolicyRoutes(ref.g, 99), std::out_of_range);
+  const PolicyRoutes routes(ref.g, ref.s1);
+  EXPECT_THROW((void)routes.best_class(99), std::out_of_range);
+}
+
+// Property test on generated topologies: every AS reaches every stub, all
+// paths valley-free and loop-free.
+class PolicyRoutesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyRoutesPropertyTest, UniversalValleyFreeReachability) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  topology::InternetConfig config;
+  config.tier1_count = 5;
+  config.tier2_count = 15;
+  config.stub_count = 60;
+  const AsGraph graph = topology::make_hierarchical_internet(config, rng);
+
+  for (AsId dest = 0; dest < graph.as_count();
+       dest += 1 + graph.as_count() / 8) {
+    const PolicyRoutes routes(graph, dest);
+    for (AsId u = 0; u < graph.as_count(); ++u) {
+      if (u == dest) continue;
+      const auto path = routes.best_path(u);
+      ASSERT_TRUE(path.has_value())
+          << "AS " << u << " cannot reach " << dest;
+      EXPECT_TRUE(path->loop_free());
+      EXPECT_EQ(path->origin(), dest);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyRoutesPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace lina::routing
+
+namespace lina::routing {
+namespace {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::AsRelationship;
+
+// Independent reference: forward BFS over the (node, phase) product graph.
+// Valley-free paths have shape up* peer? down*; the route class is fixed by
+// the first step. Returns kUnreachable when no such path exists.
+std::size_t brute_force_distance(const AsGraph& graph, AsId source,
+                                 AsId dest, RouteClass cls) {
+  constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+  if (source == dest) return cls == RouteClass::kCustomer ? 0 : kUnreachable;
+  enum Phase { kUp = 0, kPeered = 1, kDown = 2 };
+  const std::size_t n = graph.as_count();
+  std::vector<std::array<std::size_t, 3>> dist(
+      n, {kUnreachable, kUnreachable, kUnreachable});
+  std::deque<std::pair<AsId, Phase>> queue;
+
+  // Seed with the class-defining first step.
+  for (const AsGraph::Link& link : graph.links(source)) {
+    Phase phase;
+    switch (link.rel) {
+      case AsRelationship::kCustomer:
+        phase = kDown;
+        if (cls != RouteClass::kCustomer) continue;
+        break;
+      case AsRelationship::kPeer:
+        phase = kPeered;
+        if (cls != RouteClass::kPeer) continue;
+        break;
+      case AsRelationship::kProvider:
+        phase = kUp;
+        if (cls != RouteClass::kProvider) continue;
+        break;
+      default:
+        continue;
+    }
+    if (dist[link.neighbor][phase] == kUnreachable) {
+      dist[link.neighbor][phase] = 1;
+      queue.emplace_back(link.neighbor, phase);
+    }
+  }
+
+  std::size_t best = kUnreachable;
+  while (!queue.empty()) {
+    const auto [u, phase] = queue.front();
+    queue.pop_front();
+    const std::size_t d = dist[u][phase];
+    if (u == dest) best = std::min(best, d);
+    for (const AsGraph::Link& link : graph.links(u)) {
+      Phase next_phase;
+      if (link.rel == AsRelationship::kCustomer) {
+        next_phase = kDown;  // down is always allowed
+      } else if (link.rel == AsRelationship::kPeer) {
+        if (phase != kUp) continue;  // at most one lateral step
+        next_phase = kPeered;
+      } else {  // provider (up)
+        if (phase != kUp) continue;  // no climbing after peer/descent
+        next_phase = kUp;
+      }
+      if (dist[link.neighbor][next_phase] == kUnreachable) {
+        dist[link.neighbor][next_phase] = d + 1;
+        queue.emplace_back(link.neighbor, next_phase);
+      }
+    }
+  }
+  return best;
+}
+
+class PolicyRoutesOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyRoutesOptimalityTest, DistancesMatchBruteForce) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  topology::InternetConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 8;
+  config.stub_count = 20;
+  const AsGraph graph = topology::make_hierarchical_internet(config, rng);
+
+  for (AsId dest = 0; dest < graph.as_count(); dest += 3) {
+    const PolicyRoutes routes(graph, dest);
+    for (AsId u = 0; u < graph.as_count(); ++u) {
+      if (u == dest) continue;
+      for (const RouteClass cls :
+           {RouteClass::kCustomer, RouteClass::kPeer,
+            RouteClass::kProvider}) {
+        const std::size_t expected =
+            brute_force_distance(graph, u, dest, cls);
+        const auto actual = routes.distance(u, cls);
+        if (expected == static_cast<std::size_t>(-1)) {
+          EXPECT_EQ(actual, std::nullopt)
+              << "u=" << u << " d=" << dest << " cls=" << static_cast<int>(cls);
+        } else {
+          ASSERT_TRUE(actual.has_value())
+              << "u=" << u << " d=" << dest << " cls=" << static_cast<int>(cls);
+          EXPECT_EQ(*actual, expected)
+              << "u=" << u << " d=" << dest << " cls=" << static_cast<int>(cls);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyRoutesOptimalityTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace lina::routing

@@ -1,0 +1,105 @@
+#include "lina/routing/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::routing {
+namespace {
+
+RibRoute make_route(const char* prefix, std::vector<topology::AsId> hops,
+                    RouteClass cls, std::uint32_t med = 0,
+                    std::uint32_t local_pref = 0) {
+  return RibRoute{.prefix = net::Prefix::parse(prefix),
+                  .as_path = AsPath(std::move(hops)),
+                  .route_class = cls,
+                  .local_pref = local_pref,
+                  .med = med};
+}
+
+TEST(RoutePreferenceTest, LocalPrefDominates) {
+  // Rule 1: higher local-preference wins even over a customer route.
+  const RibRoute low = make_route("1.0.0.0/16", {1}, RouteClass::kCustomer,
+                                  0, /*local_pref=*/0);
+  const RibRoute high = make_route("1.0.0.0/16", {2, 3, 4, 5},
+                                   RouteClass::kProvider, 9, 100);
+  EXPECT_TRUE(route_preferred(high, low));
+  EXPECT_FALSE(route_preferred(low, high));
+}
+
+TEST(RoutePreferenceTest, CustomerOverPeerOverProvider) {
+  // Rule 1 with uniform local-pref: customer > peer > provider, even when
+  // the less-preferred class has a shorter path (the paper's §6.2.1 rule 1
+  // precedes rule 2).
+  const RibRoute customer =
+      make_route("1.0.0.0/16", {1, 2, 3}, RouteClass::kCustomer);
+  const RibRoute peer = make_route("1.0.0.0/16", {4, 5}, RouteClass::kPeer);
+  const RibRoute provider =
+      make_route("1.0.0.0/16", {6}, RouteClass::kProvider);
+  EXPECT_TRUE(route_preferred(customer, peer));
+  EXPECT_TRUE(route_preferred(peer, provider));
+  EXPECT_TRUE(route_preferred(customer, provider));
+}
+
+TEST(RoutePreferenceTest, ShorterPathWithinClass) {
+  const RibRoute shorter = make_route("1.0.0.0/16", {1, 2}, RouteClass::kPeer);
+  const RibRoute longer =
+      make_route("1.0.0.0/16", {3, 4, 5}, RouteClass::kPeer);
+  EXPECT_TRUE(route_preferred(shorter, longer));
+}
+
+TEST(RoutePreferenceTest, SmallerMedBreaksLengthTie) {
+  const RibRoute a = make_route("1.0.0.0/16", {1, 2}, RouteClass::kPeer, 3);
+  const RibRoute b = make_route("1.0.0.0/16", {4, 2}, RouteClass::kPeer, 7);
+  EXPECT_TRUE(route_preferred(a, b));
+}
+
+TEST(RoutePreferenceTest, NextHopIdFinalTieBreak) {
+  const RibRoute a = make_route("1.0.0.0/16", {1, 2}, RouteClass::kPeer, 3);
+  const RibRoute b = make_route("1.0.0.0/16", {4, 2}, RouteClass::kPeer, 3);
+  EXPECT_TRUE(route_preferred(a, b));
+  EXPECT_FALSE(route_preferred(b, a));
+}
+
+TEST(RibTest, AddAndQuery) {
+  Rib rib;
+  rib.add(make_route("1.0.0.0/16", {1, 9}, RouteClass::kProvider));
+  rib.add(make_route("1.0.0.0/16", {2, 9}, RouteClass::kCustomer));
+  rib.add(make_route("2.0.0.0/16", {3, 8}, RouteClass::kPeer));
+  EXPECT_EQ(rib.prefix_count(), 2u);
+  EXPECT_EQ(rib.route_count(), 3u);
+  EXPECT_EQ(rib.candidates(net::Prefix::parse("1.0.0.0/16")).size(), 2u);
+  EXPECT_TRUE(rib.candidates(net::Prefix::parse("9.0.0.0/16")).empty());
+}
+
+TEST(RibTest, BestAppliesRanking) {
+  Rib rib;
+  rib.add(make_route("1.0.0.0/16", {1, 9}, RouteClass::kProvider));
+  rib.add(make_route("1.0.0.0/16", {2, 5, 9}, RouteClass::kCustomer));
+  rib.add(make_route("1.0.0.0/16", {3, 9}, RouteClass::kPeer));
+  const auto best = rib.best(net::Prefix::parse("1.0.0.0/16"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->route_class, RouteClass::kCustomer);
+  EXPECT_EQ(best->port(), 2u);
+}
+
+TEST(RibTest, BestOfUnknownPrefix) {
+  Rib rib;
+  EXPECT_EQ(rib.best(net::Prefix::parse("1.0.0.0/16")), std::nullopt);
+}
+
+TEST(RibTest, PrefixesEnumeration) {
+  Rib rib;
+  rib.add(make_route("1.0.0.0/16", {1, 9}, RouteClass::kPeer));
+  rib.add(make_route("2.0.0.0/16", {1, 8}, RouteClass::kPeer));
+  EXPECT_EQ(rib.prefixes().size(), 2u);
+}
+
+TEST(RibTest, RejectsInvalidRoutes) {
+  Rib rib;
+  EXPECT_THROW(rib.add(make_route("1.0.0.0/16", {}, RouteClass::kPeer)),
+               std::invalid_argument);
+  EXPECT_THROW(rib.add(make_route("1.0.0.0/16", {1, 2, 1}, RouteClass::kPeer)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::routing

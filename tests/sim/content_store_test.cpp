@@ -1,0 +1,65 @@
+#include "lina/sim/content_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::sim {
+namespace {
+
+TEST(ContentStoreTest, InsertAndLookup) {
+  ContentStore store(3);
+  EXPECT_FALSE(store.lookup(1));
+  store.insert(1);
+  EXPECT_TRUE(store.lookup(1));
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ContentStoreTest, EvictsLeastRecentlyUsed) {
+  ContentStore store(2);
+  store.insert(1);
+  store.insert(2);
+  store.insert(3);  // evicts 1
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_TRUE(store.contains(2));
+  EXPECT_TRUE(store.contains(3));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ContentStoreTest, LookupRefreshesRecency) {
+  ContentStore store(2);
+  store.insert(1);
+  store.insert(2);
+  EXPECT_TRUE(store.lookup(1));  // 1 becomes most recent
+  store.insert(3);               // evicts 2
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+}
+
+TEST(ContentStoreTest, InsertRefreshesRecency) {
+  ContentStore store(2);
+  store.insert(1);
+  store.insert(2);
+  store.insert(1);  // refresh, no growth
+  EXPECT_EQ(store.size(), 2u);
+  store.insert(3);  // evicts 2
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+}
+
+TEST(ContentStoreTest, ZeroCapacityDisablesCaching) {
+  ContentStore store(0);
+  store.insert(1);
+  EXPECT_FALSE(store.lookup(1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ContentStoreTest, ChurnNeverExceedsCapacity) {
+  ContentStore store(16);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    store.insert(i % 37);
+    EXPECT_LE(store.size(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace lina::sim

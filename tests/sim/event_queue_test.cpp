@@ -1,0 +1,72 @@
+#include "lina/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lina::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(5.0, [&] { order.push_back(2); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(9.0, [&] { order.push_back(3); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 9.0);
+}
+
+TEST(EventQueueTest, EqualTimesFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule(0.0, chain);
+  queue.run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, RejectsPastAndEmpty) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(10.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueueTest, RunNextOnEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.run(), 0u);
+}
+
+TEST(EventQueueTest, MaxEventsBound) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(queue.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(queue.pending(), 7u);
+}
+
+}  // namespace
+}  // namespace lina::sim

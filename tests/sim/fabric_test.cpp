@@ -1,0 +1,92 @@
+#include "lina/sim/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::sim {
+namespace {
+
+using lina::testing::shared_internet;
+using topology::AsId;
+
+const ForwardingFabric& fabric() {
+  static const ForwardingFabric instance(shared_internet());
+  return instance;
+}
+
+TEST(FabricTest, SelfNextHopIsSelf) {
+  const AsId as = shared_internet().edge_ases()[0];
+  EXPECT_EQ(fabric().next_hop(as, as), as);
+  EXPECT_EQ(fabric().path_hops(as, as), 0u);
+  EXPECT_DOUBLE_EQ(*fabric().path_delay_ms(as, as), 0.0);
+}
+
+TEST(FabricTest, NextHopIsAdjacent) {
+  const auto& graph = shared_internet().graph();
+  const AsId dest = shared_internet().edge_ases()[3];
+  for (AsId u = 0; u < graph.as_count(); u += 17) {
+    if (u == dest) continue;
+    const auto hop = fabric().next_hop(u, dest);
+    ASSERT_TRUE(hop.has_value()) << u;
+    EXPECT_TRUE(graph.relationship(u, *hop).has_value()) << u;
+  }
+}
+
+TEST(FabricTest, HopByHopReachesDestination) {
+  const AsId src = shared_internet().edge_ases()[1];
+  const AsId dest = shared_internet().edge_ases()[10];
+  AsId current = src;
+  std::size_t hops = 0;
+  while (current != dest) {
+    const auto next = fabric().next_hop(current, dest);
+    ASSERT_TRUE(next.has_value());
+    current = *next;
+    ASSERT_LT(++hops, 32u);
+  }
+  EXPECT_EQ(fabric().path_hops(src, dest), hops);
+}
+
+TEST(FabricTest, PathDelayIsSumOfLinkDelays) {
+  const AsId src = shared_internet().edge_ases()[2];
+  const AsId dest = shared_internet().edge_ases()[20];
+  double sum = 0.0;
+  AsId current = src;
+  while (current != dest) {
+    const AsId next = *fabric().next_hop(current, dest);
+    sum += fabric().link_delay_ms(current, next);
+    current = next;
+  }
+  EXPECT_NEAR(*fabric().path_delay_ms(src, dest), sum, 1e-9);
+}
+
+TEST(FabricTest, LinkDelayPositiveAndSymmetricEnough) {
+  const auto& graph = shared_internet().graph();
+  const AsId a = 0;
+  for (const auto& link : graph.links(a)) {
+    const double forward = fabric().link_delay_ms(a, link.neighbor);
+    const double backward = fabric().link_delay_ms(link.neighbor, a);
+    EXPECT_GT(forward, 0.0);
+    EXPECT_DOUBLE_EQ(forward, backward);
+  }
+}
+
+TEST(FabricTest, PhysicalHopsLowerBoundsPolicyHops) {
+  for (std::size_t i = 0; i + 5 < shared_internet().edge_ases().size();
+       i += 11) {
+    const AsId a = shared_internet().edge_ases()[i];
+    const AsId b = shared_internet().edge_ases()[i + 5];
+    const auto policy = fabric().path_hops(a, b);
+    ASSERT_TRUE(policy.has_value());
+    EXPECT_GE(*policy, fabric().physical_hops(a, b));
+  }
+}
+
+TEST(FabricTest, OutOfRangeThrows) {
+  EXPECT_THROW((void)fabric().next_hop(1u << 20, 0), std::out_of_range);
+  EXPECT_THROW((void)fabric().physical_hops(0, 1u << 20),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lina::sim

@@ -1,0 +1,196 @@
+#include "lina/sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/fixtures.hpp"
+
+namespace lina::sim {
+namespace {
+
+using lina::testing::shared_internet;
+using topology::AsId;
+
+const ForwardingFabric& fabric() {
+  static const ForwardingFabric instance(shared_internet());
+  return instance;
+}
+
+AsId edge(std::size_t i) { return shared_internet().edge_ases()[i]; }
+
+SessionConfig stationary_config() {
+  SessionConfig config;
+  config.correspondent = edge(0);
+  config.schedule = {{0.0, edge(25)}};
+  config.packet_interval_ms = 50.0;
+  config.duration_ms = 2000.0;
+  return config;
+}
+
+SessionConfig mobile_config() {
+  // Metro-local roaming (the measured common case): the device hops among
+  // ASes near one anchor every two seconds while a remote correspondent
+  // streams packets.
+  static const std::vector<AsId> local =
+      shared_internet().edge_ases_near(topology::metro_anchors()[0], 4);
+  SessionConfig config;
+  config.correspondent = edge(0);
+  config.schedule = {{0.0, local[0]},
+                     {2000.0, local[1]},
+                     {4000.0, local[2]},
+                     {6000.0, local[3]}};
+  config.packet_interval_ms = 20.0;
+  config.duration_ms = 8000.0;
+  // Re-resolve well within the mobility timescale, as a deployed resolver
+  // client would (low TTLs for mobile endpoints).
+  config.resolver_ttl_ms = 150.0;
+  return config;
+}
+
+constexpr SimArchitecture kAll[] = {SimArchitecture::kIndirection,
+                                    SimArchitecture::kNameResolution,
+                                    SimArchitecture::kNameBased};
+
+TEST(SimSessionTest, NamesAreDistinct) {
+  EXPECT_NE(sim_architecture_name(SimArchitecture::kIndirection),
+            sim_architecture_name(SimArchitecture::kNameBased));
+}
+
+TEST(SimSessionTest, ValidatesConfig) {
+  SessionConfig config = stationary_config();
+  config.schedule.clear();
+  for (const auto arch : kAll) {
+    EXPECT_THROW((void)simulate_session(fabric(), arch, config),
+                 std::invalid_argument);
+  }
+  config = stationary_config();
+  config.schedule.front().time_ms = 5.0;
+  EXPECT_THROW((void)simulate_session(fabric(), kAll[0], config),
+               std::invalid_argument);
+  config = stationary_config();
+  config.packet_interval_ms = 0.0;
+  EXPECT_THROW((void)simulate_session(fabric(), kAll[0], config),
+               std::invalid_argument);
+  config = stationary_config();
+  config.schedule.push_back({0.0, edge(1)});  // non-increasing times
+  EXPECT_THROW((void)simulate_session(fabric(), kAll[0], config),
+               std::invalid_argument);
+}
+
+TEST(SimSessionTest, StationaryDeviceFullDelivery) {
+  for (const auto arch : kAll) {
+    const SessionStats stats =
+        simulate_session(fabric(), arch, stationary_config());
+    EXPECT_EQ(stats.packets_sent, 40u);
+    EXPECT_EQ(stats.packets_delivered, stats.packets_sent)
+        << sim_architecture_name(arch);
+    EXPECT_EQ(stats.packets_lost, 0u);
+    EXPECT_TRUE(stats.outage_ms.empty());
+  }
+}
+
+TEST(SimSessionTest, StationaryDirectArchitecturesHaveUnitStretch) {
+  for (const auto arch :
+       {SimArchitecture::kNameResolution, SimArchitecture::kNameBased}) {
+    const SessionStats stats =
+        simulate_session(fabric(), arch, stationary_config());
+    EXPECT_NEAR(stats.stretch.quantile(0.5), 1.0, 1e-6)
+        << sim_architecture_name(arch);
+  }
+}
+
+TEST(SimSessionTest, IndirectionPaysTriangleStretch) {
+  // Home far from both endpoints: the detour must show as stretch > 1.
+  SessionConfig config = stationary_config();
+  config.home_as = edge(100);  // somewhere else entirely
+  const SessionStats via_far_home = simulate_session(
+      fabric(), SimArchitecture::kIndirection, config);
+  EXPECT_EQ(via_far_home.delivery_ratio(), 1.0);
+  EXPECT_GT(via_far_home.stretch.quantile(0.5), 1.0);
+
+  // Home co-located with the device: no detour on the second leg.
+  config.home_as = config.schedule.front().as;
+  const SessionStats via_device_home = simulate_session(
+      fabric(), SimArchitecture::kIndirection, config);
+  EXPECT_NEAR(via_device_home.stretch.quantile(0.5), 1.0, 1e-6);
+}
+
+TEST(SimSessionTest, MobilityCausesBoundedLoss) {
+  for (const auto arch : kAll) {
+    const SessionStats stats =
+        simulate_session(fabric(), arch, mobile_config());
+    EXPECT_EQ(stats.packets_sent, 400u);
+    // Some packets are in flight to the old location at each of the three
+    // moves, but the architectures must re-converge.
+    EXPECT_GT(stats.delivery_ratio(), 0.8) << sim_architecture_name(arch);
+    EXPECT_LT(stats.delivery_ratio(), 1.0) << sim_architecture_name(arch);
+    EXPECT_FALSE(stats.outage_ms.empty());
+  }
+}
+
+TEST(SimSessionTest, ControlMessageAccounting) {
+  // 3 moves: indirection sends one registration per move; resolution sends
+  // one registration per move plus periodic re-resolutions; name-based
+  // floods every router per move.
+  const auto moves = mobile_config().schedule.size() - 1;
+  const SessionStats indirection = simulate_session(
+      fabric(), SimArchitecture::kIndirection, mobile_config());
+  EXPECT_EQ(indirection.control_messages, moves);
+
+  const SessionStats resolution = simulate_session(
+      fabric(), SimArchitecture::kNameResolution, mobile_config());
+  EXPECT_GT(resolution.control_messages, moves);
+
+  const SessionStats name_based = simulate_session(
+      fabric(), SimArchitecture::kNameBased, mobile_config());
+  EXPECT_EQ(name_based.control_messages,
+            moves * shared_internet().graph().as_count());
+}
+
+TEST(SimSessionTest, FasterUpdatesShortenNameBasedOutage) {
+  SessionConfig slow = mobile_config();
+  slow.update_hop_ms = 50.0;
+  SessionConfig fast = mobile_config();
+  fast.update_hop_ms = 1.0;
+  const SessionStats slow_stats =
+      simulate_session(fabric(), SimArchitecture::kNameBased, slow);
+  const SessionStats fast_stats =
+      simulate_session(fabric(), SimArchitecture::kNameBased, fast);
+  ASSERT_FALSE(slow_stats.outage_ms.empty());
+  ASSERT_FALSE(fast_stats.outage_ms.empty());
+  EXPECT_LE(fast_stats.outage_ms.quantile(0.5),
+            slow_stats.outage_ms.quantile(0.5));
+  EXPECT_GE(fast_stats.delivery_ratio(), slow_stats.delivery_ratio());
+}
+
+TEST(SimSessionTest, ShorterTtlImprovesResolutionFreshness) {
+  SessionConfig stale = mobile_config();
+  stale.resolver_ttl_ms = 4000.0;  // never re-resolves within the session
+  SessionConfig fresh = mobile_config();
+  fresh.resolver_ttl_ms = 100.0;
+  const SessionStats stale_stats = simulate_session(
+      fabric(), SimArchitecture::kNameResolution, stale);
+  const SessionStats fresh_stats = simulate_session(
+      fabric(), SimArchitecture::kNameResolution, fresh);
+  EXPECT_GT(fresh_stats.delivery_ratio(), stale_stats.delivery_ratio());
+  EXPECT_GT(fresh_stats.control_messages, stale_stats.control_messages);
+}
+
+TEST(SimSessionTest, NameBasedStretchStaysNearOneAfterConvergence) {
+  const SessionStats stats =
+      simulate_session(fabric(), SimArchitecture::kNameBased,
+                       mobile_config());
+  // Median packet travels a converged shortest policy path.
+  EXPECT_NEAR(stats.stretch.quantile(0.5), 1.0, 0.05);
+}
+
+TEST(SimSessionTest, DeterministicAcrossRuns) {
+  for (const auto arch : kAll) {
+    const SessionStats a = simulate_session(fabric(), arch, mobile_config());
+    const SessionStats b = simulate_session(fabric(), arch, mobile_config());
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+    EXPECT_EQ(a.control_messages, b.control_messages);
+  }
+}
+
+}  // namespace
+}  // namespace lina::sim

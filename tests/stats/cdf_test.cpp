@@ -1,0 +1,110 @@
+#include "lina/stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace lina::stats {
+namespace {
+
+EmpiricalCdf make_cdf(std::initializer_list<double> values) {
+  std::vector<double> v(values);
+  return EmpiricalCdf(v);
+}
+
+TEST(EmpiricalCdfTest, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_THROW((void)cdf.at(0.0), std::logic_error);
+  EXPECT_THROW((void)cdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW((void)cdf.min(), std::logic_error);
+  EXPECT_THROW((void)cdf.max(), std::logic_error);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(EmpiricalCdfTest, SingleSample) {
+  auto cdf = make_cdf({5.0});
+  EXPECT_EQ(cdf.quantile(0.0), 5.0);
+  EXPECT_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_EQ(cdf.at(4.9), 0.0);
+  EXPECT_EQ(cdf.at(5.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, AtIsFractionAtMost) {
+  auto cdf = make_cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  auto cdf = make_cdf({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.5);
+}
+
+TEST(EmpiricalCdfTest, MedianOfOddSample) {
+  auto cdf = make_cdf({9, 1, 5});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileRejectsOutOfRange) {
+  auto cdf = make_cdf({1, 2});
+  EXPECT_THROW((void)cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, AddThenQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  cdf.add(0.5);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.5);
+}
+
+TEST(EmpiricalCdfTest, FractionAbove) {
+  auto cdf = make_cdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(3.0), 0.4);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(5.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 100; i > 0; --i) cdf.add(static_cast<double>(i % 17));
+  const auto curve = cdf.curve(16);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, CurveRespectsMaxPoints) {
+  auto cdf = make_cdf({1, 2, 3});
+  EXPECT_EQ(cdf.curve(10).size(), 3u);
+  EXPECT_EQ(cdf.curve(2).size(), 2u);
+}
+
+TEST(EmpiricalCdfTest, SortedSamplesAreSorted) {
+  EmpiricalCdf cdf;
+  cdf.add(5);
+  cdf.add(-1);
+  cdf.add(3);
+  const auto& s = cdf.sorted_samples();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+}  // namespace
+}  // namespace lina::stats

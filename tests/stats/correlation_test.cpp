@@ -1,0 +1,68 @@
+#include "lina/stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lina/stats/rng.hpp"
+
+namespace lina::stats {
+namespace {
+
+TEST(CorrelationTest, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ShiftAndScaleInvariant) {
+  const std::vector<double> x{0.3, 1.7, -2.0, 5.5, 0.0};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(100.0 - 7.0 * v);
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, IndependentNearZero) {
+  Rng rng(13);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.03);
+}
+
+TEST(CorrelationTest, NoisyPositiveIsHigh) {
+  // Mimics the paper's §6.2 sensitivity check: two workloads producing
+  // similar per-router rates should correlate strongly (paper: 0.88).
+  Rng rng(17);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double base = rng.uniform();
+    x.push_back(base);
+    y.push_back(base + rng.normal(0.0, 0.15));
+  }
+  EXPECT_GT(pearson_correlation(x, y), 0.8);
+}
+
+TEST(CorrelationTest, Rejections) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 2};
+  const std::vector<double> one{1.0};
+  const std::vector<double> empty;
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_THROW((void)pearson_correlation(a, b), std::invalid_argument);
+  EXPECT_THROW((void)pearson_correlation(empty, empty),
+               std::invalid_argument);
+  EXPECT_THROW((void)pearson_correlation(one, one), std::invalid_argument);
+  EXPECT_THROW((void)pearson_correlation(a, constant), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::stats

@@ -1,0 +1,152 @@
+#include "lina/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace lina::stats {
+namespace {
+
+TEST(LogNormalTest, MedianMatches) {
+  Rng rng(1);
+  const LogNormal dist(3.0, 1.2);
+  std::vector<double> samples;
+  for (int i = 0; i < 40000; ++i) samples.push_back(dist.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 3.0, 0.15);
+}
+
+TEST(LogNormalTest, CdfAtMedianIsHalf) {
+  const LogNormal dist(3.0, 1.2);
+  EXPECT_NEAR(dist.cdf(3.0), 0.5, 1e-9);
+}
+
+TEST(LogNormalTest, CdfMonotone) {
+  const LogNormal dist(5.0, 0.8);
+  double prev = 0.0;
+  for (double x = 0.1; x < 100.0; x *= 1.5) {
+    const double c = dist.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(dist.cdf(0.0), 0.0);
+  EXPECT_EQ(dist.cdf(-1.0), 0.0);
+}
+
+TEST(LogNormalTest, TailCalibration) {
+  // The paper anchor: with median 3 and a wide sigma, >15% of users exceed
+  // 10 transitions/day.
+  const LogNormal dist(3.4, 1.45);
+  EXPECT_GT(1.0 - dist.cdf(10.0), 0.15);
+}
+
+TEST(LogNormalTest, RejectsBadParameters) {
+  EXPECT_THROW(LogNormal(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BoundedParetoTest, SamplesWithinBounds) {
+  Rng rng(2);
+  const BoundedPareto dist(1.1, 2.0, 50.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 50.0);
+  }
+}
+
+TEST(BoundedParetoTest, HeavyTail) {
+  Rng rng(3);
+  const BoundedPareto dist(0.8, 1.0, 1000.0);
+  int above_100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) > 100.0) ++above_100;
+  }
+  // A bounded Pareto with alpha < 1 puts noticeable mass near the top.
+  EXPECT_GT(above_100, n / 100);
+}
+
+TEST(BoundedParetoTest, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1.0, 3.0, 2.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const Zipf zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= 100; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankOneMostLikely) {
+  const Zipf zipf(50, 1.2);
+  for (std::size_t k = 2; k <= 50; ++k) {
+    EXPECT_GT(zipf.pmf(1), zipf.pmf(k));
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  Rng rng(5);
+  const Zipf zipf(10, 1.0);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfTest, PmfRangeChecks) {
+  const Zipf zipf(10, 1.0);
+  EXPECT_THROW((void)zipf.pmf(0), std::out_of_range);
+  EXPECT_THROW((void)zipf.pmf(11), std::out_of_range);
+}
+
+TEST(ZipfTest, RejectsEmpty) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(WeightedIndexTest, RespectsWeights) {
+  Rng rng(7);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[weighted_index(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(WeightedIndexTest, Rejections) {
+  Rng rng(7);
+  EXPECT_THROW((void)weighted_index(rng, {}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_index(rng, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_index(rng, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(RandomPartitionTest, SumsToTotal) {
+  Rng rng(11);
+  for (const std::size_t total : {0u, 1u, 24u, 1000u}) {
+    for (const std::size_t parts : {1u, 2u, 7u}) {
+      const auto partition = random_partition(rng, total, parts);
+      EXPECT_EQ(partition.size(), parts);
+      EXPECT_EQ(std::accumulate(partition.begin(), partition.end(),
+                                std::size_t{0}),
+                total);
+    }
+  }
+}
+
+TEST(RandomPartitionTest, RejectsZeroParts) {
+  Rng rng(11);
+  EXPECT_THROW((void)random_partition(rng, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::stats

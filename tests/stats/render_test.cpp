@@ -1,0 +1,91 @@
+#include "lina/stats/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lina::stats {
+namespace {
+
+TEST(RenderTest, FmtTrimsTrailingZeros) {
+  EXPECT_EQ(fmt(1.5), "1.5");
+  EXPECT_EQ(fmt(2.0), "2");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+  EXPECT_EQ(fmt(0.1004, 2), "0.1");
+  EXPECT_EQ(fmt(0.0), "0");
+}
+
+TEST(RenderTest, PctFormatsFractions) {
+  EXPECT_EQ(pct(0.137, 1), "13.7%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+  EXPECT_EQ(pct(0.0), "0%");
+}
+
+TEST(RenderTest, HeadingUnderlinesTitle) {
+  const std::string h = heading("Figure 8");
+  EXPECT_NE(h.find("Figure 8"), std::string::npos);
+  EXPECT_NE(h.find("========"), std::string::npos);
+}
+
+TEST(RenderTest, BarChartContainsLabelsAndValues) {
+  const std::vector<std::pair<std::string, double>> rows{
+      {"Oregon-1", 14.0}, {"Tokyo", 0.0}};
+  const std::string chart = bar_chart(rows, "%");
+  EXPECT_NE(chart.find("Oregon-1"), std::string::npos);
+  EXPECT_NE(chart.find("Tokyo"), std::string::npos);
+  EXPECT_NE(chart.find("14%"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(RenderTest, BarChartEmpty) {
+  EXPECT_EQ(bar_chart({}), "(no data)\n");
+}
+
+TEST(RenderTest, BarChartScalesToMax) {
+  const std::vector<std::pair<std::string, double>> rows{{"a", 10.0},
+                                                         {"b", 5.0}};
+  const std::string chart = bar_chart(rows, "", 0.0, 10);
+  // Row a gets 10 bars, row b gets 5.
+  EXPECT_NE(chart.find(std::string(10, '#')), std::string::npos);
+  EXPECT_EQ(chart.find(std::string(11, '#')), std::string::npos);
+}
+
+TEST(RenderTest, CdfTableHasHeaderAndRows) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 50; ++i) cdf.add(i);
+  const std::string table = cdf_table(cdf, "delay (ms)", 8);
+  EXPECT_NE(table.find("delay (ms)"), std::string::npos);
+  EXPECT_NE(table.find("CDF"), std::string::npos);
+  EXPECT_NE(table.find("100%"), std::string::npos);
+}
+
+TEST(RenderTest, MultiCdfTableColumnsPerSeries) {
+  EmpiricalCdf a, b;
+  for (int i = 1; i <= 10; ++i) {
+    a.add(i);
+    b.add(i * 2);
+  }
+  const std::vector<std::pair<std::string, const EmpiricalCdf*>> series{
+      {"IP", &a}, {"AS", &b}};
+  const std::string table = multi_cdf_table(series, "per day", 5);
+  EXPECT_NE(table.find("IP (per day)"), std::string::npos);
+  EXPECT_NE(table.find("AS (per day)"), std::string::npos);
+}
+
+TEST(RenderTest, TextTableAlignsColumns) {
+  const std::vector<std::vector<std::string>> rows{
+      {"router", "rate"}, {"Oregon-1", "14%"}, {"x", "0.1%"}};
+  const std::string table = text_table(rows);
+  EXPECT_NE(table.find("router"), std::string::npos);
+  EXPECT_NE(table.find("Oregon-1"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(table.find("---"), std::string::npos);
+}
+
+TEST(RenderTest, TextTableEmpty) {
+  EXPECT_EQ(text_table({}), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace lina::stats

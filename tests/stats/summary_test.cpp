@@ -1,0 +1,63 @@
+#include "lina/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lina::stats {
+namespace {
+
+TEST(SummaryTest, BasicStatistics) {
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(SummaryTest, OddMedian) {
+  const std::vector<double> data{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(data).median, 2.0);
+}
+
+TEST(SummaryTest, SingleElement) {
+  const std::vector<double> data{42.0};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, ThrowsOnEmpty) {
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary) {
+  const std::vector<double> data{1.5, -2.0, 0.0, 7.25, 3.0, 3.0};
+  RunningStats acc;
+  for (const double x : data) acc.add(x);
+  const Summary s = summarize(data);
+  EXPECT_EQ(acc.count(), s.count);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyThrows) {
+  RunningStats acc;
+  EXPECT_THROW((void)acc.mean(), std::logic_error);
+  EXPECT_THROW((void)acc.variance(), std::logic_error);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  RunningStats acc;
+  for (int i = 0; i < 1000; ++i) acc.add(1e9 + (i % 2));
+  EXPECT_NEAR(acc.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace lina::stats

@@ -1,0 +1,196 @@
+#include "lina/strategy/forwarding_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lina::strategy {
+namespace {
+
+using net::Ipv4Address;
+using net::Prefix;
+using routing::Fib;
+using routing::FibEntry;
+using routing::RouteClass;
+
+// A FIB with three prefixes on three ports; 2.x is the most preferred
+// (customer), 1.x is a peer route, 3.x is a provider route.
+Fib make_fib() {
+  Fib fib;
+  fib.insert(Prefix::parse("1.0.0.0/16"),
+             FibEntry{.port = 11, .route_class = RouteClass::kPeer,
+                      .path_length = 2, .med = 0});
+  fib.insert(Prefix::parse("2.0.0.0/16"),
+             FibEntry{.port = 22, .route_class = RouteClass::kCustomer,
+                      .path_length = 3, .med = 0});
+  fib.insert(Prefix::parse("3.0.0.0/16"),
+             FibEntry{.port = 33, .route_class = RouteClass::kProvider,
+                      .path_length = 1, .med = 0});
+  return fib;
+}
+
+std::vector<Ipv4Address> addrs(std::initializer_list<const char*> list) {
+  std::vector<Ipv4Address> out;
+  for (const char* a : list) out.push_back(Ipv4Address::parse(a));
+  return out;
+}
+
+TEST(StrategyNameTest, AllKindsNamed) {
+  EXPECT_EQ(strategy_name(StrategyKind::kBestPort), "best-port");
+  EXPECT_EQ(strategy_name(StrategyKind::kControlledFlooding),
+            "controlled-flooding");
+  EXPECT_EQ(strategy_name(StrategyKind::kHistoryUnion), "history-union");
+}
+
+TEST(EligiblePortsTest, CollectsPortsOfRoutedAddresses) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto ports = eligible_ports(
+      oracle, addrs({"1.0.0.1", "2.0.0.1", "9.9.9.9"}));
+  EXPECT_EQ(ports, (std::set<routing::Port>{11, 22}));
+}
+
+TEST(EligiblePortsTest, EmptyForUnroutedSet) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  EXPECT_TRUE(eligible_ports(oracle, addrs({"9.9.9.9"})).empty());
+  EXPECT_TRUE(eligible_ports(oracle, {}).empty());
+}
+
+TEST(BestEntryTest, PicksMostPreferredAcrossAddresses) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto best = best_entry(
+      oracle, addrs({"1.0.0.1", "2.0.0.1", "3.0.0.1"}));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->port, 22u);  // customer route wins
+}
+
+TEST(BestEntryTest, NulloptWhenNothingRouted) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  EXPECT_EQ(best_entry(oracle, addrs({"9.9.9.9"})), std::nullopt);
+}
+
+TEST(BestPortStrategyTest, FirstObservationNeverCounts) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kBestPort);
+  EXPECT_FALSE(strat->observe(oracle, addrs({"1.0.0.1"})));
+  EXPECT_EQ(strat->current_ports(), (std::set<routing::Port>{11}));
+}
+
+TEST(BestPortStrategyTest, UpdatesOnlyWhenBestPortChanges) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kBestPort);
+  strat->observe(oracle, addrs({"2.0.0.1", "3.0.0.1"}));  // best = 22
+  // Losing the provider replica does not move the best port.
+  EXPECT_FALSE(strat->observe(oracle, addrs({"2.0.0.1"})));
+  // Losing the customer replica does.
+  EXPECT_TRUE(strat->observe(oracle, addrs({"3.0.0.1"})));
+  EXPECT_EQ(strat->current_ports(), (std::set<routing::Port>{33}));
+}
+
+TEST(BestPortStrategyTest, AddressChurnWithinBestPrefixIsFree) {
+  // The paper's key best-port observation: replica churn that keeps the
+  // preferred location does not update the router.
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kBestPort);
+  strat->observe(oracle, addrs({"2.0.0.1", "1.0.0.1"}));
+  EXPECT_FALSE(strat->observe(oracle, addrs({"2.0.0.99", "1.0.0.7"})));
+  EXPECT_FALSE(strat->observe(oracle, addrs({"2.0.55.1"})));
+}
+
+TEST(BestPortStrategyTest, TransitionToUnroutedCounts) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kBestPort);
+  strat->observe(oracle, addrs({"1.0.0.1"}));
+  EXPECT_TRUE(strat->observe(oracle, addrs({"9.9.9.9"})));
+  EXPECT_TRUE(strat->current_ports().empty());
+}
+
+TEST(ControlledFloodingStrategyTest, UpdatesOnAnyEligibleSetChange) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kControlledFlooding);
+  strat->observe(oracle, addrs({"1.0.0.1", "2.0.0.1"}));  // {11, 22}
+  // Same ports, different addresses: no update.
+  EXPECT_FALSE(strat->observe(oracle, addrs({"1.0.0.2", "2.0.0.9"})));
+  // Extra port appears: update.
+  EXPECT_TRUE(strat->observe(oracle, addrs({"1.0.0.2", "2.0.0.9", "3.0.0.1"})));
+  EXPECT_EQ(strat->current_ports(), (std::set<routing::Port>{11, 22, 33}));
+  // Port disappears: update.
+  EXPECT_TRUE(strat->observe(oracle, addrs({"1.0.0.2"})));
+}
+
+TEST(ControlledFloodingStrategyTest, AtLeastAsCostlyAsBestPort) {
+  // §3.3.3: controlled flooding's update cost is at least best-port's.
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto flood = make_strategy(StrategyKind::kControlledFlooding);
+  const auto best = make_strategy(StrategyKind::kBestPort);
+  const std::vector<std::vector<Ipv4Address>> snapshots{
+      addrs({"1.0.0.1", "2.0.0.1"}), addrs({"1.0.0.1", "2.0.0.1", "3.0.0.1"}),
+      addrs({"2.0.0.1", "3.0.0.1"}), addrs({"3.0.0.1"}),
+      addrs({"1.0.0.1", "3.0.0.1"}), addrs({"2.0.0.5"}),
+  };
+  int flood_updates = 0, best_updates = 0;
+  for (const auto& snapshot : snapshots) {
+    if (flood->observe(oracle, snapshot)) ++flood_updates;
+    if (best->observe(oracle, snapshot)) ++best_updates;
+  }
+  EXPECT_GE(flood_updates, best_updates);
+}
+
+TEST(HistoryUnionStrategyTest, RevisitsAreFree) {
+  // §3.3.3: once a location has been seen, flitting back and forth across
+  // known locations never updates the router.
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kHistoryUnion);
+  strat->observe(oracle, addrs({"1.0.0.1"}));
+  EXPECT_TRUE(strat->observe(oracle, addrs({"2.0.0.1"})));   // new port
+  EXPECT_FALSE(strat->observe(oracle, addrs({"1.0.0.1"})));  // revisit
+  EXPECT_FALSE(strat->observe(oracle, addrs({"2.0.0.1"})));  // revisit
+  // Port set is the union of history.
+  EXPECT_EQ(strat->current_ports(), (std::set<routing::Port>{11, 22}));
+}
+
+TEST(HistoryUnionStrategyTest, OnlyTrulyNewLocationsCost) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  const auto strat = make_strategy(StrategyKind::kHistoryUnion);
+  strat->observe(oracle, addrs({"1.0.0.1"}));
+  // New address, same prefix/port: union grows but ports unchanged.
+  EXPECT_FALSE(strat->observe(oracle, addrs({"1.0.0.2"})));
+  EXPECT_TRUE(strat->observe(oracle, addrs({"3.0.0.1"})));
+}
+
+TEST(StrategyResetTest, ResetForgetsEverything) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  for (const auto kind :
+       {StrategyKind::kBestPort, StrategyKind::kControlledFlooding,
+        StrategyKind::kHistoryUnion}) {
+    const auto strat = make_strategy(kind);
+    strat->observe(oracle, addrs({"1.0.0.1"}));
+    strat->reset();
+    EXPECT_TRUE(strat->current_ports().empty());
+    // Post-reset first observation initializes again without counting.
+    EXPECT_FALSE(strat->observe(oracle, addrs({"3.0.0.1"})));
+  }
+}
+
+TEST(StrategyFactoryTest, KindsRoundTrip) {
+  for (const auto kind :
+       {StrategyKind::kBestPort, StrategyKind::kControlledFlooding,
+        StrategyKind::kHistoryUnion}) {
+    EXPECT_EQ(make_strategy(kind)->kind(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace lina::strategy

@@ -1,0 +1,61 @@
+#include "lina/strategy/port_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::strategy {
+namespace {
+
+using net::Ipv4Address;
+using net::Prefix;
+using routing::Fib;
+using routing::FibEntry;
+
+Fib make_fib() {
+  Fib fib;
+  fib.insert(Prefix::parse("10.0.0.0/8"), FibEntry{.port = 7});
+  fib.insert(Prefix::parse("10.1.0.0/16"), FibEntry{.port = 9});
+  return fib;
+}
+
+TEST(FibOracleTest, MatchesFibLookups) {
+  const Fib fib = make_fib();
+  const FibOracle oracle(fib);
+  EXPECT_EQ(oracle.port_for(Ipv4Address::parse("10.1.0.1")), 9u);
+  EXPECT_EQ(oracle.port_for(Ipv4Address::parse("10.9.0.1")), 7u);
+  EXPECT_EQ(oracle.port_for(Ipv4Address::parse("11.0.0.1")), std::nullopt);
+  const auto entry = oracle.entry_for(Ipv4Address::parse("10.1.0.1"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->port, 9u);
+}
+
+TEST(CachingFibOracleTest, AgreesWithDirectOracle) {
+  const Fib fib = make_fib();
+  const FibOracle direct(fib);
+  const CachingFibOracle cached(fib);
+  for (const char* addr : {"10.1.0.1", "10.2.0.1", "11.0.0.1", "10.1.0.1"}) {
+    EXPECT_EQ(cached.entry_for(Ipv4Address::parse(addr)),
+              direct.entry_for(Ipv4Address::parse(addr)))
+        << addr;
+  }
+}
+
+TEST(CachingFibOracleTest, CachesDistinctAddressesOnly) {
+  const Fib fib = make_fib();
+  const CachingFibOracle cached(fib);
+  EXPECT_EQ(cached.cached_addresses(), 0u);
+  (void)cached.entry_for(Ipv4Address::parse("10.1.0.1"));
+  (void)cached.entry_for(Ipv4Address::parse("10.1.0.1"));
+  (void)cached.entry_for(Ipv4Address::parse("10.2.0.1"));
+  EXPECT_EQ(cached.cached_addresses(), 2u);
+}
+
+TEST(CachingFibOracleTest, CachesNegativeResults) {
+  const Fib fib = make_fib();
+  const CachingFibOracle cached(fib);
+  EXPECT_EQ(cached.entry_for(Ipv4Address::parse("200.0.0.1")), std::nullopt);
+  EXPECT_EQ(cached.entry_for(Ipv4Address::parse("200.0.0.1")), std::nullopt);
+  EXPECT_EQ(cached.cached_addresses(), 1u);
+}
+
+}  // namespace
+}  // namespace lina::strategy

@@ -1,0 +1,179 @@
+#include "lina/topology/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lina::topology {
+namespace {
+
+TEST(AsGraphTest, AddAsesAndLinks) {
+  AsGraph g;
+  const AsId t1 = g.add_as(AsTier::kTier1, {0, 0});
+  const AsId t2 = g.add_as(AsTier::kTier2, {1, 1});
+  const AsId stub = g.add_as(AsTier::kStub, {2, 2});
+  g.add_provider_link(/*customer=*/t2, /*provider=*/t1);
+  g.add_provider_link(stub, t2);
+  EXPECT_EQ(g.as_count(), 3u);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.degree(t2), 2u);
+}
+
+TEST(AsGraphTest, RelationshipPerspectives) {
+  AsGraph g;
+  const AsId a = g.add_as(AsTier::kTier2, {});
+  const AsId b = g.add_as(AsTier::kStub, {});
+  const AsId c = g.add_as(AsTier::kTier2, {});
+  g.add_provider_link(/*customer=*/b, /*provider=*/a);
+  g.add_peer_link(a, c);
+  // From b's perspective a is a provider; from a's, b is a customer.
+  EXPECT_EQ(g.relationship(b, a), AsRelationship::kProvider);
+  EXPECT_EQ(g.relationship(a, b), AsRelationship::kCustomer);
+  EXPECT_EQ(g.relationship(a, c), AsRelationship::kPeer);
+  EXPECT_EQ(g.relationship(c, a), AsRelationship::kPeer);
+  EXPECT_EQ(g.relationship(b, c), std::nullopt);
+}
+
+TEST(AsGraphTest, RejectsBadLinks) {
+  AsGraph g;
+  const AsId a = g.add_as(AsTier::kTier1, {});
+  const AsId b = g.add_as(AsTier::kTier2, {});
+  EXPECT_THROW(g.add_peer_link(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_provider_link(a, 99), std::out_of_range);
+  g.add_provider_link(b, a);
+  EXPECT_THROW(g.add_peer_link(a, b), std::invalid_argument);  // duplicate
+}
+
+TEST(AsGraphTest, TierAndLocationAccessors) {
+  AsGraph g;
+  const AsId a = g.add_as(AsTier::kStub, {12.5, -30.0});
+  EXPECT_EQ(g.tier(a), AsTier::kStub);
+  EXPECT_DOUBLE_EQ(g.location(a).latitude_deg, 12.5);
+  EXPECT_THROW((void)g.tier(42), std::out_of_range);
+}
+
+TEST(AsGraphTest, AsesOfTier) {
+  AsGraph g;
+  g.add_as(AsTier::kTier1, {});
+  g.add_as(AsTier::kStub, {});
+  g.add_as(AsTier::kStub, {});
+  EXPECT_EQ(g.ases_of_tier(AsTier::kTier1).size(), 1u);
+  EXPECT_EQ(g.ases_of_tier(AsTier::kStub).size(), 2u);
+  EXPECT_EQ(g.ases_of_tier(AsTier::kTier2).size(), 0u);
+}
+
+TEST(MetroAnchorsTest, TwelveWorldRegions) {
+  const auto anchors = metro_anchors();
+  EXPECT_EQ(anchors.size(), 12u);
+  for (const GeoPoint& p : anchors) {
+    EXPECT_GE(p.latitude_deg, -90.0);
+    EXPECT_LE(p.latitude_deg, 90.0);
+    EXPECT_GE(p.longitude_deg, -180.0);
+    EXPECT_LE(p.longitude_deg, 180.0);
+  }
+}
+
+class HierarchicalInternetTest : public ::testing::Test {
+ protected:
+  static const AsGraph& graph() {
+    static const AsGraph g = [] {
+      stats::Rng rng(42);
+      InternetConfig config;
+      config.tier1_count = 8;
+      config.tier2_count = 40;
+      config.stub_count = 200;
+      return make_hierarchical_internet(config, rng);
+    }();
+    return g;
+  }
+};
+
+TEST_F(HierarchicalInternetTest, TierCounts) {
+  EXPECT_EQ(graph().as_count(), 8u + 40u + 200u);
+  EXPECT_EQ(graph().ases_of_tier(AsTier::kTier1).size(), 8u);
+  EXPECT_EQ(graph().ases_of_tier(AsTier::kTier2).size(), 40u);
+  EXPECT_EQ(graph().ases_of_tier(AsTier::kStub).size(), 200u);
+}
+
+TEST_F(HierarchicalInternetTest, Tier1FullPeerMesh) {
+  const auto tier1 = graph().ases_of_tier(AsTier::kTier1);
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      EXPECT_EQ(graph().relationship(tier1[i], tier1[j]),
+                AsRelationship::kPeer);
+    }
+  }
+}
+
+TEST_F(HierarchicalInternetTest, EveryNonTier1HasAProvider) {
+  for (AsId as = 0; as < graph().as_count(); ++as) {
+    if (graph().tier(as) == AsTier::kTier1) continue;
+    bool has_provider = false;
+    for (const AsGraph::Link& link : graph().links(as)) {
+      if (link.rel == AsRelationship::kProvider) has_provider = true;
+    }
+    EXPECT_TRUE(has_provider) << "AS " << as;
+  }
+}
+
+TEST_F(HierarchicalInternetTest, StubsBuyFromTier2Only) {
+  for (const AsId stub : graph().ases_of_tier(AsTier::kStub)) {
+    for (const AsGraph::Link& link : graph().links(stub)) {
+      EXPECT_EQ(link.rel, AsRelationship::kProvider);
+      EXPECT_EQ(graph().tier(link.neighbor), AsTier::kTier2);
+    }
+  }
+}
+
+TEST_F(HierarchicalInternetTest, Tier2ProvidersAreTier1) {
+  for (const AsId t2 : graph().ases_of_tier(AsTier::kTier2)) {
+    for (const AsGraph::Link& link : graph().links(t2)) {
+      if (link.rel == AsRelationship::kProvider) {
+        EXPECT_EQ(graph().tier(link.neighbor), AsTier::kTier1);
+      }
+    }
+  }
+}
+
+TEST_F(HierarchicalInternetTest, MultihomingWithinBounds) {
+  for (const AsId stub : graph().ases_of_tier(AsTier::kStub)) {
+    std::size_t providers = 0;
+    for (const AsGraph::Link& link : graph().links(stub)) {
+      if (link.rel == AsRelationship::kProvider) ++providers;
+    }
+    EXPECT_GE(providers, 1u);
+    EXPECT_LE(providers, 2u);
+  }
+}
+
+TEST_F(HierarchicalInternetTest, DeterministicForSeed) {
+  stats::Rng rng1(7);
+  stats::Rng rng2(7);
+  InternetConfig config;
+  config.tier1_count = 4;
+  config.tier2_count = 10;
+  config.stub_count = 30;
+  const AsGraph a = make_hierarchical_internet(config, rng1);
+  const AsGraph b = make_hierarchical_internet(config, rng2);
+  ASSERT_EQ(a.as_count(), b.as_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (AsId as = 0; as < a.as_count(); ++as) {
+    EXPECT_EQ(a.degree(as), b.degree(as));
+  }
+}
+
+TEST(HierarchicalInternetConfigTest, RejectsBadConfigs) {
+  stats::Rng rng(1);
+  InternetConfig config;
+  config.tier1_count = 0;
+  EXPECT_THROW((void)make_hierarchical_internet(config, rng),
+               std::invalid_argument);
+  config = {};
+  config.stub_min_providers = 3;
+  config.stub_max_providers = 2;
+  EXPECT_THROW((void)make_hierarchical_internet(config, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::topology

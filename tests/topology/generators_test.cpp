@@ -1,0 +1,107 @@
+#include "lina/topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lina::topology {
+namespace {
+
+TEST(GeneratorsTest, ChainStructure) {
+  const Graph g = make_chain(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GeneratorsTest, ChainOfOne) {
+  const Graph g = make_chain(1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GeneratorsTest, CliqueStructure) {
+  const Graph g = make_clique(6);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(GeneratorsTest, StarStructure) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(GeneratorsTest, BinaryTreeStructure) {
+  const Graph g = make_binary_tree(7);  // perfect tree of depth 2
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);   // root
+  EXPECT_EQ(g.degree(1), 3u);   // internal
+  EXPECT_EQ(g.degree(3), 1u);   // leaf
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 6));
+}
+
+TEST(GeneratorsTest, GridStructure) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // Edges: 3 rows x 3 horizontal + 2 x 4 vertical = 17.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnectedAtAnyDensity) {
+  stats::Rng rng(1);
+  for (const double p : {0.0, 0.05, 0.5}) {
+    const Graph g = make_erdos_renyi(40, p, rng);
+    EXPECT_EQ(g.node_count(), 40u);
+    EXPECT_TRUE(g.connected());
+    EXPECT_GE(g.edge_count(), 39u);  // spanning tree at minimum
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiFullDensityIsClique) {
+  stats::Rng rng(2);
+  const Graph g = make_erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(g.edge_count(), 45u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertStructure) {
+  stats::Rng rng(3);
+  const Graph g = make_barabasi_albert(100, 2, rng);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_TRUE(g.connected());
+  // m edges per new node after the seed star of size m+1.
+  EXPECT_EQ(g.edge_count(), 2u + (100u - 3u) * 2u);
+  // Preferential attachment produces hubs.
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  EXPECT_GT(max_degree, 10u);
+}
+
+TEST(GeneratorsTest, Rejections) {
+  stats::Rng rng(4);
+  EXPECT_THROW((void)make_chain(0), std::invalid_argument);
+  EXPECT_THROW((void)make_clique(0), std::invalid_argument);
+  EXPECT_THROW((void)make_star(0), std::invalid_argument);
+  EXPECT_THROW((void)make_binary_tree(0), std::invalid_argument);
+  EXPECT_THROW((void)make_grid(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)make_erdos_renyi(5, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_barabasi_albert(3, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_barabasi_albert(2, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lina::topology

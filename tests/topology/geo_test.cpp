@@ -1,0 +1,54 @@
+#include "lina/topology/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::topology {
+namespace {
+
+TEST(GeoTest, ZeroDistanceAtSamePoint) {
+  const GeoPoint p{40.0, -74.0};
+  EXPECT_NEAR(great_circle_km(p, p), 0.0, 1e-9);
+}
+
+TEST(GeoTest, KnownDistanceNewYorkLondon) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  const double d = great_circle_km(nyc, london);
+  EXPECT_NEAR(d, 5570.0, 100.0);  // ~5,570 km
+}
+
+TEST(GeoTest, Symmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(GeoTest, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_km(a, b), 20015.0, 30.0);
+}
+
+TEST(GeoTest, PropagationDelayScalesWithDistance) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint near{0.0, 1.0};
+  const GeoPoint far{0.0, 90.0};
+  EXPECT_LT(propagation_delay_ms(a, near), propagation_delay_ms(a, far));
+}
+
+TEST(GeoTest, PropagationDelayMatchesFiberSpeed) {
+  // 2000 km at 200 km/ms with inflation 1.0 -> 10 ms one way.
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 17.9864};  // ~2000 km along the equator
+  EXPECT_NEAR(propagation_delay_ms(a, b, 1.0), 10.0, 0.3);
+}
+
+TEST(GeoTest, InflationMultiplies) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{10.0, 10.0};
+  EXPECT_NEAR(propagation_delay_ms(a, b, 2.0),
+              2.0 * propagation_delay_ms(a, b, 1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace lina::topology

@@ -1,0 +1,75 @@
+#include "lina/topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::topology {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 1), 2.5);
+}
+
+TEST(GraphTest, AddNodeReturnsId) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+}
+
+TEST(GraphTest, RejectsInvalidEdges) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);          // self-loop
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);              // bad id
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);     // weight
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);          // duplicate
+}
+
+TEST(GraphTest, EdgeWeightThrowsOnMissing) {
+  Graph g(2);
+  EXPECT_THROW((void)g.edge_weight(0, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GraphTest, SingleNodeConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+}
+
+}  // namespace
+}  // namespace lina::topology

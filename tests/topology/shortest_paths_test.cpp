@@ -1,0 +1,107 @@
+#include "lina/topology/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lina/topology/generators.hpp"
+
+namespace lina::topology {
+namespace {
+
+TEST(DijkstraTest, ChainDistances) {
+  const Graph g = make_chain(5);
+  const SsspTree tree = dijkstra(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(tree.distance[v], static_cast<double>(v));
+  }
+  EXPECT_EQ(tree.first_hop[0], 0u);  // local
+  EXPECT_EQ(tree.first_hop[4], 1u);  // toward the chain
+  EXPECT_EQ(tree.parent[4], 3u);
+}
+
+TEST(DijkstraTest, WeightedShortcut) {
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  const SsspTree tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 2.0);
+  EXPECT_EQ(tree.first_hop[1], 2u);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const SsspTree tree = dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(tree.distance[2]));
+  EXPECT_EQ(tree.first_hop[2], kNoNode);
+  EXPECT_EQ(tree.parent[2], kNoNode);
+}
+
+TEST(DijkstraTest, DeterministicTieBreakPrefersLowerParent) {
+  // Two equal-cost paths 0-1-3 and 0-2-3: parent of 3 must be 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const SsspTree tree = dijkstra(g, 0);
+  EXPECT_EQ(tree.parent[3], 1u);
+  EXPECT_EQ(tree.first_hop[3], 1u);
+}
+
+TEST(DijkstraTest, SourceOutOfRange) {
+  const Graph g = make_chain(3);
+  EXPECT_THROW((void)dijkstra(g, 7), std::out_of_range);
+}
+
+TEST(AllPairsTest, SymmetricDistances) {
+  stats::Rng rng(5);
+  const Graph g = make_erdos_renyi(30, 0.1, rng);
+  const AllPairsShortestPaths apsp(g);
+  for (NodeId u = 0; u < 30; u += 3) {
+    for (NodeId v = 0; v < 30; v += 3) {
+      EXPECT_DOUBLE_EQ(apsp.distance(u, v), apsp.distance(v, u));
+    }
+  }
+}
+
+TEST(AllPairsTest, NextHopIsLocalAtSelf) {
+  const Graph g = make_star(5);
+  const AllPairsShortestPaths apsp(g);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(apsp.next_hop(v, v), v);
+}
+
+TEST(AllPairsTest, NextHopAdvancesTowardDestination) {
+  const Graph g = make_binary_tree(15);
+  const AllPairsShortestPaths apsp(g);
+  for (NodeId u = 0; u < 15; ++u) {
+    for (NodeId v = 0; v < 15; ++v) {
+      if (u == v) continue;
+      const NodeId hop = apsp.next_hop(u, v);
+      ASSERT_NE(hop, kNoNode);
+      EXPECT_TRUE(g.has_edge(u, hop));
+      EXPECT_DOUBLE_EQ(apsp.distance(hop, v), apsp.distance(u, v) - 1.0);
+    }
+  }
+}
+
+TEST(AllPairsTest, ChainDiameter) {
+  const AllPairsShortestPaths apsp(make_chain(10));
+  EXPECT_DOUBLE_EQ(apsp.diameter(), 9.0);
+}
+
+TEST(AllPairsTest, CliqueDiameterIsOne) {
+  const AllPairsShortestPaths apsp(make_clique(6));
+  EXPECT_DOUBLE_EQ(apsp.diameter(), 1.0);
+}
+
+TEST(AllPairsTest, OutOfRangeQueries) {
+  const AllPairsShortestPaths apsp(make_chain(3));
+  EXPECT_THROW((void)apsp.distance(0, 9), std::out_of_range);
+  EXPECT_THROW((void)apsp.next_hop(9, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lina::topology
