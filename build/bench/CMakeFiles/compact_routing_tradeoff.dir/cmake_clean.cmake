@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_routing_tradeoff.dir/compact_routing_tradeoff.cpp.o"
+  "CMakeFiles/compact_routing_tradeoff.dir/compact_routing_tradeoff.cpp.o.d"
+  "compact_routing_tradeoff"
+  "compact_routing_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_routing_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compact_routing_tradeoff.
+# This may be replaced when dependencies are built.

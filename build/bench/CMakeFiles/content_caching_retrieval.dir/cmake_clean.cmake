@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_caching_retrieval.dir/content_caching_retrieval.cpp.o"
+  "CMakeFiles/content_caching_retrieval.dir/content_caching_retrieval.cpp.o.d"
+  "content_caching_retrieval"
+  "content_caching_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_caching_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

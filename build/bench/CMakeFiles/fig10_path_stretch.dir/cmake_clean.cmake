@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_path_stretch.dir/fig10_path_stretch.cpp.o"
+  "CMakeFiles/fig10_path_stretch.dir/fig10_path_stretch.cpp.o.d"
+  "fig10_path_stretch"
+  "fig10_path_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_path_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_content_mobility.dir/fig11a_content_mobility.cpp.o"
+  "CMakeFiles/fig11a_content_mobility.dir/fig11a_content_mobility.cpp.o.d"
+  "fig11a_content_mobility"
+  "fig11a_content_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_content_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_unpopular_update_cost.dir/fig11c_unpopular_update_cost.cpp.o"
+  "CMakeFiles/fig11c_unpopular_update_cost.dir/fig11c_unpopular_update_cost.cpp.o.d"
+  "fig11c_unpopular_update_cost"
+  "fig11c_unpopular_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_unpopular_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

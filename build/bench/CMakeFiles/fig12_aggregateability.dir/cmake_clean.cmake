@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_aggregateability.dir/fig12_aggregateability.cpp.o"
+  "CMakeFiles/fig12_aggregateability.dir/fig12_aggregateability.cpp.o.d"
+  "fig12_aggregateability"
+  "fig12_aggregateability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aggregateability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_locations_per_day.
+# This may be replaced when dependencies are built.

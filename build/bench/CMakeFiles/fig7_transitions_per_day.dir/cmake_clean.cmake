@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_transitions_per_day.dir/fig7_transitions_per_day.cpp.o"
+  "CMakeFiles/fig7_transitions_per_day.dir/fig7_transitions_per_day.cpp.o.d"
+  "fig7_transitions_per_day"
+  "fig7_transitions_per_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_transitions_per_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_device_update_cost.dir/fig8_device_update_cost.cpp.o"
+  "CMakeFiles/fig8_device_update_cost.dir/fig8_device_update_cost.cpp.o.d"
+  "fig8_device_update_cost"
+  "fig8_device_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_device_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

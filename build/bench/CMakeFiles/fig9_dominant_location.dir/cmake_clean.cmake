@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dominant_location.dir/fig9_dominant_location.cpp.o"
+  "CMakeFiles/fig9_dominant_location.dir/fig9_dominant_location.cpp.o.d"
+  "fig9_dominant_location"
+  "fig9_dominant_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dominant_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

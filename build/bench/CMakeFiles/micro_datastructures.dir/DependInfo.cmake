@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_datastructures.cpp" "bench/CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o" "gcc" "bench/CMakeFiles/micro_datastructures.dir/micro_datastructures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lina_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/lina_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/lina_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/lina_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/lina_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_rename_displacement.dir/name_rename_displacement.cpp.o"
+  "CMakeFiles/name_rename_displacement.dir/name_rename_displacement.cpp.o.d"
+  "name_rename_displacement"
+  "name_rename_displacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_rename_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

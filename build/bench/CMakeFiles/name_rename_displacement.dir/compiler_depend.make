@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for name_rename_displacement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_level_validation.dir/packet_level_validation.cpp.o"
+  "CMakeFiles/packet_level_validation.dir/packet_level_validation.cpp.o.d"
+  "packet_level_validation"
+  "packet_level_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_level_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_analytic.dir/table1_analytic.cpp.o"
+  "CMakeFiles/table1_analytic.dir/table1_analytic.cpp.o.d"
+  "table1_analytic"
+  "table1_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

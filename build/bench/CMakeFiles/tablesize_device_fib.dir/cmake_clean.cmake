@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablesize_device_fib.dir/tablesize_device_fib.cpp.o"
+  "CMakeFiles/tablesize_device_fib.dir/tablesize_device_fib.cpp.o.d"
+  "tablesize_device_fib"
+  "tablesize_device_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablesize_device_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

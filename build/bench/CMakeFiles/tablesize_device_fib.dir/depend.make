@@ -1,0 +1,2 @@
+# Empty dependencies file for tablesize_device_fib.
+# This may be replaced when dependencies are built.

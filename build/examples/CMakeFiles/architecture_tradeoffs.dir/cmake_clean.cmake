@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_tradeoffs.dir/architecture_tradeoffs.cpp.o"
+  "CMakeFiles/architecture_tradeoffs.dir/architecture_tradeoffs.cpp.o.d"
+  "architecture_tradeoffs"
+  "architecture_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

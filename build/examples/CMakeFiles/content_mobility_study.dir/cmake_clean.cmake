@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_mobility_study.dir/content_mobility_study.cpp.o"
+  "CMakeFiles/content_mobility_study.dir/content_mobility_study.cpp.o.d"
+  "content_mobility_study"
+  "content_mobility_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_mobility_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for content_mobility_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_mobility_study.dir/device_mobility_study.cpp.o"
+  "CMakeFiles/device_mobility_study.dir/device_mobility_study.cpp.o.d"
+  "device_mobility_study"
+  "device_mobility_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_mobility_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

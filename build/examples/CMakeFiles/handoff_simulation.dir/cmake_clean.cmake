@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_simulation.dir/handoff_simulation.cpp.o"
+  "CMakeFiles/handoff_simulation.dir/handoff_simulation.cpp.o.d"
+  "handoff_simulation"
+  "handoff_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/src/closed_forms.cpp" "src/analytic/CMakeFiles/lina_analytic.dir/src/closed_forms.cpp.o" "gcc" "src/analytic/CMakeFiles/lina_analytic.dir/src/closed_forms.cpp.o.d"
+  "/root/repo/src/analytic/src/compact_routing.cpp" "src/analytic/CMakeFiles/lina_analytic.dir/src/compact_routing.cpp.o" "gcc" "src/analytic/CMakeFiles/lina_analytic.dir/src/compact_routing.cpp.o.d"
+  "/root/repo/src/analytic/src/mobility_models.cpp" "src/analytic/CMakeFiles/lina_analytic.dir/src/mobility_models.cpp.o" "gcc" "src/analytic/CMakeFiles/lina_analytic.dir/src/mobility_models.cpp.o.d"
+  "/root/repo/src/analytic/src/tradeoff.cpp" "src/analytic/CMakeFiles/lina_analytic.dir/src/tradeoff.cpp.o" "gcc" "src/analytic/CMakeFiles/lina_analytic.dir/src/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

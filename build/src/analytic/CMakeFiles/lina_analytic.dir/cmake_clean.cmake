@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_analytic.dir/src/closed_forms.cpp.o"
+  "CMakeFiles/lina_analytic.dir/src/closed_forms.cpp.o.d"
+  "CMakeFiles/lina_analytic.dir/src/compact_routing.cpp.o"
+  "CMakeFiles/lina_analytic.dir/src/compact_routing.cpp.o.d"
+  "CMakeFiles/lina_analytic.dir/src/mobility_models.cpp.o"
+  "CMakeFiles/lina_analytic.dir/src/mobility_models.cpp.o.d"
+  "CMakeFiles/lina_analytic.dir/src/tradeoff.cpp.o"
+  "CMakeFiles/lina_analytic.dir/src/tradeoff.cpp.o.d"
+  "liblina_analytic.a"
+  "liblina_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

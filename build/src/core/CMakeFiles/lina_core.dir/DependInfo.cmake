@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/aggregateability.cpp" "src/core/CMakeFiles/lina_core.dir/src/aggregateability.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/aggregateability.cpp.o.d"
+  "/root/repo/src/core/src/architecture.cpp" "src/core/CMakeFiles/lina_core.dir/src/architecture.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/architecture.cpp.o.d"
+  "/root/repo/src/core/src/back_of_envelope.cpp" "src/core/CMakeFiles/lina_core.dir/src/back_of_envelope.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/back_of_envelope.cpp.o.d"
+  "/root/repo/src/core/src/extent.cpp" "src/core/CMakeFiles/lina_core.dir/src/extent.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/extent.cpp.o.d"
+  "/root/repo/src/core/src/fib_size.cpp" "src/core/CMakeFiles/lina_core.dir/src/fib_size.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/fib_size.cpp.o.d"
+  "/root/repo/src/core/src/latency_model.cpp" "src/core/CMakeFiles/lina_core.dir/src/latency_model.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/latency_model.cpp.o.d"
+  "/root/repo/src/core/src/name_displacement.cpp" "src/core/CMakeFiles/lina_core.dir/src/name_displacement.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/name_displacement.cpp.o.d"
+  "/root/repo/src/core/src/update_cost.cpp" "src/core/CMakeFiles/lina_core.dir/src/update_cost.cpp.o" "gcc" "src/core/CMakeFiles/lina_core.dir/src/update_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/lina_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/lina_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/lina_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/lina_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_core.dir/src/aggregateability.cpp.o"
+  "CMakeFiles/lina_core.dir/src/aggregateability.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/architecture.cpp.o"
+  "CMakeFiles/lina_core.dir/src/architecture.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/back_of_envelope.cpp.o"
+  "CMakeFiles/lina_core.dir/src/back_of_envelope.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/extent.cpp.o"
+  "CMakeFiles/lina_core.dir/src/extent.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/fib_size.cpp.o"
+  "CMakeFiles/lina_core.dir/src/fib_size.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/latency_model.cpp.o"
+  "CMakeFiles/lina_core.dir/src/latency_model.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/name_displacement.cpp.o"
+  "CMakeFiles/lina_core.dir/src/name_displacement.cpp.o.d"
+  "CMakeFiles/lina_core.dir/src/update_cost.cpp.o"
+  "CMakeFiles/lina_core.dir/src/update_cost.cpp.o.d"
+  "liblina_core.a"
+  "liblina_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

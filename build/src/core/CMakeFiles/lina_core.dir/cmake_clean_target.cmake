@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblina_core.a"
+)

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/lina_core.dir/src/back_of_envelope.cpp.o: \
+ /root/repo/src/core/src/back_of_envelope.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/include/lina/core/back_of_envelope.hpp

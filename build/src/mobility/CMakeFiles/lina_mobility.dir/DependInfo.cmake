@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/src/content_trace.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/content_trace.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/content_trace.cpp.o.d"
+  "/root/repo/src/mobility/src/content_workload.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/content_workload.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/content_workload.cpp.o.d"
+  "/root/repo/src/mobility/src/device_multihoming.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_multihoming.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_multihoming.cpp.o.d"
+  "/root/repo/src/mobility/src/device_trace.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_trace.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_trace.cpp.o.d"
+  "/root/repo/src/mobility/src/device_workload.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_workload.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/device_workload.cpp.o.d"
+  "/root/repo/src/mobility/src/trace_io.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/trace_io.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/trace_io.cpp.o.d"
+  "/root/repo/src/mobility/src/vantage_merger.cpp" "src/mobility/CMakeFiles/lina_mobility.dir/src/vantage_merger.cpp.o" "gcc" "src/mobility/CMakeFiles/lina_mobility.dir/src/vantage_merger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/lina_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

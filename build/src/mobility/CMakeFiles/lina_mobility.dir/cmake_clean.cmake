@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_mobility.dir/src/content_trace.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/content_trace.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/content_workload.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/content_workload.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/device_multihoming.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/device_multihoming.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/device_trace.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/device_trace.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/device_workload.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/device_workload.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/trace_io.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/trace_io.cpp.o.d"
+  "CMakeFiles/lina_mobility.dir/src/vantage_merger.cpp.o"
+  "CMakeFiles/lina_mobility.dir/src/vantage_merger.cpp.o.d"
+  "liblina_mobility.a"
+  "liblina_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_names.dir/src/content_name.cpp.o"
+  "CMakeFiles/lina_names.dir/src/content_name.cpp.o.d"
+  "liblina_names.a"
+  "liblina_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

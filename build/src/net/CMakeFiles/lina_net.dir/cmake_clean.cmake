@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_net.dir/src/ipv4.cpp.o"
+  "CMakeFiles/lina_net.dir/src/ipv4.cpp.o.d"
+  "liblina_net.a"
+  "liblina_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/src/fib.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/fib.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/fib.cpp.o.d"
+  "/root/repo/src/routing/src/inference.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/inference.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/inference.cpp.o.d"
+  "/root/repo/src/routing/src/name_fib.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/name_fib.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/name_fib.cpp.o.d"
+  "/root/repo/src/routing/src/policy_routing.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/policy_routing.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/policy_routing.cpp.o.d"
+  "/root/repo/src/routing/src/rib.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/rib.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/rib.cpp.o.d"
+  "/root/repo/src/routing/src/rib_io.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/rib_io.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/rib_io.cpp.o.d"
+  "/root/repo/src/routing/src/synthetic_internet.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/synthetic_internet.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/synthetic_internet.cpp.o.d"
+  "/root/repo/src/routing/src/vantage_router.cpp" "src/routing/CMakeFiles/lina_routing.dir/src/vantage_router.cpp.o" "gcc" "src/routing/CMakeFiles/lina_routing.dir/src/vantage_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

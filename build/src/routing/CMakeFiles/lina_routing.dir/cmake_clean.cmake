@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_routing.dir/src/fib.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/fib.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/inference.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/inference.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/name_fib.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/name_fib.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/policy_routing.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/policy_routing.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/rib.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/rib.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/rib_io.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/rib_io.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/synthetic_internet.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/synthetic_internet.cpp.o.d"
+  "CMakeFiles/lina_routing.dir/src/vantage_router.cpp.o"
+  "CMakeFiles/lina_routing.dir/src/vantage_router.cpp.o.d"
+  "liblina_routing.a"
+  "liblina_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

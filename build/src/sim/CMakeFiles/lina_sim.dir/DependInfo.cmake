@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/content_session.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/content_session.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/content_session.cpp.o.d"
+  "/root/repo/src/sim/src/content_store.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/content_store.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/content_store.cpp.o.d"
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/fabric.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/fabric.cpp.o.d"
+  "/root/repo/src/sim/src/resolver_pool.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/resolver_pool.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/resolver_pool.cpp.o.d"
+  "/root/repo/src/sim/src/session.cpp" "src/sim/CMakeFiles/lina_sim.dir/src/session.cpp.o" "gcc" "src/sim/CMakeFiles/lina_sim.dir/src/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/lina_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_sim.dir/src/content_session.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/content_session.cpp.o.d"
+  "CMakeFiles/lina_sim.dir/src/content_store.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/content_store.cpp.o.d"
+  "CMakeFiles/lina_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/lina_sim.dir/src/fabric.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/fabric.cpp.o.d"
+  "CMakeFiles/lina_sim.dir/src/resolver_pool.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/resolver_pool.cpp.o.d"
+  "CMakeFiles/lina_sim.dir/src/session.cpp.o"
+  "CMakeFiles/lina_sim.dir/src/session.cpp.o.d"
+  "liblina_sim.a"
+  "liblina_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/cdf.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/cdf.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/cdf.cpp.o.d"
+  "/root/repo/src/stats/src/correlation.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/correlation.cpp.o.d"
+  "/root/repo/src/stats/src/distributions.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/distributions.cpp.o.d"
+  "/root/repo/src/stats/src/render.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/render.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/render.cpp.o.d"
+  "/root/repo/src/stats/src/rng.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/rng.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/rng.cpp.o.d"
+  "/root/repo/src/stats/src/summary.cpp" "src/stats/CMakeFiles/lina_stats.dir/src/summary.cpp.o" "gcc" "src/stats/CMakeFiles/lina_stats.dir/src/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

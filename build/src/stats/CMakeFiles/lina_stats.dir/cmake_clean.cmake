@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_stats.dir/src/cdf.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/cdf.cpp.o.d"
+  "CMakeFiles/lina_stats.dir/src/correlation.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/correlation.cpp.o.d"
+  "CMakeFiles/lina_stats.dir/src/distributions.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/distributions.cpp.o.d"
+  "CMakeFiles/lina_stats.dir/src/render.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/render.cpp.o.d"
+  "CMakeFiles/lina_stats.dir/src/rng.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/rng.cpp.o.d"
+  "CMakeFiles/lina_stats.dir/src/summary.cpp.o"
+  "CMakeFiles/lina_stats.dir/src/summary.cpp.o.d"
+  "liblina_stats.a"
+  "liblina_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

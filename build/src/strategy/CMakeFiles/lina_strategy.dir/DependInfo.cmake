@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/src/forwarding_strategy.cpp" "src/strategy/CMakeFiles/lina_strategy.dir/src/forwarding_strategy.cpp.o" "gcc" "src/strategy/CMakeFiles/lina_strategy.dir/src/forwarding_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/lina_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/lina_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lina_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

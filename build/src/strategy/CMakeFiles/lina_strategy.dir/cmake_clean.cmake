@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_strategy.dir/src/forwarding_strategy.cpp.o"
+  "CMakeFiles/lina_strategy.dir/src/forwarding_strategy.cpp.o.d"
+  "liblina_strategy.a"
+  "liblina_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

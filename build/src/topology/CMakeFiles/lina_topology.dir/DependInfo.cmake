@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/src/as_graph.cpp" "src/topology/CMakeFiles/lina_topology.dir/src/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/lina_topology.dir/src/as_graph.cpp.o.d"
+  "/root/repo/src/topology/src/generators.cpp" "src/topology/CMakeFiles/lina_topology.dir/src/generators.cpp.o" "gcc" "src/topology/CMakeFiles/lina_topology.dir/src/generators.cpp.o.d"
+  "/root/repo/src/topology/src/geo.cpp" "src/topology/CMakeFiles/lina_topology.dir/src/geo.cpp.o" "gcc" "src/topology/CMakeFiles/lina_topology.dir/src/geo.cpp.o.d"
+  "/root/repo/src/topology/src/graph.cpp" "src/topology/CMakeFiles/lina_topology.dir/src/graph.cpp.o" "gcc" "src/topology/CMakeFiles/lina_topology.dir/src/graph.cpp.o.d"
+  "/root/repo/src/topology/src/shortest_paths.cpp" "src/topology/CMakeFiles/lina_topology.dir/src/shortest_paths.cpp.o" "gcc" "src/topology/CMakeFiles/lina_topology.dir/src/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lina_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

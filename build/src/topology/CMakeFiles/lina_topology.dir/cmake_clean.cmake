@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lina_topology.dir/src/as_graph.cpp.o"
+  "CMakeFiles/lina_topology.dir/src/as_graph.cpp.o.d"
+  "CMakeFiles/lina_topology.dir/src/generators.cpp.o"
+  "CMakeFiles/lina_topology.dir/src/generators.cpp.o.d"
+  "CMakeFiles/lina_topology.dir/src/geo.cpp.o"
+  "CMakeFiles/lina_topology.dir/src/geo.cpp.o.d"
+  "CMakeFiles/lina_topology.dir/src/graph.cpp.o"
+  "CMakeFiles/lina_topology.dir/src/graph.cpp.o.d"
+  "CMakeFiles/lina_topology.dir/src/shortest_paths.cpp.o"
+  "CMakeFiles/lina_topology.dir/src/shortest_paths.cpp.o.d"
+  "liblina_topology.a"
+  "liblina_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lina_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblina_topology.a"
+)

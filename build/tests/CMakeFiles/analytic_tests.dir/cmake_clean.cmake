@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_tests.dir/analytic/closed_forms_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/closed_forms_test.cpp.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/compact_routing_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/compact_routing_test.cpp.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/mobility_models_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/mobility_models_test.cpp.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/tradeoff_test.cpp.o"
+  "CMakeFiles/analytic_tests.dir/analytic/tradeoff_test.cpp.o.d"
+  "analytic_tests"
+  "analytic_tests.pdb"
+  "analytic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

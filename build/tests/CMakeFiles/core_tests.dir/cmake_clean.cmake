@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/aggregateability_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/aggregateability_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/architecture_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/architecture_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/back_of_envelope_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/back_of_envelope_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/extent_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/extent_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fib_size_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fib_size_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/latency_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/latency_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multihomed_update_cost_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multihomed_update_cost_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/name_displacement_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/name_displacement_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/update_cost_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/update_cost_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

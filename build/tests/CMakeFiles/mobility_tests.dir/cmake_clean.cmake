@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_tests.dir/mobility/content_trace_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/content_trace_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/content_workload_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/content_workload_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/device_multihoming_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/device_multihoming_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/device_trace_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/device_trace_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/device_workload_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/device_workload_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/trace_io_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/trace_io_test.cpp.o.d"
+  "CMakeFiles/mobility_tests.dir/mobility/vantage_merger_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/vantage_merger_test.cpp.o.d"
+  "mobility_tests"
+  "mobility_tests.pdb"
+  "mobility_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/names_tests.dir/names/content_name_test.cpp.o"
+  "CMakeFiles/names_tests.dir/names/content_name_test.cpp.o.d"
+  "CMakeFiles/names_tests.dir/names/name_trie_test.cpp.o"
+  "CMakeFiles/names_tests.dir/names/name_trie_test.cpp.o.d"
+  "names_tests"
+  "names_tests.pdb"
+  "names_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/names_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

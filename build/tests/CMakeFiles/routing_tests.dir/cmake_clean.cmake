@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tests.dir/routing/as_path_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/as_path_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/fib_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/fib_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/inference_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/inference_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/name_fib_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/name_fib_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/policy_routing_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/policy_routing_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/rib_io_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/rib_io_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/rib_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/rib_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/synthetic_internet_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/synthetic_internet_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/vantage_router_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/vantage_router_test.cpp.o.d"
+  "routing_tests"
+  "routing_tests.pdb"
+  "routing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

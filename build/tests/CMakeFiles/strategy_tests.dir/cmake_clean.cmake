@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_tests.dir/strategy/forwarding_strategy_test.cpp.o"
+  "CMakeFiles/strategy_tests.dir/strategy/forwarding_strategy_test.cpp.o.d"
+  "CMakeFiles/strategy_tests.dir/strategy/port_oracle_test.cpp.o"
+  "CMakeFiles/strategy_tests.dir/strategy/port_oracle_test.cpp.o.d"
+  "strategy_tests"
+  "strategy_tests.pdb"
+  "strategy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
