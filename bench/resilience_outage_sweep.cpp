@@ -1,0 +1,249 @@
+// Extension experiment (not a paper figure): resilience of the four
+// location-independence architectures when their control plane breaks.
+// A FailurePlan injects the failure that targets each architecture's
+// weak point — the home agent for indirection, the resolver for (single
+// and replicated) resolution, a transit AS for name-based routing — and
+// the sweep varies outage duration and failure kind. Deterministic under
+// the fixed seed below.
+
+#include <cstddef>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "lina/sim/failure_plan.hpp"
+#include "lina/sim/resolver_pool.hpp"
+#include "lina/sim/session.hpp"
+
+using namespace lina;
+using topology::AsId;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr double kOutageStartMs = 2000.0;
+
+struct Scenario {
+  sim::SimArchitecture arch;
+  std::string label;
+};
+
+/// The middle AS of the policy route correspondent -> device, i.e. a
+/// transit AS whose outage forces the data plane to reroute.
+AsId mid_route_transit(const sim::ForwardingFabric& fabric, AsId from,
+                       AsId to) {
+  std::vector<AsId> route{from};
+  AsId current = from;
+  while (current != to) {
+    current = *fabric.next_hop(current, to);
+    route.push_back(current);
+  }
+  return route[route.size() / 2];
+}
+
+sim::SessionConfig base_config(const routing::SyntheticInternet& internet,
+                               const std::vector<AsId>& replicas) {
+  sim::SessionConfig config;
+  config.correspondent = internet.edge_ases()[0];
+  config.schedule = {{0.0, internet.edge_ases()[25]},
+                     {3000.0, internet.edge_ases()[26]}};
+  config.packet_interval_ms = 50.0;
+  config.duration_ms = 10000.0;
+  config.resolver_ttl_ms = 300.0;
+  config.home_as = internet.edge_ases()[100];
+  config.resolver_as = replicas.front();
+  config.resolver_replicas = replicas;
+  return config;
+}
+
+/// The fault aimed at this architecture's control plane (or, for
+/// name-based routing which has no control-plane server, at a transit AS
+/// of its data path).
+sim::FailurePlan targeted_plan(sim::SimArchitecture arch,
+                               const sim::SessionConfig& config,
+                               const sim::ForwardingFabric& fabric,
+                               const sim::ResolverPool& pool,
+                               double duration_ms) {
+  sim::FailurePlan plan(kSeed);
+  const double end = kOutageStartMs + duration_ms;
+  switch (arch) {
+    case sim::SimArchitecture::kIndirection:
+      plan.home_agent_crash(*config.home_as, kOutageStartMs, end);
+      break;
+    case sim::SimArchitecture::kNameResolution:
+      plan.resolver_crash(*config.resolver_as, kOutageStartMs, end);
+      break;
+    case sim::SimArchitecture::kReplicatedResolution:
+      plan.resolver_crash(pool.nearest_replica(config.correspondent),
+                          kOutageStartMs, end);
+      break;
+    case sim::SimArchitecture::kNameBased:
+      plan.as_outage(mid_route_transit(fabric, config.correspondent,
+                                       config.schedule.front().as),
+                     kOutageStartMs, end);
+      break;
+  }
+  return plan;
+}
+
+std::string fmt_recovery(const stats::EmpiricalCdf& recovery) {
+  return recovery.empty() ? "-" : stats::fmt(recovery.quantile(0.5), 0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_figure_header(
+      "Resilience sweep — architectures under control-plane failure "
+      "(extension)",
+      "(not a paper figure) indirection should lose packets for the whole "
+      "home-agent outage, single resolution should serve stale bindings "
+      "until repair, replicated resolution should fail over within one "
+      "retry backoff, and name-based routing should degrade only by "
+      "stretch while the data plane reroutes.");
+
+  const auto& internet = bench::paper_internet();
+  const sim::ForwardingFabric fabric(internet);
+  const auto replicas = sim::ResolverPool::metro_placement(internet, 8);
+  const sim::ResolverPool pool(fabric, replicas);
+
+  const std::vector<Scenario> scenarios{
+      {sim::SimArchitecture::kIndirection, "indirection (home agent)"},
+      {sim::SimArchitecture::kNameResolution, "name resolution (1 resolver)"},
+      {sim::SimArchitecture::kReplicatedResolution,
+       "replicated resolution (8)"},
+      {sim::SimArchitecture::kNameBased, "name-based routing"},
+  };
+
+  // ---- Canonical scenario: 4 s targeted outage spanning a move. ----
+  std::cout << stats::heading("Targeted 4 s outage across a move");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"architecture", "delivery", "loss in window",
+                  "median recovery (ms)", "retries", "ctrl msgs"});
+  std::vector<sim::SessionStats> canonical;
+  for (const Scenario& scenario : scenarios) {
+    auto config = base_config(internet, replicas);
+    const auto plan =
+        targeted_plan(scenario.arch, config, fabric, pool, 4000.0);
+    config.failures = &plan;
+    auto result = sim::simulate_session(fabric, scenario.arch, config);
+    rows.push_back({scenario.label, stats::pct(result.delivery_ratio(), 1),
+                    stats::pct(result.failure_loss_fraction(), 1),
+                    fmt_recovery(result.recovery_ms),
+                    std::to_string(result.control_retries),
+                    std::to_string(result.control_messages)});
+    canonical.push_back(std::move(result));
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  std::vector<std::pair<std::string, const stats::EmpiricalCdf*>> series;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (!canonical[i].stretch_degraded.empty())
+      series.emplace_back(scenarios[i].label, &canonical[i].stretch_degraded);
+  }
+  std::cout << "Stretch of packets delivered while the fault was active\n"
+            << stats::multi_cdf_table(series, "stretch") << "\n";
+
+  // ---- Sweep: outage duration x failure kind. ----
+  std::cout << stats::heading("Outage-duration sweep (delivery ratio)");
+  const std::vector<double> durations{500.0, 1000.0, 2000.0, 4000.0};
+  rows.clear();
+  {
+    std::vector<std::string> header{"architecture \\ outage"};
+    for (const double d : durations)
+      header.push_back(stats::fmt(d, 0) + " ms");
+    rows.push_back(std::move(header));
+  }
+  for (const Scenario& scenario : scenarios) {
+    std::vector<std::string> row{scenario.label};
+    for (const double d : durations) {
+      auto config = base_config(internet, replicas);
+      const auto plan = targeted_plan(scenario.arch, config, fabric, pool, d);
+      config.failures = &plan;
+      const auto result = sim::simulate_session(fabric, scenario.arch, config);
+      row.push_back(stats::pct(result.delivery_ratio(), 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  // ---- Sweep: failure kinds at a fixed 2 s window. ----
+  std::cout << stats::heading("Failure-kind sweep (2 s window, delivery)");
+  struct Kind {
+    std::string label;
+    // Builds the plan for this kind; nullopt label cells mean "does not
+    // apply to this architecture" (e.g. a home-agent crash only matters
+    // to indirection).
+    std::optional<sim::FailurePlan> (*build)(const sim::SessionConfig&,
+                                             const sim::ForwardingFabric&,
+                                             const sim::ResolverPool&);
+  };
+  const std::vector<Kind> kinds{
+      {"targeted crash",
+       [](const sim::SessionConfig&, const sim::ForwardingFabric&,
+          const sim::ResolverPool&) {
+         return std::optional<sim::FailurePlan>();  // filled per-arch below
+       }},
+      {"transit AS outage",
+       [](const sim::SessionConfig& config, const sim::ForwardingFabric& f,
+          const sim::ResolverPool&) {
+         sim::FailurePlan plan(kSeed);
+         plan.as_outage(mid_route_transit(f, config.correspondent,
+                                          config.schedule.front().as),
+                        kOutageStartMs, kOutageStartMs + 2000.0);
+         return std::optional<sim::FailurePlan>(std::move(plan));
+       }},
+      {"first-hop link cut",
+       [](const sim::SessionConfig& config, const sim::ForwardingFabric& f,
+          const sim::ResolverPool&) {
+         sim::FailurePlan plan(kSeed);
+         const AsId hop = *f.next_hop(config.correspondent,
+                                      config.schedule.front().as);
+         plan.link_cut(config.correspondent, hop, kOutageStartMs,
+                       kOutageStartMs + 2000.0);
+         return std::optional<sim::FailurePlan>(std::move(plan));
+       }},
+      {"50% update loss",
+       [](const sim::SessionConfig&, const sim::ForwardingFabric&,
+          const sim::ResolverPool&) {
+         sim::FailurePlan plan(kSeed);
+         plan.update_loss(0.5, kOutageStartMs, kOutageStartMs + 2000.0);
+         return std::optional<sim::FailurePlan>(std::move(plan));
+       }},
+  };
+  rows.clear();
+  {
+    std::vector<std::string> header{"architecture \\ failure"};
+    for (const Kind& kind : kinds) header.push_back(kind.label);
+    rows.push_back(std::move(header));
+  }
+  for (const Scenario& scenario : scenarios) {
+    std::vector<std::string> row{scenario.label};
+    for (const Kind& kind : kinds) {
+      auto config = base_config(internet, replicas);
+      auto plan = kind.build(config, fabric, pool);
+      if (!plan.has_value())
+        plan = targeted_plan(scenario.arch, config, fabric, pool, 2000.0);
+      config.failures = &*plan;
+      const auto result = sim::simulate_session(fabric, scenario.arch, config);
+      row.push_back(stats::pct(result.delivery_ratio(), 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  std::cout
+      << "Reading: the single points of failure show up as architecture-"
+         "shaped holes — indirection's delivery falls roughly linearly "
+         "with home-agent downtime because every packet triangles through "
+         "the dead agent, single resolution keeps streaming to the stale "
+         "attachment until the resolver returns, the replicated pool "
+         "masks the same crash within one retry backoff by failing over "
+         "to the next-nearest replica, and name-based routing rides out "
+         "a transit outage on reconverged (longer) valley-free routes, "
+         "paying stretch instead of loss.\n";
+  return 0;
+}

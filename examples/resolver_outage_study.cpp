@@ -1,0 +1,83 @@
+// Resolver outage study: what happens to a live session when the
+// resolution infrastructure crashes? The same crash is injected into a
+// single-resolver deployment and a GNS-style replicated pool; the example
+// prints how each rides it out, and what the failure costs in retries.
+//
+//   $ ./build/examples/resolver_outage_study
+
+#include <iostream>
+
+#include "lina/core/lina.hpp"
+#include "lina/sim/failure_plan.hpp"
+#include "lina/sim/resolver_pool.hpp"
+#include "lina/sim/session.hpp"
+
+int main() {
+  using namespace lina;
+
+  const routing::SyntheticInternet internet;
+  const sim::ForwardingFabric fabric(internet);
+  const auto replicas = sim::ResolverPool::metro_placement(internet, 6);
+  const sim::ResolverPool pool(fabric, replicas);
+
+  sim::SessionConfig config;
+  config.correspondent = internet.edge_ases()[0];
+  config.schedule = {{0.0, internet.edge_ases()[25]},
+                     {3000.0, internet.edge_ases()[26]}};  // move mid-outage
+  config.duration_ms = 10000.0;
+  config.packet_interval_ms = 25.0;
+  config.resolver_ttl_ms = 300.0;
+  config.resolver_as = replicas.front();
+  config.resolver_replicas = replicas;
+
+  // Crash the replica the correspondent prefers (for the single-resolver
+  // deployment, the resolver itself) from 2 s to 7 s — spanning the move,
+  // so the binding the correspondent holds goes stale while it has no one
+  // to ask.
+  const topology::AsId preferred =
+      pool.nearest_replica(config.correspondent);
+  sim::FailurePlan single_crash(7);
+  single_crash.resolver_crash(*config.resolver_as, 2000.0, 7000.0);
+  sim::FailurePlan replica_crash(7);
+  replica_crash.resolver_crash(preferred, 2000.0, 7000.0);
+
+  std::cout << "A 5 s resolver crash spans the device's move at t=3s...\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"deployment", "delivered", "lost in window",
+                  "recovery (ms)", "retries"});
+  struct Run {
+    const char* label;
+    sim::SimArchitecture arch;
+    const sim::FailurePlan* plan;
+  };
+  for (const Run& run :
+       {Run{"1 resolver, healthy", sim::SimArchitecture::kNameResolution,
+            nullptr},
+        Run{"1 resolver, crashed", sim::SimArchitecture::kNameResolution,
+            &single_crash},
+        Run{"6 replicas, healthy",
+            sim::SimArchitecture::kReplicatedResolution, nullptr},
+        Run{"6 replicas, nearest crashed",
+            sim::SimArchitecture::kReplicatedResolution, &replica_crash}}) {
+    config.failures = run.plan;
+    const auto result = sim::simulate_session(fabric, run.arch, config);
+    rows.push_back(
+        {run.label, stats::pct(result.delivery_ratio(), 1),
+         stats::pct(result.failure_loss_fraction(), 1),
+         result.recovery_ms.empty()
+             ? "-"
+             : stats::fmt(result.recovery_ms.quantile(0.5), 0),
+         std::to_string(result.control_retries)});
+  }
+  std::cout << stats::text_table(rows);
+
+  std::cout
+      << "\nWith one resolver the correspondent keeps streaming to the "
+         "stale\nattachment until the crash heals and the device's "
+         "re-registration\nlands. With a replicated pool the first "
+         "timed-out lookup fails over\nto the next-nearest live replica, "
+         "and on repair the recovered replica\nanti-entropy-syncs from a "
+         "peer — the crash barely shows in delivery.\n";
+  return 0;
+}

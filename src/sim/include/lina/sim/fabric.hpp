@@ -1,14 +1,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lina/routing/synthetic_internet.hpp"
 #include "lina/topology/as_graph.hpp"
 
 namespace lina::sim {
+
+class FailurePlan;
 
 struct FabricConfig {
   double per_hop_ms = 2.0;   // per-AS processing/queueing
@@ -47,6 +53,33 @@ class ForwardingFabric {
   [[nodiscard]] std::size_t physical_hops(topology::AsId from,
                                           topology::AsId to) const;
 
+  // Failure-aware forwarding (the FailurePlan layer). When no data-plane
+  // fault is active at `time_ms` these delegate to the base queries and
+  // return bit-identical results; when the policy route is broken by an
+  // active fault they fall back to the valley-free policy route recomputed
+  // on the surviving topology (dead ASes and cut links removed), modelling
+  // BGP reconvergence — detours stay policy-compliant, they do not become
+  // delay-optimal shortcuts. Unroutable (nullopt) when the fault kills an
+  // endpoint or no valley-free route survives.
+
+  /// Failure-aware next hop from `at` toward `dest`.
+  [[nodiscard]] std::optional<topology::AsId> next_hop(
+      topology::AsId at, topology::AsId dest, const FailurePlan& failures,
+      double time_ms) const;
+
+  /// Failure-aware end-to-end delay.
+  [[nodiscard]] std::optional<double> path_delay_ms(
+      topology::AsId from, topology::AsId to, const FailurePlan& failures,
+      double time_ms) const;
+
+  /// True when the policy route from -> to traverses an AS or link that a
+  /// fault has taken down at `time_ms` (or no policy route exists while
+  /// the data plane is impaired).
+  [[nodiscard]] bool policy_path_impaired(topology::AsId from,
+                                          topology::AsId to,
+                                          const FailurePlan& failures,
+                                          double time_ms) const;
+
   [[nodiscard]] const routing::SyntheticInternet& internet() const {
     return *internet_;
   }
@@ -56,6 +89,15 @@ class ForwardingFabric {
   const std::vector<topology::AsId>& next_hops_toward(
       topology::AsId dest) const;
   const std::vector<std::size_t>& bfs_from(topology::AsId source) const;
+  /// The AS graph with dead ASes isolated and cut links removed at the
+  /// plan's data-plane epoch covering `time_ms`; same dense AS ids as the
+  /// healthy graph. Cached per (plan stamp, epoch).
+  const topology::AsGraph& degraded_graph(const FailurePlan& failures,
+                                          double time_ms) const;
+  /// Valley-free next hops toward `dest` on the degraded graph (post-
+  /// reconvergence routes); cached per (plan stamp, epoch, dest).
+  const std::vector<topology::AsId>& detour_hops_toward(
+      topology::AsId dest, const FailurePlan& failures, double time_ms) const;
 
   const routing::SyntheticInternet* internet_;
   FabricConfig config_;
@@ -63,6 +105,11 @@ class ForwardingFabric {
       next_hop_cache_;
   mutable std::unordered_map<topology::AsId, std::vector<std::size_t>>
       bfs_cache_;
+  mutable std::map<std::pair<std::uint64_t, std::size_t>, topology::AsGraph>
+      degraded_graph_cache_;
+  mutable std::map<std::tuple<std::uint64_t, std::size_t, topology::AsId>,
+                   std::vector<topology::AsId>>
+      detour_cache_;
 };
 
 }  // namespace lina::sim

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "lina/sim/fabric.hpp"
+#include "lina/sim/failure_plan.hpp"
 
 namespace lina::sim {
 
@@ -17,6 +19,9 @@ namespace lina::sim {
 class ResolverPool {
  public:
   /// Throws if `replicas` is empty or contains out-of-range ASes.
+  /// Duplicate replica ASes are deduplicated (first occurrence kept):
+  /// a pool is a set of resolver sites, and duplicates would silently
+  /// inflate update_message_count() and the propagation fan-out.
   ResolverPool(const ForwardingFabric& fabric,
                std::vector<topology::AsId> replicas);
 
@@ -24,8 +29,20 @@ class ResolverPool {
     return replicas_;
   }
 
+  /// Index into replicas() of `replica`; throws std::invalid_argument if
+  /// the AS hosts no replica.
+  [[nodiscard]] std::size_t replica_index(topology::AsId replica) const;
+
   /// The replica with the lowest path delay from `client`.
   [[nodiscard]] topology::AsId nearest_replica(topology::AsId client) const;
+
+  /// The *live* replica (per `failures` at `time_ms`) with the lowest
+  /// failure-aware path delay from `client`; nullopt when every replica is
+  /// down or unreachable. This is the failover target a client retries
+  /// against after its preferred replica stops answering.
+  [[nodiscard]] std::optional<topology::AsId> nearest_live_replica(
+      topology::AsId client, const FailurePlan& failures,
+      double time_ms) const;
 
   /// One-way delay from `client` to its nearest replica.
   [[nodiscard]] double nearest_replica_delay_ms(topology::AsId client) const;
@@ -37,7 +54,11 @@ class ResolverPool {
   [[nodiscard]] std::vector<double> propagation_times_ms(
       topology::AsId device_as, double update_time_ms) const;
 
-  /// Messages one update costs: device->primary plus primary->others.
+  /// Messages one update costs: one device->primary message plus
+  /// replicas() - 1 primary->secondary relays, i.e. exactly replicas()
+  /// messages. A single-replica pool therefore costs exactly 1 (the
+  /// device->primary message; there is nothing to relay). Replicas are
+  /// deduplicated at construction, so duplicates never inflate this.
   [[nodiscard]] std::size_t update_message_count() const {
     return replicas_.size();
   }

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "lina/sim/fabric.hpp"
+#include "lina/sim/failure_plan.hpp"
 #include "lina/stats/cdf.hpp"
 
 namespace lina::sim {
@@ -23,6 +25,17 @@ enum class SimArchitecture : std::uint8_t {
 struct MobilityStep {
   double time_ms = 0.0;  // first step must be at 0 (initial attachment)
   topology::AsId as = 0;
+};
+
+/// Exponential-backoff retransmission policy for control-plane operations
+/// (registrations, lookups, update relays). Only consulted when a
+/// FailurePlan injects faults; the failure-free simulator never retries
+/// because nothing ever fails.
+struct RetryPolicy {
+  std::size_t max_attempts = 8;  // first try plus up to 7 retransmissions
+  double backoff_ms = 100.0;     // delay before the first retransmission
+  double multiplier = 2.0;       // backoff growth per retransmission
+  double max_backoff_ms = 1000.0;  // cap, so probes keep a steady cadence
 };
 
 /// A correspondent streaming constant-bit-rate packets at a mobile device.
@@ -56,6 +69,15 @@ struct SessionConfig {
   /// Packets are dropped after this many forwarding hops (transient loops
   /// during name-based convergence).
   std::size_t packet_ttl_hops = 64;
+
+  /// Fault injection. nullptr or an empty plan is the failure-free
+  /// simulator: every code path (and therefore every result) is
+  /// bit-identical to a config without the field. The plan must outlive
+  /// the simulate_session call.
+  const FailurePlan* failures = nullptr;
+
+  /// Control-plane retry behaviour under injected faults.
+  RetryPolicy retry;
 };
 
 /// Delivery metrics of one simulated session.
@@ -72,11 +94,37 @@ struct SessionStats {
   /// Per mobility event: time until the first post-move delivery.
   stats::EmpiricalCdf outage_ms;
 
+  // Resilience metrics; all zero / empty when no FailurePlan is attached.
+
+  /// Control retransmissions (attempts beyond the first per operation);
+  /// the control-message amplification a failure causes is
+  /// control_retries / (control_messages - control_retries).
+  std::size_t control_retries = 0;
+  /// Packets whose send instant fell inside any active fault window.
+  std::size_t packets_sent_during_failure = 0;
+  /// ...and how many of those still made it (delayed / degraded rather
+  /// than lost — e.g. over a detour route).
+  std::size_t packets_delivered_during_failure = 0;
+  /// Per repair instant: time until the first subsequent delivery — the
+  /// architecture's time-to-recover.
+  stats::EmpiricalCdf recovery_ms;
+  /// Stretch of packets sent while a fault was active — degraded-mode
+  /// routing quality (compare against `stretch`).
+  stats::EmpiricalCdf stretch_degraded;
+
   [[nodiscard]] double delivery_ratio() const {
     return packets_sent == 0
                ? 0.0
                : static_cast<double>(packets_delivered) /
                      static_cast<double>(packets_sent);
+  }
+
+  /// Fraction of packets sent during fault windows that were lost.
+  [[nodiscard]] double failure_loss_fraction() const {
+    return packets_sent_during_failure == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(packets_delivered_during_failure) /
+                           static_cast<double>(packets_sent_during_failure);
   }
 };
 

@@ -19,6 +19,8 @@ class ContentSessionRunner {
                        const ContentSessionConfig& config)
       : fabric_(fabric),
         config_(config),
+        plan_(config.failures),
+        faults_(plan_ != nullptr && !plan_->empty()),
         zipf_(config.catalog_segments, config.zipf_exponent),
         rng_(config.seed, "content-session") {
     if (config.publisher_schedule.empty() ||
@@ -114,6 +116,8 @@ class ContentSessionRunner {
            double forward_delay_ms, std::vector<AsId> path,
            std::size_t hops) {
     if (hops > config_.interest_ttl_hops) return;  // interest dies
+    // A dark AS forwards nothing and serves nothing (not even its cache).
+    if (faults_ && plan_->as_down(at, queue_.now())) return;
     path.push_back(at);
 
     // Content-store check (skip the consumer's own node for the first
@@ -131,7 +135,9 @@ class ContentSessionRunner {
       // else: stale belief and no cached copy — unreachable (§8).
       return;
     }
-    const auto next = fabric_.next_hop(at, dest);
+    const auto next = faults_
+                          ? fabric_.next_hop(at, dest, *plan_, queue_.now())
+                          : fabric_.next_hop(at, dest);
     if (!next.has_value()) return;
     const double link = fabric_.link_delay_ms(at, *next);
     queue_.schedule_in(
@@ -144,6 +150,8 @@ class ContentSessionRunner {
 
   const ForwardingFabric& fabric_;
   const ContentSessionConfig& config_;
+  const FailurePlan* plan_;
+  const bool faults_;
   stats::Zipf zipf_;
   stats::Rng rng_;
   EventQueue queue_;

@@ -17,6 +17,22 @@ ResolverPool::ResolverPool(const ForwardingFabric& fabric,
     if (replica >= fabric.internet().graph().as_count())
       throw std::out_of_range("ResolverPool: replica AS out of range");
   }
+  // Deduplicate, keeping first occurrences in order: duplicates would
+  // silently inflate update_message_count() and the relay fan-out.
+  std::vector<AsId> unique;
+  unique.reserve(replicas_.size());
+  for (const AsId replica : replicas_) {
+    if (std::find(unique.begin(), unique.end(), replica) == unique.end())
+      unique.push_back(replica);
+  }
+  replicas_ = std::move(unique);
+}
+
+std::size_t ResolverPool::replica_index(AsId replica) const {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), replica);
+  if (it == replicas_.end())
+    throw std::invalid_argument("ResolverPool: AS hosts no replica");
+  return static_cast<std::size_t>(it - replicas_.begin());
 }
 
 AsId ResolverPool::nearest_replica(AsId client) const {
@@ -24,6 +40,22 @@ AsId ResolverPool::nearest_replica(AsId client) const {
   double best_delay = std::numeric_limits<double>::infinity();
   for (const AsId replica : replicas_) {
     const auto delay = fabric_->path_delay_ms(client, replica);
+    if (delay.has_value() && *delay < best_delay) {
+      best_delay = *delay;
+      best = replica;
+    }
+  }
+  return best;
+}
+
+std::optional<AsId> ResolverPool::nearest_live_replica(
+    AsId client, const FailurePlan& failures, double time_ms) const {
+  std::optional<AsId> best;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (const AsId replica : replicas_) {
+    if (failures.resolver_down(replica, time_ms)) continue;
+    const auto delay =
+        fabric_->path_delay_ms(client, replica, failures, time_ms);
     if (delay.has_value() && *delay < best_delay) {
       best_delay = *delay;
       best = replica;

@@ -1,6 +1,7 @@
 #include "lina/sim/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "lina/sim/event_queue.hpp"
@@ -46,6 +47,9 @@ void validate(const SessionConfig& config, const ForwardingFabric& fabric,
       config.resolver_replicas.empty())
     throw std::invalid_argument(
         "simulate_session: kReplicatedResolution needs resolver_replicas");
+  if (config.retry.max_attempts == 0 || config.retry.backoff_ms <= 0.0 ||
+      config.retry.multiplier < 1.0 || config.retry.max_backoff_ms <= 0.0)
+    throw std::invalid_argument("simulate_session: malformed retry policy");
   const std::size_t as_count = fabric.internet().graph().as_count();
   if (config.correspondent >= as_count)
     throw std::out_of_range("simulate_session: correspondent AS");
@@ -53,14 +57,29 @@ void validate(const SessionConfig& config, const ForwardingFabric& fabric,
     if (step.as >= as_count)
       throw std::out_of_range("simulate_session: schedule AS");
   }
+  if (config.failures != nullptr) {
+    for (const FailureEvent& event : config.failures->events()) {
+      if (event.element >= as_count ||
+          (event.kind == FailureKind::kLinkCut && event.element_b >= as_count))
+        throw std::out_of_range("simulate_session: failure-plan AS");
+    }
+  }
 }
 
 /// Shared session machinery; architecture subclasses provide the control
 /// plane (on_move) and the data plane (send_packet).
+///
+/// Fault injection contract: `faults_` is false when no FailurePlan is
+/// attached or the plan is empty, and every subclass guards its
+/// failure-aware logic behind it so the failure-free simulation is
+/// bit-identical to the pre-failure-layer implementation.
 class SessionRunner {
  public:
   SessionRunner(const ForwardingFabric& fabric, const SessionConfig& config)
-      : fabric_(fabric), config_(config) {}
+      : fabric_(fabric),
+        config_(config),
+        plan_(config.failures),
+        faults_(plan_ != nullptr && !plan_->empty()) {}
   virtual ~SessionRunner() = default;
 
   SessionStats run() {
@@ -78,11 +97,22 @@ class SessionRunner {
         on_move(step.as);
       });
     }
+    // Repair markers: the first delivery after each repair measures the
+    // architecture's time-to-recover.
+    if (faults_) {
+      for (const double repair_ms : plan_->repair_times()) {
+        if (repair_ms <= 0.0 || repair_ms >= config_.duration_ms) continue;
+        queue_.schedule(repair_ms,
+                        [this, repair_ms] { awaiting_recovery_ = repair_ms; });
+      }
+    }
     // Packet generation.
     for (double t = 0.0; t < config_.duration_ms;
          t += config_.packet_interval_ms) {
       queue_.schedule(t, [this] {
         ++stats_.packets_sent;
+        if (faults_ && plan_->any_active(queue_.now()))
+          ++stats_.packets_sent_during_failure;
         send_packet(queue_.now());
       });
     }
@@ -112,11 +142,22 @@ class SessionRunner {
         fabric_.path_delay_ms(config_.correspondent,
                               device_location(queue_.now()))
             .value_or(delay);
-    stats_.stretch.add(delay /
-                       std::max(direct, fabric_.config().min_link_ms));
+    const double stretch =
+        delay / std::max(direct, fabric_.config().min_link_ms);
+    stats_.stretch.add(stretch);
     if (move_pending_) {
       stats_.outage_ms.add(queue_.now() - last_move_ms_);
       move_pending_ = false;
+    }
+    if (faults_) {
+      if (plan_->any_active(send_time_ms)) {
+        ++stats_.packets_delivered_during_failure;
+        stats_.stretch_degraded.add(stretch);
+      }
+      if (awaiting_recovery_.has_value()) {
+        stats_.recovery_ms.add(queue_.now() - *awaiting_recovery_);
+        awaiting_recovery_.reset();
+      }
     }
   }
 
@@ -124,14 +165,44 @@ class SessionRunner {
     stats_.control_messages += messages;
   }
 
+  /// Accounts one control-plane attempt (retransmissions beyond the first
+  /// attempt also count toward the amplification metric).
+  void count_attempt(std::size_t attempt) {
+    count_control(1);
+    if (attempt > 0) ++stats_.control_retries;
+  }
+
+  /// Delay before retransmission number `attempt` + 1 (capped exponential,
+  /// so long outages keep being probed at a steady cadence).
+  [[nodiscard]] double backoff_ms(std::size_t attempt) const {
+    return std::min(
+        config_.retry.max_backoff_ms,
+        config_.retry.backoff_ms *
+            std::pow(config_.retry.multiplier, static_cast<double>(attempt)));
+  }
+
+  [[nodiscard]] bool attempts_left(std::size_t attempt) const {
+    return attempt + 1 < config_.retry.max_attempts;
+  }
+
+  /// Seeded coin: is this session's next control message dropped by an
+  /// active update-loss window? Only called on the faulty path.
+  [[nodiscard]] bool control_lost() {
+    return plan_->control_message_lost(message_id_++, queue_.now());
+  }
+
   const ForwardingFabric& fabric_;
   const SessionConfig& config_;
+  const FailurePlan* plan_;
+  const bool faults_;
   EventQueue queue_;
   SessionStats stats_;
 
  private:
   double last_move_ms_ = 0.0;
   bool move_pending_ = false;
+  std::uint64_t message_id_ = 0;
+  std::optional<double> awaiting_recovery_;
 };
 
 class IndirectionRunner final : public SessionRunner {
@@ -143,23 +214,77 @@ class IndirectionRunner final : public SessionRunner {
         registry_(config.schedule.front().as) {}
 
  private:
-  void on_move(AsId new_as) override {
-    // Registration message travels from the new location to the home agent.
-    count_control(1);
-    const auto delay = fabric_.path_delay_ms(new_as, home_);
-    if (!delay.has_value()) return;
-    queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+  void on_move(AsId new_as) override { register_with_home(new_as, 0); }
+
+  /// Registration message travels from the new location to the home agent;
+  /// under faults it retries with backoff while the agent is dead or the
+  /// message is lost, abandoning once a newer move supersedes it.
+  void register_with_home(AsId new_as, std::size_t attempt) {
+    count_attempt(attempt);
+    if (!faults_) {
+      const auto delay = fabric_.path_delay_ms(new_as, home_);
+      if (!delay.has_value()) return;
+      queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+      return;
+    }
+    const auto delay =
+        fabric_.path_delay_ms(new_as, home_, *plan_, queue_.now());
+    if (control_lost() || !delay.has_value()) {
+      retry_registration(new_as, attempt);
+      return;
+    }
+    queue_.schedule_in(*delay, [this, new_as, attempt] {
+      if (plan_->home_agent_down(home_, queue_.now())) {
+        retry_registration(new_as, attempt);
+        return;
+      }
+      registry_ = new_as;
+    });
+  }
+
+  void retry_registration(AsId new_as, std::size_t attempt) {
+    // Registrations are soft state: once the exponential burst is spent
+    // the device keeps probing at the backoff cap (Mobile-IP-style
+    // lifetime renewal) instead of abandoning the binding, so it survives
+    // outages longer than one burst. The chain ends when a probe lands,
+    // a newer move supersedes it, or the session runs out.
+    if (queue_.now() >= config_.duration_ms) return;
+    const std::size_t next = attempts_left(attempt) ? attempt + 1 : 0;
+    queue_.schedule_in(backoff_ms(attempt), [this, new_as, next] {
+      if (device_location(queue_.now()) != new_as) return;  // superseded
+      register_with_home(new_as, next);
+    });
   }
 
   void send_packet(double send_time_ms) override {
-    // Leg 1: correspondent -> home agent.
-    const auto to_home =
-        fabric_.path_delay_ms(config_.correspondent, home_);
-    if (!to_home.has_value()) return;  // lost
+    if (!faults_) {
+      // Leg 1: correspondent -> home agent.
+      const auto to_home =
+          fabric_.path_delay_ms(config_.correspondent, home_);
+      if (!to_home.has_value()) return;  // lost
+      queue_.schedule_in(*to_home, [this, send_time_ms] {
+        // Leg 2: home agent -> registered care-of location.
+        const AsId target = registry_;
+        const auto to_target = fabric_.path_delay_ms(home_, target);
+        if (!to_target.has_value()) return;
+        queue_.schedule_in(*to_target, [this, send_time_ms, target] {
+          if (device_location(queue_.now()) == target) {
+            deliver(send_time_ms);
+          }
+        });
+      });
+      return;
+    }
+    const auto to_home = fabric_.path_delay_ms(config_.correspondent, home_,
+                                               *plan_, queue_.now());
+    if (!to_home.has_value()) return;  // lost: home unreachable
     queue_.schedule_in(*to_home, [this, send_time_ms] {
-      // Leg 2: home agent -> registered care-of location.
+      // A dead home agent swallows every packet for the whole outage:
+      // indirection's single point of failure.
+      if (plan_->home_agent_down(home_, queue_.now())) return;
       const AsId target = registry_;
-      const auto to_target = fabric_.path_delay_ms(home_, target);
+      const auto to_target =
+          fabric_.path_delay_ms(home_, target, *plan_, queue_.now());
       if (!to_target.has_value()) return;
       queue_.schedule_in(*to_target, [this, send_time_ms, target] {
         if (device_location(queue_.now()) == target) {
@@ -184,36 +309,105 @@ class ResolutionRunner final : public SessionRunner {
     // Periodic re-resolution; the initial resolution happened at setup.
     for (double t = config.resolver_ttl_ms; t < config.duration_ms;
          t += config.resolver_ttl_ms) {
-      queue_.schedule(t, [this] { resolve(); });
+      queue_.schedule(t, [this] { resolve(0); });
     }
   }
 
  private:
-  void resolve() {
-    count_control(1);
-    const auto to_resolver =
-        fabric_.path_delay_ms(config_.correspondent, resolver_);
-    if (!to_resolver.has_value()) return;
-    queue_.schedule_in(*to_resolver, [this] {
+  void resolve(std::size_t attempt) {
+    count_attempt(attempt);
+    if (!faults_) {
+      const auto to_resolver =
+          fabric_.path_delay_ms(config_.correspondent, resolver_);
+      if (!to_resolver.has_value()) return;
+      queue_.schedule_in(*to_resolver, [this] {
+        const AsId answer = registry_;
+        const auto back =
+            fabric_.path_delay_ms(resolver_, config_.correspondent);
+        if (!back.has_value()) return;
+        queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
+      });
+      return;
+    }
+    const auto to_resolver = fabric_.path_delay_ms(
+        config_.correspondent, resolver_, *plan_, queue_.now());
+    if (control_lost() || !to_resolver.has_value()) {
+      retry_resolve(attempt);
+      return;
+    }
+    queue_.schedule_in(*to_resolver, [this, attempt] {
+      // A single resolver has nowhere to fail over to: a dead resolver
+      // times the lookup out and the client can only retry it.
+      if (plan_->resolver_down(resolver_, queue_.now())) {
+        retry_resolve(attempt);
+        return;
+      }
       const AsId answer = registry_;
-      const auto back =
-          fabric_.path_delay_ms(resolver_, config_.correspondent);
+      const auto back = fabric_.path_delay_ms(
+          resolver_, config_.correspondent, *plan_, queue_.now());
       if (!back.has_value()) return;
       queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
     });
   }
 
-  void on_move(AsId new_as) override {
-    // The device updates the resolver (one message).
-    count_control(1);
-    const auto delay = fabric_.path_delay_ms(new_as, resolver_);
-    if (!delay.has_value()) return;
-    queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+  void retry_resolve(std::size_t attempt) {
+    if (!attempts_left(attempt)) return;  // the next TTL tick re-resolves
+    queue_.schedule_in(backoff_ms(attempt),
+                       [this, attempt] { resolve(attempt + 1); });
+  }
+
+  void on_move(AsId new_as) override { register_location(new_as, 0); }
+
+  /// The device updates the resolver (one message; retried under faults).
+  void register_location(AsId new_as, std::size_t attempt) {
+    count_attempt(attempt);
+    if (!faults_) {
+      const auto delay = fabric_.path_delay_ms(new_as, resolver_);
+      if (!delay.has_value()) return;
+      queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+      return;
+    }
+    const auto delay =
+        fabric_.path_delay_ms(new_as, resolver_, *plan_, queue_.now());
+    if (control_lost() || !delay.has_value()) {
+      retry_registration(new_as, attempt);
+      return;
+    }
+    queue_.schedule_in(*delay, [this, new_as, attempt] {
+      if (plan_->resolver_down(resolver_, queue_.now())) {
+        retry_registration(new_as, attempt);
+        return;
+      }
+      registry_ = new_as;
+    });
+  }
+
+  void retry_registration(AsId new_as, std::size_t attempt) {
+    // Soft-state renewal, as in IndirectionRunner: keep probing at the
+    // backoff cap past the burst until the registration lands, a newer
+    // move supersedes it, or the session ends.
+    if (queue_.now() >= config_.duration_ms) return;
+    const std::size_t next = attempts_left(attempt) ? attempt + 1 : 0;
+    queue_.schedule_in(backoff_ms(attempt), [this, new_as, next] {
+      if (device_location(queue_.now()) != new_as) return;  // superseded
+      register_location(new_as, next);
+    });
   }
 
   void send_packet(double send_time_ms) override {
     const AsId target = cache_;
-    const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+    if (!faults_) {
+      const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+      if (!delay.has_value()) return;
+      queue_.schedule_in(*delay, [this, send_time_ms, target] {
+        if (device_location(queue_.now()) == target) {
+          deliver(send_time_ms);
+        }
+      });
+      return;
+    }
+    const auto delay = fabric_.path_delay_ms(config_.correspondent, target,
+                                             *plan_, queue_.now());
     if (!delay.has_value()) return;
     queue_.schedule_in(*delay, [this, send_time_ms, target] {
       if (device_location(queue_.now()) == target) {
@@ -233,8 +427,7 @@ class ReplicatedResolutionRunner final : public SessionRunner {
                              const SessionConfig& config)
       : SessionRunner(fabric, config),
         pool_(fabric, config.resolver_replicas),
-        records_(config.resolver_replicas.size(),
-                 config.schedule.front().as),
+        records_(pool_.replicas().size(), config.schedule.front().as),
         cache_(config.schedule.front().as) {
     // The correspondent always queries its nearest replica.
     lookup_replica_ = 0;
@@ -245,39 +438,201 @@ class ReplicatedResolutionRunner final : public SessionRunner {
     }
     for (double t = config.resolver_ttl_ms; t < config.duration_ms;
          t += config.resolver_ttl_ms) {
-      queue_.schedule(t, [this] { resolve(); });
+      queue_.schedule(t, [this] { resolve(0); });
+    }
+    if (faults_) {
+      // Anti-entropy: at each repair instant a replica that was down (its
+      // process crashed or its AS went dark) pulls the current record from
+      // its nearest live peer, so it stops answering with the location it
+      // last heard before the crash.
+      for (const FailureEvent& event : plan_->events()) {
+        if (event.kind != FailureKind::kResolverCrash &&
+            event.kind != FailureKind::kAsOutage)
+          continue;
+        if (event.end_ms >= config.duration_ms) continue;
+        const auto& ases = pool_.replicas();
+        if (std::find(ases.begin(), ases.end(), event.element) == ases.end())
+          continue;
+        queue_.schedule(event.end_ms,
+                        [this, as = event.element] { resync_replica(as); });
+      }
     }
   }
 
  private:
-  void resolve() {
+  /// Recovered-replica anti-entropy pull: request to the nearest live
+  /// peer, answer from the peer's record at answer time. Either leg can
+  /// be lost or unroutable; the replica then keeps its stale record until
+  /// the next device update reaches it.
+  void resync_replica(AsId recovered) {
+    if (plan_->resolver_down(recovered, queue_.now())) return;  // overlap
+    std::optional<AsId> peer;
+    double best = 0.0;
+    for (const AsId replica : pool_.replicas()) {
+      if (replica == recovered ||
+          plan_->resolver_down(replica, queue_.now()))
+        continue;
+      const auto delay =
+          fabric_.path_delay_ms(recovered, replica, *plan_, queue_.now());
+      if (!delay.has_value()) continue;
+      if (!peer.has_value() || *delay < best) {
+        peer = replica;
+        best = *delay;
+      }
+    }
+    if (!peer.has_value()) return;
     count_control(1);
-    const AsId replica = pool_.replicas()[lookup_replica_];
-    const auto to_replica =
-        fabric_.path_delay_ms(config_.correspondent, replica);
-    if (!to_replica.has_value()) return;
-    queue_.schedule_in(*to_replica, [this, replica] {
-      const AsId answer = records_[lookup_replica_];
-      const auto back = fabric_.path_delay_ms(replica, config_.correspondent);
+    if (control_lost()) return;
+    // Snapshot the record the pull is refreshing: if a device update lands
+    // while the answer is in flight, the (older) answer must not clobber
+    // it — the in-flight pull loses to the newer write.
+    const AsId before = records_[pool_.replica_index(recovered)];
+    queue_.schedule_in(best, [this, recovered, before, peer = *peer] {
+      if (plan_->resolver_down(peer, queue_.now())) return;
+      const AsId answer = records_[pool_.replica_index(peer)];
+      count_control(1);
+      if (control_lost()) return;
+      const auto back =
+          fabric_.path_delay_ms(peer, recovered, *plan_, queue_.now());
+      if (!back.has_value()) return;
+      queue_.schedule_in(*back, [this, recovered, before, answer] {
+        auto& record = records_[pool_.replica_index(recovered)];
+        if (record == before && !plan_->resolver_down(recovered, queue_.now()))
+          record = answer;
+      });
+    });
+  }
+
+  void resolve(std::size_t attempt) {
+    count_attempt(attempt);
+    if (!faults_) {
+      const AsId replica = pool_.replicas()[lookup_replica_];
+      const auto to_replica =
+          fabric_.path_delay_ms(config_.correspondent, replica);
+      if (!to_replica.has_value()) return;
+      queue_.schedule_in(*to_replica, [this, replica] {
+        const AsId answer = records_[lookup_replica_];
+        const auto back =
+            fabric_.path_delay_ms(replica, config_.correspondent);
+        if (!back.has_value()) return;
+        queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
+      });
+      return;
+    }
+    // Failover: the first attempt goes to the statically nearest replica
+    // (the client cannot know it died); once an attempt times out, the
+    // retry targets the nearest replica *believed live* at retry time, so
+    // service resumes within one backoff of the preferred replica dying.
+    AsId replica = pool_.replicas()[lookup_replica_];
+    if (attempt > 0) {
+      const auto live = pool_.nearest_live_replica(config_.correspondent,
+                                                   *plan_, queue_.now());
+      if (live.has_value()) replica = *live;
+    }
+    const auto to_replica = fabric_.path_delay_ms(
+        config_.correspondent, replica, *plan_, queue_.now());
+    if (control_lost() || !to_replica.has_value()) {
+      retry_resolve(attempt);
+      return;
+    }
+    queue_.schedule_in(*to_replica, [this, replica, attempt] {
+      if (plan_->resolver_down(replica, queue_.now())) {
+        retry_resolve(attempt);
+        return;
+      }
+      // The replica answers from its own (possibly stale) record: a
+      // recovered replica serves whatever it last heard.
+      const AsId answer = records_[pool_.replica_index(replica)];
+      const auto back = fabric_.path_delay_ms(
+          replica, config_.correspondent, *plan_, queue_.now());
       if (!back.has_value()) return;
       queue_.schedule_in(*back, [this, answer] { cache_ = answer; });
     });
   }
 
-  void on_move(AsId new_as) override {
-    // Device -> primary replica, then primary -> every other replica.
-    count_control(pool_.update_message_count());
-    const auto arrivals = pool_.propagation_times_ms(new_as, queue_.now());
-    for (std::size_t i = 0; i < arrivals.size(); ++i) {
-      queue_.schedule(arrivals[i], [this, i, new_as] {
-        records_[i] = new_as;
-      });
+  void retry_resolve(std::size_t attempt) {
+    if (!attempts_left(attempt)) return;  // the next TTL tick re-resolves
+    queue_.schedule_in(backoff_ms(attempt),
+                       [this, attempt] { resolve(attempt + 1); });
+  }
+
+  void on_move(AsId new_as) override { update_replicas(new_as, 0); }
+
+  /// Device -> primary replica, then primary -> every other replica.
+  void update_replicas(AsId new_as, std::size_t attempt) {
+    if (!faults_) {
+      count_control(pool_.update_message_count());
+      const auto arrivals = pool_.propagation_times_ms(new_as, queue_.now());
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        queue_.schedule(arrivals[i], [this, i, new_as] {
+          records_[i] = new_as;
+        });
+      }
+      return;
     }
+    // The device registers with the nearest *live* replica and that
+    // primary relays to the surviving rest; replicas that are dead (or
+    // whose relay is lost) simply miss this update and serve their stale
+    // record until the next one.
+    count_attempt(attempt);
+    const auto primary =
+        pool_.nearest_live_replica(new_as, *plan_, queue_.now());
+    const auto to_primary =
+        primary.has_value()
+            ? fabric_.path_delay_ms(new_as, *primary, *plan_, queue_.now())
+            : std::nullopt;
+    if (!primary.has_value() || control_lost() || !to_primary.has_value()) {
+      retry_update(new_as, attempt);
+      return;
+    }
+    queue_.schedule_in(*to_primary, [this, new_as, primary = *primary,
+                                     attempt] {
+      if (plan_->resolver_down(primary, queue_.now())) {
+        retry_update(new_as, attempt);
+        return;
+      }
+      records_[pool_.replica_index(primary)] = new_as;
+      for (std::size_t i = 0; i < pool_.replicas().size(); ++i) {
+        const AsId replica = pool_.replicas()[i];
+        if (replica == primary) continue;
+        count_control(1);
+        const auto relay = fabric_.path_delay_ms(primary, replica, *plan_,
+                                                 queue_.now());
+        if (control_lost() || !relay.has_value()) continue;
+        queue_.schedule_in(*relay, [this, i, new_as] {
+          if (!plan_->resolver_down(pool_.replicas()[i], queue_.now()))
+            records_[i] = new_as;
+        });
+      }
+    });
+  }
+
+  void retry_update(AsId new_as, std::size_t attempt) {
+    // Soft-state renewal, as in IndirectionRunner: keep probing at the
+    // backoff cap past the burst until an update lands, a newer move
+    // supersedes it, or the session ends.
+    if (queue_.now() >= config_.duration_ms) return;
+    const std::size_t next = attempts_left(attempt) ? attempt + 1 : 0;
+    queue_.schedule_in(backoff_ms(attempt), [this, new_as, next] {
+      if (device_location(queue_.now()) != new_as) return;  // superseded
+      update_replicas(new_as, next);
+    });
   }
 
   void send_packet(double send_time_ms) override {
     const AsId target = cache_;
-    const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+    if (!faults_) {
+      const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
+      if (!delay.has_value()) return;
+      queue_.schedule_in(*delay, [this, send_time_ms, target] {
+        if (device_location(queue_.now()) == target) {
+          deliver(send_time_ms);
+        }
+      });
+      return;
+    }
+    const auto delay = fabric_.path_delay_ms(config_.correspondent, target,
+                                             *plan_, queue_.now());
     if (!delay.has_value()) return;
     queue_.schedule_in(*delay, [this, send_time_ms, target] {
       if (device_location(queue_.now()) == target) {
@@ -321,6 +676,10 @@ class NameBasedRunner final : public SessionRunner {
   }
 
   void on_move(AsId new_as) override {
+    // The flooding wavefront is massively redundant (every router relays),
+    // so a lost copy or a dead AS does not stop it: name-based routing has
+    // no control-plane single point of failure to crash. Its failure mode
+    // is the data plane rerouting around dead elements (stretch).
     history_.push_back({queue_.now(), new_as});
     // Flooding cost: every router within scope (everyone when global).
     const auto& graph = fabric_.internet().graph();
@@ -343,12 +702,15 @@ class NameBasedRunner final : public SessionRunner {
 
   void hop(AsId at, double send_time_ms, std::size_t hops) {
     if (hops > config_.packet_ttl_hops) return;  // dropped in a loop
+    if (faults_ && plan_->as_down(at, queue_.now())) return;  // router dark
     const AsId dest = belief(at, queue_.now());
     if (at == dest) {
       if (device_location(queue_.now()) == at) deliver(send_time_ms);
       return;  // belief said "here" but the device has left: lost
     }
-    const auto next = fabric_.next_hop(at, dest);
+    const auto next = faults_
+                          ? fabric_.next_hop(at, dest, *plan_, queue_.now())
+                          : fabric_.next_hop(at, dest);
     if (!next.has_value()) return;
     const double delay = fabric_.link_delay_ms(at, *next);
     queue_.schedule_in(delay, [this, next = *next, send_time_ms, hops] {
@@ -368,10 +730,10 @@ SessionStats simulate_session(const ForwardingFabric& fabric,
   switch (architecture) {
     case SimArchitecture::kIndirection:
       return IndirectionRunner(fabric, config).run();
-    case SimArchitecture::kNameResolution:
-      return ResolutionRunner(fabric, config).run();
     case SimArchitecture::kNameBased:
       return NameBasedRunner(fabric, config).run();
+    case SimArchitecture::kNameResolution:
+      return ResolutionRunner(fabric, config).run();
     case SimArchitecture::kReplicatedResolution:
       return ReplicatedResolutionRunner(fabric, config).run();
   }

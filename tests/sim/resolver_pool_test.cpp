@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "../support/fixtures.hpp"
+#include "lina/sim/failure_plan.hpp"
 #include "lina/sim/session.hpp"
 
 namespace lina::sim {
@@ -31,6 +33,87 @@ TEST(ResolverPoolTest, MetroPlacementDistinct) {
   const auto placed = replicas(8);
   EXPECT_EQ(placed.size(), 8u);
   EXPECT_EQ(std::set<AsId>(placed.begin(), placed.end()).size(), 8u);
+}
+
+TEST(ResolverPoolTest, MetroPlacementZeroCountIsEmpty) {
+  EXPECT_TRUE(replicas(0).empty());
+}
+
+TEST(ResolverPoolTest, MetroPlacementCapsAtAnnouncingAses) {
+  // Asking for more replicas than there are announcing ASes must terminate
+  // and return only distinct announcing ASes, not loop or repeat.
+  const std::size_t available = shared_internet().edge_ases().size();
+  const auto placed = replicas(available + 10);
+  EXPECT_LE(placed.size(), available);
+  EXPECT_GT(placed.size(), 0u);
+  EXPECT_EQ(std::set<AsId>(placed.begin(), placed.end()).size(),
+            placed.size());
+  for (const AsId as : placed) {
+    const auto& edges = shared_internet().edge_ases();
+    EXPECT_NE(std::find(edges.begin(), edges.end(), as), edges.end());
+  }
+}
+
+TEST(ResolverPoolTest, DuplicateReplicasDeduplicated) {
+  const auto base = replicas(3);
+  const ResolverPool pool(
+      fabric(), {base[0], base[1], base[0], base[2], base[1]});
+  ASSERT_EQ(pool.replicas().size(), 3u);
+  EXPECT_EQ(pool.replicas()[0], base[0]);
+  EXPECT_EQ(pool.replicas()[1], base[1]);
+  EXPECT_EQ(pool.replicas()[2], base[2]);
+  // One device->primary message plus two relays — duplicates no longer
+  // inflate the update cost.
+  EXPECT_EQ(pool.update_message_count(), 3u);
+}
+
+TEST(ResolverPoolTest, SingleReplicaUpdateCostsExactlyOneMessage) {
+  const ResolverPool pool(fabric(), replicas(1));
+  EXPECT_EQ(pool.update_message_count(), 1u);  // no relays to send
+}
+
+TEST(ResolverPoolTest, ReplicaIndexRoundTripsAndThrows) {
+  const ResolverPool pool(fabric(), replicas(4));
+  for (std::size_t i = 0; i < pool.replicas().size(); ++i) {
+    EXPECT_EQ(pool.replica_index(pool.replicas()[i]), i);
+  }
+  AsId absent = 0;
+  while (std::find(pool.replicas().begin(), pool.replicas().end(), absent) !=
+         pool.replicas().end()) {
+    ++absent;
+  }
+  EXPECT_THROW((void)pool.replica_index(absent), std::invalid_argument);
+}
+
+TEST(ResolverPoolTest, NearestLiveReplicaFailsOverToSecondNearest) {
+  const ResolverPool pool(fabric(), replicas(6));
+  const AsId client = shared_internet().edge_ases()[0];
+  const AsId nearest = pool.nearest_replica(client);
+
+  FailurePlan plan;
+  plan.resolver_crash(nearest, 0.0, 1000.0);
+
+  const auto live = pool.nearest_live_replica(client, plan, 500.0);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_NE(*live, nearest);
+  // It must be the best among the survivors.
+  const double live_delay = *fabric().path_delay_ms(client, *live);
+  for (const AsId replica : pool.replicas()) {
+    if (replica == nearest) continue;
+    EXPECT_LE(live_delay, *fabric().path_delay_ms(client, replica) + 1e-9);
+  }
+  // After the repair the preferred replica is live again.
+  EXPECT_EQ(pool.nearest_live_replica(client, plan, 1500.0), nearest);
+}
+
+TEST(ResolverPoolTest, NearestLiveReplicaNoneWhenAllDown) {
+  const auto base = replicas(3);
+  const ResolverPool pool(fabric(), base);
+  FailurePlan plan;
+  for (const AsId replica : base) plan.resolver_crash(replica, 0.0, 1000.0);
+  EXPECT_FALSE(pool.nearest_live_replica(shared_internet().edge_ases()[0],
+                                         plan, 500.0)
+                   .has_value());
 }
 
 TEST(ResolverPoolTest, NearestReplicaIsNearest) {
