@@ -234,7 +234,8 @@ void ablation_multihoming() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "ablation_strategies");
   bench::print_figure_header(
       "Ablations — design choices behind the headline results",
       "(not a paper figure; DESIGN.md §4 ablation index)");

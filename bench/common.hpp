@@ -1,43 +1,233 @@
 #pragma once
 
-// Shared fixtures for the figure/table reproduction harnesses: the
-// full-scale synthetic Internet and the paper-scale workloads (372 users,
-// 500 + 500 domains, hourly resolution over three weeks). Each bench binary
-// is its own process; fixtures are built once per process on first use.
+// Shared harness for the figure/table reproduction benches.
+//
+// Fixtures: the full-scale synthetic Internet and the paper-scale
+// workloads (372 users, 500 + 500 domains, hourly resolution over three
+// weeks). Each bench binary is its own process; fixtures are built once
+// per process on first use, and every build is timed into the dedicated
+// "fixtures" phase so fixture construction never pollutes a measured
+// phase.
+//
+// Telemetry: every bench accepts the shared flags
+//     --json <path>    write the machine-readable run record (metrics
+//                      registry snapshot + per-phase wall time + headline
+//                      results) — the BENCH_*.json perf-trajectory format
+//     --csv <path>     flat CSV of the metrics snapshot
+//     --trace <path>   JSONL event trace from the obs ring buffer
+// Passing any of them enables the lina::obs registry for the process;
+// without them instrumentation stays disabled (no-op) and the bench
+// prints exactly its usual text output.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "lina/core/lina.hpp"
+#include "lina/obs/export.hpp"
+#include "lina/obs/metrics.hpp"
+#include "lina/obs/registry.hpp"
+#include "lina/obs/timer.hpp"
+#include "lina/obs/trace.hpp"
 
 namespace lina::bench {
 
+/// Per-bench run harness: construct first thing in main(), then mark
+/// phases with phase("...") and record headline numbers with
+/// result("...", v). The destructor closes the last phase and writes
+/// whichever outputs were requested on the command line.
+class Harness {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Harness(int argc, char** argv, std::string name)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const auto take_value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << name_ << ": missing value for " << arg << "\n";
+          return {};
+        }
+        return argv[++i];
+      };
+      if (arg == "--json") {
+        json_path_ = take_value();
+      } else if (arg == "--csv") {
+        csv_path_ = take_value();
+      } else if (arg == "--trace") {
+        trace_path_ = take_value();
+      } else {
+        std::cerr << name_ << ": ignoring unknown argument '" << arg
+                  << "' (supported: --json <path> --csv <path> --trace "
+                     "<path>)\n";
+      }
+    }
+    if (wants_output()) {
+      obs::Registry::instance().reset();
+      obs::Registry::instance().enable(true);
+      obs::TraceRing::instance().clear();
+    }
+    active_ = this;
+    open_phase("main");
+  }
+
+  ~Harness() {
+    close_phase();
+    if (active_ == this) active_ = nullptr;
+    if (!wants_output()) return;
+    obs::Registry::instance().enable(false);
+    try {
+      write_outputs();
+    } catch (const std::exception& error) {
+      std::cerr << name_ << ": telemetry write failed: " << error.what()
+                << "\n";
+    }
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// Closes the current phase and opens `name`; per-phase wall time lands
+  /// in the JSON record.
+  void phase(std::string name) {
+    close_phase();
+    open_phase(std::move(name));
+  }
+
+  /// Free-form config context for the run record (seed knobs, sweep
+  /// parameters, ...).
+  void note(std::string key, std::string value) {
+    info_.config.emplace_back(std::move(key), std::move(value));
+  }
+  void seed(std::uint64_t seed) { info_.seed = seed; }
+
+  /// A headline scalar result (median stretch, delivery ratio, ...).
+  void result(std::string key, double value) {
+    info_.results.emplace_back(std::move(key), value);
+  }
+
+  [[nodiscard]] static Harness* active() { return active_; }
+
+  /// Runs `build` and attributes its wall time to the "fixtures" phase
+  /// (and the lina.bench.fixture.build_ms histogram) instead of whatever
+  /// phase is open — fixture construction is reported separately from
+  /// every measured phase.
+  template <typename F>
+  static auto timed_fixture(const char* what, F&& build) {
+    const Clock::time_point start = Clock::now();
+    auto result = build();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    obs::metric::fixture_build_ms().record(ms);
+    if (active_ != nullptr) active_->account_fixture(what, ms);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool wants_output() const {
+    return !json_path_.empty() || !csv_path_.empty() ||
+           !trace_path_.empty();
+  }
+
+  void open_phase(std::string name) {
+    phase_name_ = std::move(name);
+    phase_start_ = Clock::now();
+    phase_fixture_ms_ = 0.0;
+  }
+
+  void close_phase() {
+    if (phase_name_.empty()) return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - phase_start_)
+                          .count();
+    info_.phases.emplace_back(phase_name_,
+                              std::max(0.0, ms - phase_fixture_ms_));
+    phase_name_.clear();
+  }
+
+  void account_fixture(const char* what, double ms) {
+    phase_fixture_ms_ += ms;
+    fixtures_ms_ += ms;
+    info_.config.emplace_back(std::string("fixture.") + what,
+                              stats::fmt(ms, 1) + " ms");
+  }
+
+  void write_outputs() {
+    info_.name = name_;
+    if (fixtures_ms_ > 0.0)
+      info_.phases.emplace_back("fixtures", fixtures_ms_);
+    const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+    if (!json_path_.empty()) {
+      obs::write_text_file(json_path_, obs::export_json(info_, snapshot));
+      std::cout << "[obs] wrote " << json_path_ << "\n";
+    }
+    if (!csv_path_.empty()) {
+      obs::write_text_file(csv_path_, obs::export_csv(snapshot));
+      std::cout << "[obs] wrote " << csv_path_ << "\n";
+    }
+    if (!trace_path_.empty()) {
+      const auto events = obs::TraceRing::instance().events();
+      obs::write_text_file(trace_path_, obs::export_trace_jsonl(events));
+      std::cout << "[obs] wrote " << trace_path_ << " (" << events.size()
+                << " events, " << obs::TraceRing::instance().dropped()
+                << " dropped)\n";
+    }
+  }
+
+  inline static Harness* active_ = nullptr;
+
+  std::string name_;
+  std::string json_path_;
+  std::string csv_path_;
+  std::string trace_path_;
+  obs::RunInfo info_;
+  std::string phase_name_;
+  Clock::time_point phase_start_{};
+  double phase_fixture_ms_ = 0.0;
+  double fixtures_ms_ = 0.0;
+};
+
 inline const routing::SyntheticInternet& paper_internet() {
-  static const routing::SyntheticInternet instance{
-      routing::SyntheticInternetConfig{}};
+  static const routing::SyntheticInternet instance =
+      Harness::timed_fixture("internet", [] {
+        return routing::SyntheticInternet{routing::SyntheticInternetConfig{}};
+      });
   return instance;
 }
 
 /// 372 users for 30 days (the paper observed users for months; 30 days of
 /// synthetic trace gives stable per-user daily statistics).
 inline const std::vector<mobility::DeviceTrace>& paper_device_traces() {
-  static const std::vector<mobility::DeviceTrace> traces = [] {
-    mobility::DeviceWorkloadConfig config;  // paper-calibrated defaults
-    config.days = 30;
-    return mobility::DeviceWorkloadGenerator(paper_internet(), config)
-        .generate();
-  }();
+  // Built (and timed) before entering the trace fixture so nested builds
+  // never double-count in the "fixtures" phase.
+  const auto& internet = paper_internet();
+  static const std::vector<mobility::DeviceTrace> traces =
+      Harness::timed_fixture("device_traces", [&internet] {
+        mobility::DeviceWorkloadConfig config;  // paper-calibrated defaults
+        config.days = 30;
+        return mobility::DeviceWorkloadGenerator(internet, config)
+            .generate();
+      });
   return traces;
 }
 
 /// 500 popular + 500 unpopular domains, 21 days of hourly resolution from
 /// 74 vantage points (§7.1).
 inline const mobility::ContentCatalog& paper_content_catalog() {
+  const auto& internet = paper_internet();
   static const mobility::ContentCatalog catalog =
-      mobility::ContentWorkloadGenerator(paper_internet(),
-                                         mobility::ContentWorkloadConfig{})
-          .generate();
+      Harness::timed_fixture("content_catalog", [&internet] {
+        return mobility::ContentWorkloadGenerator(
+                   internet, mobility::ContentWorkloadConfig{})
+            .generate();
+      });
   return catalog;
 }
 

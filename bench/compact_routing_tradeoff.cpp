@@ -62,7 +62,8 @@ void run_topology(const std::string& name, const topology::Graph& graph) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "compact_routing_tradeoff");
   bench::print_figure_header(
       "Compact routing — the §2.1 stretch/state/update middle ground",
       "(context for Table 1) compact routing bounds stretch by 3x with "

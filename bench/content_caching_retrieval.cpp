@@ -12,7 +12,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "content_caching_retrieval");
   bench::print_figure_header(
       "Content retrieval with on-path caching (extension, §8)",
       "(not a paper figure) caching absorbs the popular head and offloads "

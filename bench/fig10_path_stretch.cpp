@@ -9,7 +9,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig10_path_stretch");
   bench::print_figure_header(
       "Figure 10 — one-way delay from the home (dominant) location",
       "median displacement delay ~50 ms over predicted routes with ~4 AS "
@@ -39,6 +40,12 @@ int main() {
   std::cout << "AS-hop displacement from home:\n"
             << stats::multi_cdf_table(hops, "AS hops", 9) << "\n";
 
+  harness.result("median_delay_ms", result.delay_ms.quantile(0.5));
+  harness.result("median_policy_hops", result.policy_hops.quantile(0.5));
+  harness.result("median_physical_hops",
+                 result.physical_hops.quantile(0.5));
+  harness.result("median_away_time_share",
+                 result.away_time_share.quantile(0.5));
   std::cout << "Measured medians: delay "
             << stats::fmt(result.delay_ms.quantile(0.5), 1)
             << " ms; policy-route hops "

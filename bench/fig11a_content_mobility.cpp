@@ -7,7 +7,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig11a_content_mobility");
   bench::print_figure_header(
       "Figure 11(a) — content mobility events per day (popular content)",
       "median 2 changes/day in the resolved address set; maximum bounded "

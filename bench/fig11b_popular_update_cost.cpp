@@ -9,7 +9,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig11b_popular_update_cost");
   bench::print_figure_header(
       "Figure 11(b) — popular content mobility inducing router updates",
       "up to 13% of events with controlled flooding; at most 6% with "

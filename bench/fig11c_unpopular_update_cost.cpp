@@ -8,7 +8,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig11c_unpopular_update_cost");
   bench::print_figure_header(
       "Figure 11(c) — unpopular content mobility inducing router updates",
       "at most 1% of events even with controlled flooding; with best-port "

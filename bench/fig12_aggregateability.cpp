@@ -8,7 +8,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig12_aggregateability");
   bench::print_figure_header(
       "Figure 12 — FIB aggregateability of popular content",
       "aggregateability between 2x and 16x across routers; unpopular "
@@ -25,23 +26,24 @@ int main() {
   for (const auto& r : popular) rows.emplace_back(r.router, r.ratio());
   std::cout << stats::bar_chart(rows, "x") << "\n";
 
-  std::vector<std::vector<std::string>> table;
-  table.push_back({"router", "complete", "LPM", "ratio (popular)",
-                   "ratio (unpopular)"});
+  stats::Table table;
+  table.header({"router", "complete", "LPM", "ratio (popular)",
+                "ratio (unpopular)"});
   for (std::size_t i = 0; i < popular.size(); ++i) {
-    table.push_back({popular[i].router,
-                     std::to_string(popular[i].complete_entries),
-                     std::to_string(popular[i].lpm_entries),
-                     stats::fmt(popular[i].ratio(), 2),
-                     stats::fmt(unpopular[i].ratio(), 2)});
+    const double cells[] = {static_cast<double>(popular[i].complete_entries),
+                            static_cast<double>(popular[i].lpm_entries),
+                            popular[i].ratio(), unpopular[i].ratio()};
+    table.append_row(popular[i].router, cells, 2);
   }
-  std::cout << stats::text_table(table) << "\n";
+  std::cout << table.str() << "\n";
 
   double lo = 1e9, hi = 0.0;
   for (const auto& r : popular) {
     lo = std::min(lo, r.ratio());
     hi = std::max(hi, r.ratio());
   }
+  harness.result("aggregateability_min", lo);
+  harness.result("aggregateability_max", hi);
   std::cout << "Measured popular aggregateability range: "
             << stats::fmt(lo, 1) << "x - " << stats::fmt(hi, 1)
             << "x (paper: 2x - 16x); unpopular stays near 1x as the tail "

@@ -8,7 +8,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig6_locations_per_day");
   bench::print_figure_header(
       "Figure 6 — distinct network locations per user per day",
       "medians 3 IP addresses, 2 prefixes, 2 ASes per day; consistent with "
@@ -22,6 +23,10 @@ int main() {
              {"ASes", &extent.ases_per_day}};
   std::cout << stats::multi_cdf_table(series, "locations/day") << "\n";
 
+  harness.result("median_ips_per_day", extent.ips_per_day.quantile(0.5));
+  harness.result("median_prefixes_per_day",
+                 extent.prefixes_per_day.quantile(0.5));
+  harness.result("median_ases_per_day", extent.ases_per_day.quantile(0.5));
   std::cout << "Measured medians: "
             << stats::fmt(extent.ips_per_day.quantile(0.5), 2) << " IPs, "
             << stats::fmt(extent.prefixes_per_day.quantile(0.5), 2)

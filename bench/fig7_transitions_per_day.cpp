@@ -7,7 +7,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig7_transitions_per_day");
   bench::print_figure_header(
       "Figure 7 — transitions across network locations per user per day",
       "median user: ~3 IP-address and ~1 AS transition/day; over 20% of "

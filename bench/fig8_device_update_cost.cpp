@@ -18,7 +18,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig8_device_update_cost");
   bench::print_figure_header(
       "Figure 8 — device mobility events inducing a router update",
       "up to 14% at some routers; median router ~3.15%; Mauritius and "
@@ -35,6 +36,8 @@ int main() {
   std::vector<double> rates;
   for (const auto& s : router_stats) rates.push_back(s.rate());
   std::sort(rates.begin(), rates.end());
+  harness.result("max_update_rate", rates.back());
+  harness.result("median_update_rate", rates[rates.size() / 2]);
   std::cout << "Measured: max " << stats::pct(rates.back(), 1) << ", median "
             << stats::pct(rates[rates.size() / 2], 1) << " across "
             << router_stats.front().events << " events.\n";

@@ -7,7 +7,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "fig9_dominant_location");
   bench::print_figure_header(
       "Figure 9 — time share at the dominant location (per user-day)",
       "over 40% of users spend around 70% of their day at the dominant IP "

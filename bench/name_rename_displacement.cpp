@@ -11,7 +11,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "name_rename_displacement");
   bench::print_figure_header(
       "Name renaming — Figure 2(b) displacement across hierarchies",
       "(methodology exercise; the paper's /20thCenturyFox/StarWarsIV -> "

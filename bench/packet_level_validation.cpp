@@ -40,7 +40,8 @@ sim::SessionConfig session_from_trace(const mobility::DeviceTrace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "packet_level_validation");
   bench::print_figure_header(
       "Packet-level validation — forwarding under mobility (extension)",
       "(not a paper figure) indirection should pay stretch but converge "

@@ -95,7 +95,8 @@ std::string fmt_recovery(const stats::EmpiricalCdf& recovery) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "resilience_outage_sweep");
   bench::print_figure_header(
       "Resilience sweep — architectures under control-plane failure "
       "(extension)",
@@ -105,6 +106,7 @@ int main() {
       "retry backoff, and name-based routing should degrade only by "
       "stretch while the data plane reroutes.");
 
+  harness.seed(kSeed);
   const auto& internet = bench::paper_internet();
   const sim::ForwardingFabric fabric(internet);
   const auto replicas = sim::ResolverPool::metro_placement(internet, 8);
@@ -130,6 +132,9 @@ int main() {
         targeted_plan(scenario.arch, config, fabric, pool, 4000.0);
     config.failures = &plan;
     auto result = sim::simulate_session(fabric, scenario.arch, config);
+    harness.result(std::string("delivery.") +
+                       std::string(sim::sim_architecture_name(scenario.arch)),
+                   result.delivery_ratio());
     rows.push_back({scenario.label, stats::pct(result.delivery_ratio(), 1),
                     stats::pct(result.failure_loss_fraction(), 1),
                     fmt_recovery(result.recovery_ms),

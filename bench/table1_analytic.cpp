@@ -67,7 +67,8 @@ void run_for_size(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "table1_analytic");
   bench::print_figure_header(
       "Table 1 — path stretch vs aggregate update cost (analytic)",
       "chain (n/3, 1/n, 0, 1/3); clique (1, 1/n, 0, 1); binary tree "

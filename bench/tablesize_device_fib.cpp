@@ -10,7 +10,8 @@
 
 using namespace lina;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "tablesize_device_fib");
   bench::print_figure_header(
       "Table size — displaced-device forwarding entries (§6.2)",
       "a typical router maintains extra entries for ~1% of all devices "

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "lina/names/content_name.hpp"
+#include "lina/obs/metrics.hpp"
 
 namespace lina::names {
 
@@ -41,6 +42,8 @@ class NameTrie {
     const bool created = !node->value.has_value();
     node->value = std::move(value);
     if (created) ++size_;
+    obs::metric::name_trie_inserts().add();
+    if (!created) obs::metric::name_trie_displacements().add();
     return created;
   }
 
@@ -52,17 +55,21 @@ class NameTrie {
     const Node* best = nullptr;
     std::size_t best_depth = 0;
     std::size_t depth = 0;
+    std::uint64_t visited = 1;  // the root
     if (node->value.has_value()) best = node;
     for (const auto& component : name.components()) {
       const auto it = node->children.find(component);
       if (it == node->children.end()) break;
       node = it->second.get();
       ++depth;
+      ++visited;
       if (node->value.has_value()) {
         best = node;
         best_depth = depth;
       }
     }
+    obs::metric::name_trie_lpm_lookups().add();
+    obs::metric::name_trie_lpm_node_visits().add(visited);
     if (best == nullptr) return std::nullopt;
     std::vector<std::string> parts(name.components().begin(),
                                    name.components().begin() +
@@ -83,6 +90,7 @@ class NameTrie {
     if (node == nullptr || !node->value.has_value()) return false;
     node->value.reset();
     --size_;
+    obs::metric::name_trie_erases().add();
     return true;
   }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "lina/net/ipv4.hpp"
+#include "lina/obs/metrics.hpp"
 
 namespace lina::net {
 
@@ -41,6 +42,8 @@ class IpTrie {
     const bool created = !node->value.has_value();
     node->value = std::move(value);
     if (created) ++size_;
+    obs::metric::ip_trie_inserts().add();
+    if (!created) obs::metric::ip_trie_displacements().add();
     return created;
   }
 
@@ -52,7 +55,9 @@ class IpTrie {
     const Node* node = root_.get();
     Prefix path(Ipv4Address(0), 0);
     unsigned depth = 0;
+    std::uint64_t visited = 0;
     while (node != nullptr) {
+      ++visited;
       if (node->value.has_value()) {
         best = node;
         best_prefix = path;
@@ -63,6 +68,8 @@ class IpTrie {
       node = bit ? node->one.get() : node->zero.get();
       ++depth;
     }
+    obs::metric::ip_trie_lpm_lookups().add();
+    obs::metric::ip_trie_lpm_node_visits().add(visited);
     if (best == nullptr) return std::nullopt;
     return std::make_pair(best_prefix, *best->value);
   }
@@ -85,6 +92,7 @@ class IpTrie {
     if (node == nullptr || !node->value.has_value()) return false;
     node->value.reset();
     --size_;
+    obs::metric::ip_trie_erases().add();
     return true;
   }
 

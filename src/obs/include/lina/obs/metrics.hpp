@@ -1,0 +1,96 @@
+#pragma once
+
+#include "lina/obs/registry.hpp"
+
+namespace lina::obs::metric {
+
+/// Cached handles for the well-known instrumentation points threaded
+/// through the hot layers. Each accessor registers on first use and then
+/// returns the same handle forever, so call sites pay one static-guard
+/// check plus the disabled-branch — no registry lookup — per event.
+///
+/// Naming scheme: `lina.<layer>.<component>.<metric>` (see DESIGN.md
+/// §4b). Counters are monotonic event counts; `*_ms` histograms record
+/// milliseconds.
+
+#define LINA_OBS_COUNTER(fn, name)                         \
+  inline Counter& fn() {                                   \
+    static Counter handle = Registry::instance().counter(name); \
+    return handle;                                         \
+  }
+
+#define LINA_OBS_GAUGE(fn, name)                           \
+  inline Gauge& fn() {                                     \
+    static Gauge handle = Registry::instance().gauge(name); \
+    return handle;                                         \
+  }
+
+#define LINA_OBS_HISTOGRAM(fn, name)                       \
+  inline Histogram& fn() {                                 \
+    static Histogram handle = Registry::instance().histogram(name); \
+    return handle;                                         \
+  }
+
+// Routing tries (the FIB data structures).
+LINA_OBS_COUNTER(ip_trie_lpm_lookups, "lina.net.ip_trie.lpm_lookups")
+LINA_OBS_COUNTER(ip_trie_lpm_node_visits, "lina.net.ip_trie.lpm_node_visits")
+LINA_OBS_COUNTER(ip_trie_inserts, "lina.net.ip_trie.inserts")
+LINA_OBS_COUNTER(ip_trie_displacements, "lina.net.ip_trie.displacements")
+LINA_OBS_COUNTER(ip_trie_erases, "lina.net.ip_trie.erases")
+LINA_OBS_COUNTER(name_trie_lpm_lookups, "lina.names.name_trie.lpm_lookups")
+LINA_OBS_COUNTER(name_trie_lpm_node_visits,
+                 "lina.names.name_trie.lpm_node_visits")
+LINA_OBS_COUNTER(name_trie_inserts, "lina.names.name_trie.inserts")
+LINA_OBS_COUNTER(name_trie_displacements,
+                 "lina.names.name_trie.displacements")
+LINA_OBS_COUNTER(name_trie_erases, "lina.names.name_trie.erases")
+
+// Forwarding fabric (per-hop forwarding and failure reroutes).
+LINA_OBS_COUNTER(fabric_next_hop_queries, "lina.sim.fabric.next_hop_queries")
+LINA_OBS_COUNTER(fabric_detour_hops, "lina.sim.fabric.detour_hops")
+LINA_OBS_COUNTER(fabric_detour_route_builds,
+                 "lina.sim.fabric.detour_route_builds")
+LINA_OBS_COUNTER(fabric_degraded_graph_builds,
+                 "lina.sim.fabric.degraded_graph_builds")
+LINA_OBS_COUNTER(fabric_impaired_path_checks,
+                 "lina.sim.fabric.impaired_path_checks")
+
+// Resolver pool (lookup / failover / update fan-out).
+LINA_OBS_COUNTER(resolver_lookups, "lina.sim.resolver.lookups")
+LINA_OBS_COUNTER(resolver_failover_lookups,
+                 "lina.sim.resolver.failover_lookups")
+LINA_OBS_COUNTER(resolver_updates, "lina.sim.resolver.updates")
+LINA_OBS_HISTOGRAM(resolver_lookup_delay_ms,
+                   "lina.sim.resolver.lookup_delay_ms")
+
+// Discrete-event queue (depth and dwell time).
+LINA_OBS_COUNTER(event_queue_scheduled, "lina.sim.event_queue.scheduled")
+LINA_OBS_COUNTER(event_queue_executed, "lina.sim.event_queue.executed")
+LINA_OBS_GAUGE(event_queue_depth, "lina.sim.event_queue.depth")
+LINA_OBS_HISTOGRAM(event_queue_dwell_ms, "lina.sim.event_queue.dwell_ms")
+
+// Failure plan (fault activations and injected control-message drops).
+LINA_OBS_COUNTER(failure_plan_events, "lina.sim.failure.plan_events")
+LINA_OBS_COUNTER(failure_control_drops, "lina.sim.failure.control_drops")
+LINA_OBS_COUNTER(failure_active_sends, "lina.sim.failure.active_sends")
+
+// Session simulators (mirrors of SessionStats, per process).
+LINA_OBS_COUNTER(session_runs, "lina.sim.session.runs")
+LINA_OBS_COUNTER(session_packets_sent, "lina.sim.session.packets_sent")
+LINA_OBS_COUNTER(session_packets_delivered,
+                 "lina.sim.session.packets_delivered")
+LINA_OBS_COUNTER(session_packets_lost, "lina.sim.session.packets_lost")
+LINA_OBS_COUNTER(session_control_messages,
+                 "lina.sim.session.control_messages")
+LINA_OBS_COUNTER(session_control_retries,
+                 "lina.sim.session.control_retries")
+LINA_OBS_HISTOGRAM(session_run_wall_ms, "lina.sim.session.run_wall_ms")
+
+// Bench harness fixtures.
+LINA_OBS_HISTOGRAM(fixture_build_ms, "lina.bench.fixture.build_ms")
+
+#undef LINA_OBS_COUNTER
+#undef LINA_OBS_GAUGE
+#undef LINA_OBS_HISTOGRAM
+
+}  // namespace lina::obs::metric

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <chrono>
+
+#include "lina/obs/registry.hpp"
+
+namespace lina::obs {
+
+/// RAII wall-clock timer: records the elapsed milliseconds into a
+/// histogram on destruction. When the registry is disabled at
+/// construction time the timer never reads the clock at all, so disabled
+/// instrumentation stays free of syscall cost too.
+///
+///   {
+///     obs::ScopedTimer timer(
+///         obs::Registry::instance().histogram("lina.sim.session.run_ms"));
+///     ... timed work ...
+///   }
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ScopedTimer(Histogram histogram) noexcept
+      : histogram_(histogram), armed_(detail::recording()) {
+    if (armed_) start_ = Clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (armed_) histogram_.record(elapsed_ms());
+  }
+
+  /// Milliseconds since construction (0 when the timer is disarmed).
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    if (!armed_) return 0.0;
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram histogram_;
+  bool armed_;
+  Clock::time_point start_;
+};
+
+}  // namespace lina::obs

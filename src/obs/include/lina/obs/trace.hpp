@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lina::obs {
+
+/// One trace event: a named point sample on the simulated (or wall)
+/// timeline, e.g. a failover, a reroute, a phase boundary.
+struct TraceEvent {
+  double time_ms = 0.0;
+  std::string name;   // lina.<layer>.<component>.<event>
+  double value = 0.0;  // event-specific payload (count, delay, AS id, ...)
+};
+
+/// A lightweight bounded event-trace ring buffer. Recording is a no-op
+/// while the metrics registry is disabled (same global off-switch), so
+/// tracing hooks can live permanently in the hot layers. When the ring
+/// wraps, the oldest events are overwritten; `dropped()` reports how many
+/// were lost so exports never silently truncate.
+///
+/// Thread-safe (mutex-protected); the tracer is for sparse control-plane
+/// events, not per-packet firehoses.
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  [[nodiscard]] static TraceRing& instance();
+
+  /// Records an event iff the registry is enabled.
+  void record(std::string_view name, double time_ms, double value = 0.0);
+
+  /// Events in arrival order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Discards all buffered events and the dropped count.
+  void clear();
+
+  /// Resizes (and clears) the ring.
+  void set_capacity(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+ private:
+  TraceRing() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+}  // namespace lina::obs

@@ -1,0 +1,211 @@
+#include "lina/obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace lina::obs {
+
+namespace detail {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+HistogramCell::HistogramCell(const HistogramLayout& layout_in)
+    : layout(layout_in), buckets(layout_in.bucket_count) {
+  upper_bounds.reserve(layout.bucket_count - 1);
+  double bound = layout.first_bound;
+  for (std::size_t i = 0; i + 1 < layout.bucket_count; ++i) {
+    upper_bounds.push_back(bound);
+    bound *= layout.growth;
+  }
+}
+
+namespace {
+
+/// Atomic add for doubles (fetch_add on atomic<double> is C++20 but not
+/// universally lock-free; a CAS loop is portable and contention here is
+/// negligible).
+void atomic_add(std::atomic<double>& cell, double delta) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& cell, double v) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (v < current && !cell.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& cell, double v) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (v > current && !cell.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramCell::record(double x) noexcept {
+  if (std::isnan(x)) return;
+  const auto it =
+      std::upper_bound(upper_bounds.begin(), upper_bounds.end(), x);
+  const auto index =
+      static_cast<std::size_t>(it - upper_bounds.begin());
+  buckets[index].fetch_add(1, std::memory_order_relaxed);
+  // The first sample seeds min/max; count is bumped last so a concurrent
+  // snapshot never reads count > 0 with untouched extrema.
+  if (count.load(std::memory_order_relaxed) == 0) {
+    min.store(x, std::memory_order_relaxed);
+    max.store(x, std::memory_order_relaxed);
+  } else {
+    atomic_min(min, x);
+    atomic_max(max, x);
+  }
+  atomic_add(sum, x);
+  count.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within bucket i; bucket bounds are
+    // (upper_bounds[i-1], upper_bounds[i]], clamped to observed extrema
+    // so the underflow/overflow buckets (and single samples) stay honest.
+    double lo = (i == 0) ? min : upper_bounds[i - 1];
+    double hi = (i < upper_bounds.size()) ? upper_bounds[i] : max;
+    lo = std::clamp(lo, min, max);
+    hi = std::clamp(hi, min, max);
+    const double fraction =
+        buckets[i] == 0
+            ? 0.0
+            : (target - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return max;
+}
+
+struct Registry::Impl {
+  std::mutex mutex;
+  // Deques: stable cell addresses across registration.
+  std::deque<detail::CounterCell> counter_cells;
+  std::deque<detail::GaugeCell> gauge_cells;
+  std::deque<detail::HistogramCell> histogram_cells;
+  std::map<std::string, detail::CounterCell*, std::less<>> counters;
+  std::map<std::string, detail::GaugeCell*, std::less<>> gauges;
+  std::map<std::string, detail::HistogramCell*, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const auto it = i.counters.find(name);
+  if (it != i.counters.end()) return Counter(it->second);
+  detail::CounterCell* cell = &i.counter_cells.emplace_back();
+  i.counters.emplace(std::string(name), cell);
+  return Counter(cell);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const auto it = i.gauges.find(name);
+  if (it != i.gauges.end()) return Gauge(it->second);
+  detail::GaugeCell* cell = &i.gauge_cells.emplace_back();
+  i.gauges.emplace(std::string(name), cell);
+  return Gauge(cell);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              HistogramOptions options) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const auto it = i.histograms.find(name);
+  if (it != i.histograms.end()) return Histogram(it->second);
+  detail::HistogramLayout layout;
+  layout.first_bound = options.first_bound;
+  layout.growth = options.growth;
+  layout.bucket_count = std::max<std::size_t>(options.bucket_count, 2);
+  detail::HistogramCell* cell = &i.histogram_cells.emplace_back(layout);
+  i.histograms.emplace(std::string(name), cell);
+  return Histogram(cell);
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  for (auto& cell : i.counter_cells)
+    cell.value.store(0, std::memory_order_relaxed);
+  for (auto& cell : i.gauge_cells) {
+    cell.value.store(0.0, std::memory_order_relaxed);
+    cell.max.store(0.0, std::memory_order_relaxed);
+    cell.touched.store(false, std::memory_order_relaxed);
+  }
+  for (auto& cell : i.histogram_cells) {
+    for (auto& bucket : cell.buckets)
+      bucket.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0.0, std::memory_order_relaxed);
+    cell.min.store(0.0, std::memory_order_relaxed);
+    cell.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  Snapshot snap;
+  for (const auto& [name, cell] : i.counters) {
+    const std::uint64_t v = cell->value.load(std::memory_order_relaxed);
+    if (v != 0) snap.counters.emplace_back(name, v);
+  }
+  for (const auto& [name, cell] : i.gauges) {
+    if (!cell->touched.load(std::memory_order_relaxed)) continue;
+    snap.gauges.emplace_back(
+        name, std::make_pair(cell->value.load(std::memory_order_relaxed),
+                             cell->max.load(std::memory_order_relaxed)));
+  }
+  for (const auto& [name, cell] : i.histograms) {
+    const std::uint64_t count = cell->count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    HistogramSnapshot h;
+    h.count = count;
+    h.sum = cell->sum.load(std::memory_order_relaxed);
+    h.min = cell->min.load(std::memory_order_relaxed);
+    h.max = cell->max.load(std::memory_order_relaxed);
+    h.upper_bounds = cell->upper_bounds;
+    h.buckets.reserve(cell->buckets.size());
+    for (const auto& bucket : cell->buckets)
+      h.buckets.push_back(bucket.load(std::memory_order_relaxed));
+    snap.histograms.emplace_back(name, std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace lina::obs

@@ -1,0 +1,84 @@
+#include "lina/obs/trace.hpp"
+
+#include <mutex>
+
+#include "lina/obs/registry.hpp"
+
+namespace lina::obs {
+
+struct TraceRing::Impl {
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;       // write cursor
+  bool wrapped = false;
+  std::uint64_t dropped = 0;  // events overwritten after wrap
+};
+
+TraceRing& TraceRing::instance() {
+  static TraceRing tracer;
+  return tracer;
+}
+
+TraceRing::Impl& TraceRing::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void TraceRing::record(std::string_view name, double time_ms, double value) {
+  if (!detail::recording()) return;
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  if (i.ring.size() < capacity_) {
+    i.ring.push_back({time_ms, std::string(name), value});
+    return;
+  }
+  i.ring[i.next] = {time_ms, std::string(name), value};
+  i.next = (i.next + 1) % capacity_;
+  i.wrapped = true;
+  ++i.dropped;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  if (!i.wrapped) return i.ring;
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(i.ring.size());
+  for (std::size_t k = 0; k < i.ring.size(); ++k)
+    ordered.push_back(i.ring[(i.next + k) % i.ring.size()]);
+  return ordered;
+}
+
+std::size_t TraceRing::size() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  return i.ring.size();
+}
+
+std::uint64_t TraceRing::dropped() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  return i.dropped;
+}
+
+void TraceRing::clear() {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  i.ring.clear();
+  i.next = 0;
+  i.wrapped = false;
+  i.dropped = 0;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  i.ring.clear();
+  i.ring.shrink_to_fit();
+  i.next = 0;
+  i.wrapped = false;
+  i.dropped = 0;
+}
+
+}  // namespace lina::obs

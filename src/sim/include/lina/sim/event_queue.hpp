@@ -40,6 +40,7 @@ class EventQueue {
     double time_ms;
     std::uint64_t sequence;  // FIFO tie-break
     Callback callback;
+    double scheduled_at_ms;  // now() at schedule time, for dwell metrics
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lina/obs/metrics.hpp"
+
 namespace lina::sim {
 
 void EventQueue::schedule(double time_ms, Callback callback) {
@@ -10,7 +12,10 @@ void EventQueue::schedule(double time_ms, Callback callback) {
     throw std::invalid_argument("EventQueue::schedule: time in the past");
   if (!callback)
     throw std::invalid_argument("EventQueue::schedule: empty callback");
-  queue_.push({time_ms, next_sequence_++, std::move(callback)});
+  queue_.push({time_ms, next_sequence_++, std::move(callback), now_ms_});
+  obs::metric::event_queue_scheduled().add();
+  obs::metric::event_queue_depth().set(
+      static_cast<double>(queue_.size()));
 }
 
 void EventQueue::schedule_in(double delay_ms, Callback callback) {
@@ -25,6 +30,9 @@ bool EventQueue::run_next() {
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   now_ms_ = entry.time_ms;
+  obs::metric::event_queue_executed().add();
+  obs::metric::event_queue_dwell_ms().record(entry.time_ms -
+                                             entry.scheduled_at_ms);
   entry.callback();
   return true;
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lina/obs/metrics.hpp"
+#include "lina/obs/trace.hpp"
 #include "lina/routing/policy_routing.hpp"
 #include "lina/sim/failure_plan.hpp"
 #include "lina/topology/geo.hpp"
@@ -43,6 +45,7 @@ std::optional<AsId> ForwardingFabric::next_hop(AsId at, AsId dest) const {
   if (at >= internet_->graph().as_count() ||
       dest >= internet_->graph().as_count())
     throw std::out_of_range("ForwardingFabric::next_hop");
+  obs::metric::fabric_next_hop_queries().add();
   const AsId hop = next_hops_toward(dest)[at];
   if (hop == topology::kNoNode) return std::nullopt;
   return hop;
@@ -110,6 +113,7 @@ bool ForwardingFabric::policy_path_impaired(AsId from, AsId to,
                                             const FailurePlan& failures,
                                             double time_ms) const {
   if (!failures.data_plane_impaired(time_ms)) return false;
+  obs::metric::fabric_impaired_path_checks().add();
   if (failures.as_down(from, time_ms) || failures.as_down(to, time_ms))
     return true;
   const auto& hops = next_hops_toward(to);
@@ -134,6 +138,7 @@ const topology::AsGraph& ForwardingFabric::degraded_graph(
       std::make_pair(failures.stamp(), failures.data_plane_epoch(time_ms));
   const auto it = degraded_graph_cache_.find(key);
   if (it != degraded_graph_cache_.end()) return it->second;
+  obs::metric::fabric_degraded_graph_builds().add();
 
   // Rebuild the AS graph without the elements the plan has taken down.
   // Every AS keeps its dense id (dead ones just lose all adjacencies), so
@@ -172,6 +177,9 @@ const std::vector<AsId>& ForwardingFabric::detour_hops_toward(
                                    failures.data_plane_epoch(time_ms), dest);
   const auto it = detour_cache_.find(key);
   if (it != detour_cache_.end()) return it->second;
+  obs::metric::fabric_detour_route_builds().add();
+  obs::TraceRing::instance().record("lina.sim.fabric.reconverge", time_ms,
+                                    static_cast<double>(dest));
 
   // BGP reconvergence: valley-free policy routes on the surviving
   // topology. Detours therefore obey the same export rules as healthy
@@ -200,6 +208,7 @@ std::optional<AsId> ForwardingFabric::next_hop(AsId at, AsId dest,
   if (at == dest) return at;
   if (!policy_path_impaired(at, dest, failures, time_ms))
     return next_hop(at, dest);
+  obs::metric::fabric_detour_hops().add();
   const AsId hop = detour_hops_toward(dest, failures, time_ms)[at];
   if (hop == topology::kNoNode) return std::nullopt;
   return hop;

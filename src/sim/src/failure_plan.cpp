@@ -4,6 +4,9 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "lina/obs/metrics.hpp"
+#include "lina/obs/trace.hpp"
+
 namespace lina::sim {
 
 using topology::AsId;
@@ -60,6 +63,7 @@ FailurePlan& FailurePlan::add(const FailureEvent& event) {
     throw std::invalid_argument("FailurePlan: loss probability outside [0, 1]");
   events_.push_back(event);
   stamp_ = next_stamp();
+  obs::metric::failure_plan_events().add();
   if (is_data_plane(event.kind)) {
     data_plane_boundaries_.push_back(event.start_ms);
     data_plane_boundaries_.push_back(event.end_ms);
@@ -159,7 +163,14 @@ bool FailurePlan::control_message_lost(std::uint64_t message_id,
   const double coin =
       static_cast<double>(mix64(seed_ ^ mix64(message_id)) >> 11) *
       0x1.0p-53;  // uniform in [0, 1)
-  return coin >= survive;
+  const bool lost = coin >= survive;
+  if (lost) {
+    obs::metric::failure_control_drops().add();
+    obs::TraceRing::instance().record("lina.sim.failure.control_drop",
+                                      time_ms,
+                                      static_cast<double>(message_id));
+  }
+  return lost;
 }
 
 std::size_t FailurePlan::data_plane_epoch(double time_ms) const {

@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "lina/obs/metrics.hpp"
+#include "lina/obs/trace.hpp"
+
 namespace lina::sim {
 
 using topology::AsId;
@@ -36,6 +39,7 @@ std::size_t ResolverPool::replica_index(AsId replica) const {
 }
 
 AsId ResolverPool::nearest_replica(AsId client) const {
+  obs::metric::resolver_lookups().add();
   AsId best = replicas_.front();
   double best_delay = std::numeric_limits<double>::infinity();
   for (const AsId replica : replicas_) {
@@ -45,11 +49,16 @@ AsId ResolverPool::nearest_replica(AsId client) const {
       best = replica;
     }
   }
+  if (best_delay < std::numeric_limits<double>::infinity())
+    obs::metric::resolver_lookup_delay_ms().record(best_delay);
   return best;
 }
 
 std::optional<AsId> ResolverPool::nearest_live_replica(
     AsId client, const FailurePlan& failures, double time_ms) const {
+  obs::metric::resolver_failover_lookups().add();
+  obs::TraceRing::instance().record("lina.sim.resolver.failover_lookup",
+                                    time_ms, static_cast<double>(client));
   std::optional<AsId> best;
   double best_delay = std::numeric_limits<double>::infinity();
   for (const AsId replica : replicas_) {
@@ -71,6 +80,7 @@ double ResolverPool::nearest_replica_delay_ms(AsId client) const {
 
 std::vector<double> ResolverPool::propagation_times_ms(
     AsId device_as, double update_time_ms) const {
+  obs::metric::resolver_updates().add();
   const AsId primary = nearest_replica(device_as);
   const double at_primary =
       update_time_ms +

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lina/obs/metrics.hpp"
+#include "lina/obs/timer.hpp"
+#include "lina/obs/trace.hpp"
 #include "lina/sim/event_queue.hpp"
 #include "lina/sim/resolver_pool.hpp"
 
@@ -87,6 +90,9 @@ class SessionRunner {
     for (std::size_t i = 1; i < config_.schedule.size(); ++i) {
       const MobilityStep& step = config_.schedule[i];
       queue_.schedule(step.time_ms, [this, step] {
+        obs::TraceRing::instance().record("lina.sim.session.move",
+                                          queue_.now(),
+                                          static_cast<double>(step.as));
         if (move_pending_) {
           // The previous move never saw a delivery: record the censored
           // outage up to this move.
@@ -723,21 +729,50 @@ class NameBasedRunner final : public SessionRunner {
 
 }  // namespace
 
+namespace {
+
+/// Mirrors the finished SessionStats into the process-wide registry.
+/// Observation only: the stats object itself is never touched, which is
+/// what keeps instrumentation-on runs bit-identical to instrumentation-
+/// off runs (tests/obs/off_switch_test.cpp).
+void mirror_to_registry(const SessionStats& stats) {
+  obs::metric::session_runs().add();
+  obs::metric::session_packets_sent().add(stats.packets_sent);
+  obs::metric::session_packets_delivered().add(stats.packets_delivered);
+  obs::metric::session_packets_lost().add(stats.packets_lost);
+  obs::metric::session_control_messages().add(stats.control_messages);
+  obs::metric::session_control_retries().add(stats.control_retries);
+  if (stats.packets_sent_during_failure > 0)
+    obs::metric::failure_active_sends().add(
+        stats.packets_sent_during_failure);
+}
+
+}  // namespace
+
 SessionStats simulate_session(const ForwardingFabric& fabric,
                               SimArchitecture architecture,
                               const SessionConfig& config) {
   validate(config, fabric, architecture);
+  obs::ScopedTimer timer(obs::metric::session_run_wall_ms());
+  SessionStats stats;
   switch (architecture) {
     case SimArchitecture::kIndirection:
-      return IndirectionRunner(fabric, config).run();
+      stats = IndirectionRunner(fabric, config).run();
+      break;
     case SimArchitecture::kNameBased:
-      return NameBasedRunner(fabric, config).run();
+      stats = NameBasedRunner(fabric, config).run();
+      break;
     case SimArchitecture::kNameResolution:
-      return ResolutionRunner(fabric, config).run();
+      stats = ResolutionRunner(fabric, config).run();
+      break;
     case SimArchitecture::kReplicatedResolution:
-      return ReplicatedResolutionRunner(fabric, config).run();
+      stats = ReplicatedResolutionRunner(fabric, config).run();
+      break;
+    default:
+      throw std::invalid_argument("simulate_session: unknown architecture");
   }
-  throw std::invalid_argument("simulate_session: unknown architecture");
+  mirror_to_registry(stats);
+  return stats;
 }
 
 }  // namespace lina::sim

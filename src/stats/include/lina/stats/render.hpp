@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <string_view>
@@ -33,11 +34,40 @@ namespace lina::stats {
     std::string_view quantity, std::size_t points = 11);
 
 /// Renders a generic aligned table. `rows` are cell strings; the first row
-/// is treated as the header.
+/// is treated as the header. Cells are aligned on *display* width (UTF-8
+/// code points, not bytes), so multi-byte labels and "NaN" cells line up.
 [[nodiscard]] std::string text_table(
     std::span<const std::vector<std::string>> rows);
 
-/// Formats a double with fixed precision; trims trailing zeros.
+/// Display width of a UTF-8 string: code points, not bytes (continuation
+/// bytes do not count). What text_table aligns on.
+[[nodiscard]] std::size_t display_width(std::string_view s);
+
+/// Incremental builder for text_table: collects rows and renders on
+/// str(). The doubles overload removes the per-bench hand-formatting of
+/// numeric rows — a leading label cell followed by uniformly formatted
+/// values.
+class Table {
+ public:
+  /// First row; treated as the header by text_table.
+  Table& header(std::vector<std::string> cells);
+
+  Table& append_row(std::vector<std::string> cells);
+
+  /// Label + numeric cells formatted via fmt(v, precision); NaN renders
+  /// as "NaN", infinities as "inf"/"-inf".
+  Table& append_row(std::string label, std::span<const double> values,
+                    int precision = 3);
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision; trims trailing zeros. Non-finite
+/// values render as "NaN" / "inf" / "-inf".
 [[nodiscard]] std::string fmt(double v, int precision = 3);
 
 /// Formats a fraction as a percentage string, e.g. 0.137 -> "13.7%".

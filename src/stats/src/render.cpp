@@ -7,6 +7,8 @@
 namespace lina::stats {
 
 std::string fmt(double v, int precision) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(precision);
@@ -87,6 +89,18 @@ std::string multi_cdf_table(
   return text_table(rows);
 }
 
+std::size_t display_width(std::string_view s) {
+  // Count UTF-8 code points: every byte except continuation bytes
+  // (10xxxxxx). A close-enough terminal-column estimate that keeps
+  // multi-byte labels (µs, ≈, accented names) from shearing the table;
+  // the previous bytes-based padding misaligned every column after them.
+  std::size_t width = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++width;
+  }
+  return width;
+}
+
 std::string text_table(std::span<const std::vector<std::string>> rows) {
   if (rows.empty()) return "(no data)\n";
   std::size_t cols = 0;
@@ -94,7 +108,7 @@ std::string text_table(std::span<const std::vector<std::string>> rows) {
   std::vector<std::size_t> widths(cols, 0);
   for (const auto& row : rows) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
+      widths[c] = std::max(widths[c], display_width(row[c]));
     }
   }
   std::ostringstream os;
@@ -102,7 +116,7 @@ std::string text_table(std::span<const std::vector<std::string>> rows) {
     os << "  ";
     for (std::size_t c = 0; c < rows[r].size(); ++c) {
       os << rows[r][c]
-         << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+         << std::string(widths[c] - display_width(rows[r][c]) + 2, ' ');
     }
     os << "\n";
     if (r == 0) {
@@ -113,5 +127,31 @@ std::string text_table(std::span<const std::vector<std::string>> rows) {
   }
   return os.str();
 }
+
+Table& Table::header(std::vector<std::string> cells) {
+  if (rows_.empty()) {
+    rows_.push_back(std::move(cells));
+  } else {
+    rows_.front() = std::move(cells);
+  }
+  return *this;
+}
+
+Table& Table::append_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::append_row(std::string label, std::span<const double> values,
+                         int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(std::move(label));
+  for (const double v : values) cells.push_back(fmt(v, precision));
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::str() const { return text_table(rows_); }
 
 }  // namespace lina::stats

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -85,6 +88,69 @@ TEST(RenderTest, TextTableAlignsColumns) {
 
 TEST(RenderTest, TextTableEmpty) {
   EXPECT_EQ(text_table({}), "(no data)\n");
+}
+
+TEST(RenderTest, DisplayWidthCountsCodePointsNotBytes) {
+  EXPECT_EQ(display_width("abc"), 3u);
+  EXPECT_EQ(display_width(""), 0u);
+  EXPECT_EQ(display_width("µs"), 2u);     // 2-byte µ
+  EXPECT_EQ(display_width("≈1.5"), 4u);   // 3-byte ≈
+  EXPECT_EQ(display_width("Zürich"), 6u);
+}
+
+TEST(RenderTest, TextTableAlignsMultiByteAndNaNCells) {
+  const std::vector<std::vector<std::string>> rows{
+      {"city", "delay (µs)"},
+      {"Zürich", "12.5"},
+      {"Oregon", "NaN"}};
+  const std::string table = text_table(rows);
+  // With display-width padding the µ/ü bytes add length but not width,
+  // so every line renders at the same terminal column count even though
+  // raw byte lengths differ.
+  std::istringstream is(table);
+  std::string header, sep, zurich, oregon;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, zurich);
+  std::getline(is, oregon);
+  EXPECT_EQ(display_width(header), display_width(zurich));
+  EXPECT_EQ(display_width(zurich), display_width(oregon));
+  // ...and the second column starts at the same display column in both
+  // data rows (byte offsets differ because of the two-byte ü).
+  EXPECT_EQ(display_width(zurich.substr(0, zurich.find("12.5"))),
+            display_width(oregon.substr(0, oregon.find("NaN"))));
+}
+
+TEST(RenderTest, FmtHandlesNonFiniteValues) {
+  EXPECT_EQ(fmt(std::nan("")), "NaN");
+  EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(pct(std::nan("")), "NaN%");
+}
+
+TEST(RenderTest, TableBuilderFormatsDoubleRows) {
+  Table table;
+  table.header({"arch", "stretch", "cost"});
+  const double a[] = {1.0, 2.5};
+  const double b[] = {std::nan(""), 0.126};
+  table.append_row("indirection", a, 2).append_row("resolution", b, 2);
+  EXPECT_EQ(table.rows(), 3u);
+  const std::string out = table.str();
+  EXPECT_NE(out.find("indirection"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("NaN"), std::string::npos);
+  EXPECT_NE(out.find("0.13"), std::string::npos);  // precision 2 applied
+}
+
+TEST(RenderTest, TableBuilderHeaderReplacesExistingHeader) {
+  Table table;
+  table.header({"a"});
+  table.append_row({"1"});
+  table.header({"b", "c"});
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string out = table.str();
+  EXPECT_EQ(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
 }
 
 }  // namespace
