@@ -15,9 +15,14 @@
 //                      results) — the BENCH_*.json perf-trajectory format
 //     --csv <path>     flat CSV of the metrics snapshot
 //     --trace <path>   JSONL event trace from the obs ring buffer
-// Passing any of them enables the lina::obs registry for the process;
-// without them instrumentation stays disabled (no-op) and the bench
-// prints exactly its usual text output.
+//     --threads <n>    lina::exec worker count for parallel phases
+//                      (default: hardware concurrency; results are
+//                      bit-identical at any value — see DESIGN.md §4c)
+// Passing --json/--csv/--trace enables the lina::obs registry for the
+// process; without them instrumentation stays disabled (no-op) and the
+// bench prints exactly its usual text output. The resolved thread count
+// is recorded in the run record's config block (never in results, so
+// serial and parallel runs stay headline-comparable).
 
 #include <algorithm>
 #include <chrono>
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "lina/core/lina.hpp"
+#include "lina/exec/thread_pool.hpp"
 #include "lina/obs/export.hpp"
 #include "lina/obs/metrics.hpp"
 #include "lina/obs/registry.hpp"
@@ -62,12 +68,22 @@ class Harness {
         csv_path_ = take_value();
       } else if (arg == "--trace") {
         trace_path_ = take_value();
+      } else if (arg == "--threads") {
+        const std::string value = take_value();
+        try {
+          exec::set_default_threads(std::stoul(value));
+        } catch (const std::exception&) {
+          std::cerr << name_ << ": bad --threads value '" << value
+                    << "' (want a non-negative integer; 0 = hardware)\n";
+        }
       } else {
         std::cerr << name_ << ": ignoring unknown argument '" << arg
                   << "' (supported: --json <path> --csv <path> --trace "
-                     "<path>)\n";
+                     "<path> --threads <n>)\n";
       }
     }
+    note("threads", std::to_string(exec::default_threads()));
+    note("hardware_threads", std::to_string(exec::hardware_threads()));
     if (wants_output()) {
       obs::Registry::instance().reset();
       obs::Registry::instance().enable(true);

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json run records.
+
+Usage: compare_runs.py BASELINE.json CANDIDATE.json
+
+Exit status 0 when the candidate's headline `results` block matches the
+baseline exactly (the lina::exec determinism contract: the same bench at
+any --threads value must produce byte-identical headline numbers); 1 on
+any drift, with a per-key report. Per-phase wall times are expected to
+differ — they are reported as a speedup table, never compared.
+
+Stdlib only, so the check runs anywhere the repo builds.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    for key in ("name", "results", "phases"):
+        if key not in record:
+            sys.exit(f"{path}: not a bench run record (missing '{key}')")
+    return record
+
+
+def compare_results(base, cand):
+    drift = []
+    for key in sorted(set(base) | set(cand)):
+        if key not in base:
+            drift.append(f"  + {key} = {cand[key]!r} (absent in baseline)")
+        elif key not in cand:
+            drift.append(f"  - {key} = {base[key]!r} (absent in candidate)")
+        elif base[key] != cand[key]:
+            drift.append(f"  ~ {key}: {base[key]!r} -> {cand[key]!r}")
+    return drift
+
+
+def phase_table(base, cand):
+    base_ms = {p["phase"]: p["wall_ms"] for p in base}
+    cand_ms = {p["phase"]: p["wall_ms"] for p in cand}
+    rows = []
+    for phase in base_ms:
+        if phase not in cand_ms:
+            continue
+        b, c = base_ms[phase], cand_ms[phase]
+        speedup = b / c if c > 0 else float("inf")
+        rows.append((phase, b, c, speedup))
+    return rows
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__.strip())
+    base = load(argv[1])
+    cand = load(argv[2])
+    if base["name"] != cand["name"]:
+        sys.exit(
+            f"refusing to compare different benches: "
+            f"{base['name']!r} vs {cand['name']!r}"
+        )
+
+    threads = lambda r: r.get("config", {}).get("threads", "?")
+    print(
+        f"{base['name']}: baseline threads={threads(base)} vs "
+        f"candidate threads={threads(cand)}"
+    )
+    rows = phase_table(base["phases"], cand["phases"])
+    if rows:
+        print(f"  {'phase':<16} {'base ms':>10} {'cand ms':>10} {'speedup':>8}")
+        for phase, b, c, s in rows:
+            print(f"  {phase:<16} {b:>10.1f} {c:>10.1f} {s:>7.2f}x")
+
+    drift = compare_results(base["results"], cand["results"])
+    if drift:
+        print("HEADLINE DRIFT — results blocks differ:")
+        print("\n".join(drift))
+        return 1
+    print(f"headline results identical ({len(base['results'])} keys)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   std::cout << stats::bar_chart(degree_rows, " ports");
 
   // Sensitivity 1: time.
+  harness.phase("day_sensitivity");
   std::cout << stats::heading("Sensitivity: per-day update-rate stability");
   std::vector<std::vector<std::string>> day_rows;
   day_rows.push_back({"router", "mean rate", "stddev (paper: <0.5%)"});
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   std::cout << stats::text_table(day_rows);
 
   // Sensitivity 2: a second (RIPE-like) router set.
+  harness.phase("ripe_set");
   std::cout << stats::heading("Sensitivity: RIPE-like router set");
   const auto ripe = internet.build_vantages(routing::ripe_vantage_specs());
   const core::DeviceUpdateCostEvaluator ripe_evaluator(ripe);
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
             << "  (paper: 11.3% / 2.74%)\n";
 
   // Sensitivity 3: an independent second workload.
+  harness.phase("alt_workload");
   std::cout << stats::heading(
       "Sensitivity: correlation with an independent workload");
   mobility::DeviceWorkloadConfig alt;
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
             << "  (paper: 0.88 between NomadLog and IMAP workloads)\n";
 
   // Back-of-the-envelope (§6.2).
+  harness.phase("estimates");
   std::cout << stats::heading("Back-of-the-envelope (§6.2)");
   const auto extent = core::analyze_extent(traces);
   const double median_moves = extent.ip_transitions_per_day.quantile(0.5);

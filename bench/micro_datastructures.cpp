@@ -1,17 +1,21 @@
 // Google-benchmark microbenchmarks for the hot data structures: the IP LPM
-// trie, the hierarchical name trie, route selection, and the policy-routing
-// engine. These bound the cost of scaling the reproduction up.
+// trie, the hierarchical name trie, route selection, the policy-routing
+// engine, and the shortest-path kernels. These bound the cost of scaling
+// the reproduction up.
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "lina/exec/thread_pool.hpp"
 #include "lina/names/name_trie.hpp"
 #include "lina/net/ip_trie.hpp"
 #include "lina/routing/policy_routing.hpp"
 #include "lina/routing/rib.hpp"
 #include "lina/stats/rng.hpp"
 #include "lina/topology/as_graph.hpp"
+#include "lina/topology/graph.hpp"
+#include "lina/topology/shortest_paths.hpp"
 
 namespace {
 
@@ -121,6 +125,62 @@ void BM_PolicyRoutes(benchmark::State& state) {
                           static_cast<long>(graph.as_count()));
 }
 BENCHMARK(BM_PolicyRoutes)->Range(128, 2048);
+
+/// A connected sparse random graph of the shape the AS-level analyses walk
+/// (mean degree ~4, unit weights plus jitter so the PQ sees real ordering
+/// work, not all-equal keys).
+topology::Graph random_sparse_graph(std::size_t nodes, stats::Rng& rng) {
+  topology::Graph graph(nodes);
+  for (std::size_t v = 1; v < nodes; ++v) {
+    // Spanning-tree edge keeps the graph connected.
+    graph.add_edge(static_cast<topology::NodeId>(v),
+                   static_cast<topology::NodeId>(rng.index(v)),
+                   1.0 + rng.uniform());
+  }
+  const std::size_t extra = nodes;  // ~2 edges per node total
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto a = static_cast<topology::NodeId>(rng.index(nodes));
+    const auto b = static_cast<topology::NodeId>(rng.index(nodes));
+    if (a == b || graph.has_edge(a, b)) continue;
+    graph.add_edge(a, b, 1.0 + rng.uniform());
+  }
+  return graph;
+}
+
+// Covers the Dijkstra micro-opts (uint8_t done flags, reserved PQ backing,
+// stale-entry skip). Compare against historical BENCH numbers to see the
+// effect; items/sec counts settled nodes.
+void BM_Dijkstra(benchmark::State& state) {
+  stats::Rng rng(6);
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto graph = random_sparse_graph(nodes, rng);
+  for (auto _ : state) {
+    const auto tree = dijkstra(graph, 0);
+    benchmark::DoNotOptimize(tree.distance.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Range(1 << 8, 1 << 13);
+
+// All-pairs build = one Dijkstra per source, fanned across the lina::exec
+// pool. Run once with --threads-style env control via exec defaults; the
+// 1-thread arm is the serial baseline for the parallel layer's speedup.
+void BM_AllPairsShortestPaths(benchmark::State& state) {
+  stats::Rng rng(7);
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto graph = random_sparse_graph(nodes, rng);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  exec::set_default_threads(threads);
+  for (auto _ : state) {
+    const topology::AllPairsShortestPaths table(graph);
+    benchmark::DoNotOptimize(table.node_count());
+  }
+  exec::set_default_threads(0);
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_AllPairsShortestPaths)
+    ->ArgsProduct({{256, 512, 1024}, {1, 8}});
 
 }  // namespace
 

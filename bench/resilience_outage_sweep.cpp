@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "lina/exec/parallel.hpp"
 #include "lina/sim/failure_plan.hpp"
 #include "lina/sim/resolver_pool.hpp"
 #include "lina/sim/session.hpp"
@@ -121,26 +122,34 @@ int main(int argc, char** argv) {
   };
 
   // ---- Canonical scenario: 4 s targeted outage spanning a move. ----
+  // Each cell of this bench (scenario, or scenario x sweep point) builds
+  // its own config/plan/session, so cells fan out across the lina::exec
+  // pool and come back in grid order — output identical to the serial
+  // loops at any --threads value.
   std::cout << stats::heading("Targeted 4 s outage across a move");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"architecture", "delivery", "loss in window",
                   "median recovery (ms)", "retries", "ctrl msgs"});
-  std::vector<sim::SessionStats> canonical;
-  for (const Scenario& scenario : scenarios) {
-    auto config = base_config(internet, replicas);
-    const auto plan =
-        targeted_plan(scenario.arch, config, fabric, pool, 4000.0);
-    config.failures = &plan;
-    auto result = sim::simulate_session(fabric, scenario.arch, config);
-    harness.result(std::string("delivery.") +
-                       std::string(sim::sim_architecture_name(scenario.arch)),
-                   result.delivery_ratio());
-    rows.push_back({scenario.label, stats::pct(result.delivery_ratio(), 1),
+  std::vector<sim::SessionStats> canonical =
+      exec::parallel_map(scenarios.size(), [&](std::size_t s) {
+        auto config = base_config(internet, replicas);
+        const auto plan =
+            targeted_plan(scenarios[s].arch, config, fabric, pool, 4000.0);
+        config.failures = &plan;
+        return sim::simulate_session(fabric, scenarios[s].arch, config);
+      });
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const sim::SessionStats& result = canonical[s];
+    harness.result(
+        std::string("delivery.") +
+            std::string(sim::sim_architecture_name(scenarios[s].arch)),
+        result.delivery_ratio());
+    rows.push_back({scenarios[s].label,
+                    stats::pct(result.delivery_ratio(), 1),
                     stats::pct(result.failure_loss_fraction(), 1),
                     fmt_recovery(result.recovery_ms),
                     std::to_string(result.control_retries),
                     std::to_string(result.control_messages)});
-    canonical.push_back(std::move(result));
   }
   std::cout << stats::text_table(rows) << "\n";
 
@@ -153,6 +162,7 @@ int main(int argc, char** argv) {
             << stats::multi_cdf_table(series, "stretch") << "\n";
 
   // ---- Sweep: outage duration x failure kind. ----
+  harness.phase("duration_sweep");
   std::cout << stats::heading("Outage-duration sweep (delivery ratio)");
   const std::vector<double> durations{500.0, 1000.0, 2000.0, 4000.0};
   rows.clear();
@@ -162,20 +172,32 @@ int main(int argc, char** argv) {
       header.push_back(stats::fmt(d, 0) + " ms");
     rows.push_back(std::move(header));
   }
-  for (const Scenario& scenario : scenarios) {
-    std::vector<std::string> row{scenario.label};
-    for (const double d : durations) {
-      auto config = base_config(internet, replicas);
-      const auto plan = targeted_plan(scenario.arch, config, fabric, pool, d);
-      config.failures = &plan;
-      const auto result = sim::simulate_session(fabric, scenario.arch, config);
-      row.push_back(stats::pct(result.delivery_ratio(), 1));
+  {
+    // Flattened scenario x duration grid, one session per cell.
+    const std::vector<std::string> cells = exec::parallel_map(
+        scenarios.size() * durations.size(), [&](std::size_t i) {
+          const Scenario& scenario = scenarios[i / durations.size()];
+          const double d = durations[i % durations.size()];
+          auto config = base_config(internet, replicas);
+          const auto plan =
+              targeted_plan(scenario.arch, config, fabric, pool, d);
+          config.failures = &plan;
+          const auto result =
+              sim::simulate_session(fabric, scenario.arch, config);
+          return stats::pct(result.delivery_ratio(), 1);
+        });
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      std::vector<std::string> row{scenarios[s].label};
+      for (std::size_t d = 0; d < durations.size(); ++d) {
+        row.push_back(cells[s * durations.size() + d]);
+      }
+      rows.push_back(std::move(row));
     }
-    rows.push_back(std::move(row));
   }
   std::cout << stats::text_table(rows) << "\n";
 
   // ---- Sweep: failure kinds at a fixed 2 s window. ----
+  harness.phase("kind_sweep");
   std::cout << stats::heading("Failure-kind sweep (2 s window, delivery)");
   struct Kind {
     std::string label;
@@ -225,18 +247,28 @@ int main(int argc, char** argv) {
     for (const Kind& kind : kinds) header.push_back(kind.label);
     rows.push_back(std::move(header));
   }
-  for (const Scenario& scenario : scenarios) {
-    std::vector<std::string> row{scenario.label};
-    for (const Kind& kind : kinds) {
-      auto config = base_config(internet, replicas);
-      auto plan = kind.build(config, fabric, pool);
-      if (!plan.has_value())
-        plan = targeted_plan(scenario.arch, config, fabric, pool, 2000.0);
-      config.failures = &*plan;
-      const auto result = sim::simulate_session(fabric, scenario.arch, config);
-      row.push_back(stats::pct(result.delivery_ratio(), 1));
+  {
+    // Flattened scenario x failure-kind grid.
+    const std::vector<std::string> cells = exec::parallel_map(
+        scenarios.size() * kinds.size(), [&](std::size_t i) {
+          const Scenario& scenario = scenarios[i / kinds.size()];
+          const Kind& kind = kinds[i % kinds.size()];
+          auto config = base_config(internet, replicas);
+          auto plan = kind.build(config, fabric, pool);
+          if (!plan.has_value())
+            plan = targeted_plan(scenario.arch, config, fabric, pool, 2000.0);
+          config.failures = &*plan;
+          const auto result =
+              sim::simulate_session(fabric, scenario.arch, config);
+          return stats::pct(result.delivery_ratio(), 1);
+        });
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      std::vector<std::string> row{scenarios[s].label};
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        row.push_back(cells[s * kinds.size() + k]);
+      }
+      rows.push_back(std::move(row));
     }
-    rows.push_back(std::move(row));
   }
   std::cout << stats::text_table(rows) << "\n";
 

@@ -2,9 +2,9 @@
 
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "lina/exec/memo.hpp"
 #include "lina/mobility/device_trace.hpp"
 #include "lina/routing/synthetic_internet.hpp"
 #include "lina/stats/cdf.hpp"
@@ -54,11 +54,11 @@ class LatencyModel {
 
   const routing::SyntheticInternet& internet_;
   LatencyConfig config_;
-  mutable std::unordered_map<topology::AsId, std::vector<std::size_t>>
-      bfs_cache_;
+  // Striped-shared-mutex memoizers (lina::exec): one model instance is
+  // safely shared by parallel workers; entries build exactly once per key.
+  exec::Memo<topology::AsId, std::vector<std::size_t>> bfs_cache_;
   // Per-destination best policy distances from every AS.
-  mutable std::unordered_map<topology::AsId,
-                             std::vector<std::optional<std::size_t>>>
+  exec::Memo<topology::AsId, std::vector<std::optional<std::size_t>>>
       policy_cache_;
 };
 
@@ -82,6 +82,10 @@ struct IndirectionStretchResult {
 /// Replays every trace, pairs each visited location with the user's
 /// dominant ("home") location, samples pairs at `coverage` (iPlane answered
 /// only ~5% of pairs), and builds the Figure-10 distributions.
+///
+/// Traces are evaluated in parallel (lina::exec); trace t draws its
+/// coverage coins from the substream rng.split(t), so the result is
+/// bit-identical at any thread count for a given rng seed.
 [[nodiscard]] IndirectionStretchResult evaluate_indirection_stretch(
     std::span<const mobility::DeviceTrace> traces, const LatencyModel& model,
     double coverage, stats::Rng& rng);

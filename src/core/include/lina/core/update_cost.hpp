@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "lina/exec/memo.hpp"
 #include "lina/mobility/content_trace.hpp"
 #include "lina/mobility/device_multihoming.hpp"
 #include "lina/mobility/device_trace.hpp"
@@ -52,6 +54,12 @@ class DeviceUpdateCostEvaluator {
       double end_hour) const;
 
   std::span<const routing::VantageRouter> routers_;
+  // One longest-prefix-match port memo per router, persistent across
+  // evaluate/evaluate_day calls: the 20-day sensitivity sweep re-queries
+  // the same addresses every day, so the trie walk is paid once per
+  // (router, address). Memos are thread-safe, so routers fan out across
+  // the lina::exec pool while sharing the evaluator.
+  mutable std::vector<exec::Memo<std::uint32_t, routing::Port>> port_memos_;
 };
 
 /// Evaluates the update cost of *content* mobility (§7.2) under a chosen

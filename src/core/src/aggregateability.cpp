@@ -1,5 +1,6 @@
 #include "lina/core/aggregateability.hpp"
 
+#include "lina/exec/parallel.hpp"
 #include "lina/names/name_trie.hpp"
 #include "lina/strategy/forwarding_strategy.hpp"
 #include "lina/strategy/port_oracle.hpp"
@@ -9,9 +10,10 @@ namespace lina::core {
 std::vector<AggregateabilityResult> evaluate_aggregateability(
     std::span<const routing::VantageRouter> routers,
     std::span<const mobility::ContentTrace> traces) {
-  std::vector<AggregateabilityResult> results;
-  results.reserve(routers.size());
-  for (const routing::VantageRouter& router : routers) {
+  // Each router builds its own name table, so the per-vantage loop fans
+  // out across the pool; results land back in router order.
+  return exec::parallel_map(routers.size(), [&](std::size_t r) {
+    const routing::VantageRouter& router = routers[r];
     const strategy::CachingFibOracle oracle(router.fib());
     names::NameTrie<routing::Port> table;
     for (const mobility::ContentTrace& trace : traces) {
@@ -21,10 +23,9 @@ std::vector<AggregateabilityResult> evaluate_aggregateability(
       if (!best.has_value()) continue;
       table.insert(trace.name(), best->port);
     }
-    results.push_back({std::string(router.name()), table.size(),
-                       table.lpm_compressed_size()});
-  }
-  return results;
+    return AggregateabilityResult{std::string(router.name()), table.size(),
+                                  table.lpm_compressed_size()};
+  });
 }
 
 }  // namespace lina::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "lina/exec/parallel.hpp"
+
 namespace lina::core {
 
 namespace {
@@ -52,9 +54,10 @@ std::vector<DisplacedEntryTimeline> evaluate_displaced_entries(
     }
   }
 
-  std::vector<DisplacedEntryTimeline> timelines;
-  timelines.reserve(routers.size());
-  for (const routing::VantageRouter& router : routers) {
+  // Per-vantage timelines are independent; fan out across the pool and
+  // return them in router order.
+  return exec::parallel_map(routers.size(), [&](std::size_t r) {
+    const routing::VantageRouter& router = routers[r];
     DisplacedEntryTimeline timeline;
     timeline.router = std::string(router.name());
     timeline.device_count = traces.size();
@@ -86,9 +89,8 @@ std::vector<DisplacedEntryTimeline> evaluate_displaced_entries(
             ? 0.0
             : displaced_sum / (static_cast<double>(sample_count) *
                                static_cast<double>(traces.size()));
-    timelines.push_back(std::move(timeline));
-  }
-  return timelines;
+    return timeline;
+  });
 }
 
 }  // namespace lina::core

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "lina/exec/parallel.hpp"
 #include "lina/routing/policy_routing.hpp"
 #include "lina/topology/geo.hpp"
 
@@ -22,24 +25,23 @@ LatencyModel::LatencyModel(const routing::SyntheticInternet& internet,
     : internet_(internet), config_(config) {}
 
 const std::vector<std::size_t>& LatencyModel::bfs_from(AsId source) const {
-  const auto it = bfs_cache_.find(source);
-  if (it != bfs_cache_.end()) return it->second;
-
-  const auto& graph = internet_.graph();
-  std::vector<std::size_t> dist(graph.as_count(), kUnreached);
-  dist[source] = 0;
-  std::deque<AsId> queue{source};
-  while (!queue.empty()) {
-    const AsId u = queue.front();
-    queue.pop_front();
-    for (const auto& link : graph.links(u)) {
-      if (dist[link.neighbor] == kUnreached) {
-        dist[link.neighbor] = dist[u] + 1;
-        queue.push_back(link.neighbor);
+  return bfs_cache_.get_or_build(source, [&] {
+    const auto& graph = internet_.graph();
+    std::vector<std::size_t> dist(graph.as_count(), kUnreached);
+    dist[source] = 0;
+    std::deque<AsId> queue{source};
+    while (!queue.empty()) {
+      const AsId u = queue.front();
+      queue.pop_front();
+      for (const auto& link : graph.links(u)) {
+        if (dist[link.neighbor] == kUnreached) {
+          dist[link.neighbor] = dist[u] + 1;
+          queue.push_back(link.neighbor);
+        }
       }
     }
-  }
-  return bfs_cache_.emplace(source, std::move(dist)).first->second;
+    return dist;
+  });
 }
 
 std::size_t LatencyModel::physical_as_hops(AsId from, AsId to) const {
@@ -54,17 +56,15 @@ std::size_t LatencyModel::physical_as_hops(AsId from, AsId to) const {
 
 std::optional<std::size_t> LatencyModel::policy_distance(AsId from,
                                                          AsId to) const {
-  auto it = policy_cache_.find(to);
-  if (it == policy_cache_.end()) {
+  return policy_cache_.get_or_build(to, [&] {
     const routing::PolicyRoutes routes(internet_.graph(), to);
     std::vector<std::optional<std::size_t>> dists(
         internet_.graph().as_count());
     for (AsId u = 0; u < internet_.graph().as_count(); ++u) {
       dists[u] = routes.best_distance(u);
     }
-    it = policy_cache_.emplace(to, std::move(dists)).first;
-  }
-  return it->second[from];
+    return dists;
+  })[from];
 }
 
 std::optional<std::size_t> LatencyModel::policy_as_hops(AsId from,
@@ -88,47 +88,81 @@ std::optional<double> LatencyModel::one_way_delay_ms(AsId from,
                       config_.per_hop_ms * static_cast<double>(*hops));
 }
 
+namespace {
+
+/// Per-trace partial of the Figure-10 analysis; merged in trace order so
+/// the reduction is independent of how traces were sharded across workers.
+struct StretchPartial {
+  std::vector<double> delay_ms;
+  std::vector<double> policy_hops;
+  std::vector<double> physical_hops;
+  std::optional<double> away_time_share;
+  std::size_t pairs_total = 0;
+  std::size_t pairs_sampled = 0;
+};
+
+StretchPartial evaluate_one_trace(const mobility::DeviceTrace& trace,
+                                  const LatencyModel& model, double coverage,
+                                  stats::Rng rng) {
+  StretchPartial partial;
+  if (trace.visits().empty()) return partial;
+  const AsId home = trace.dominant_as();
+  const net::Ipv4Address home_addr = trace.dominant_address();
+
+  double away_time = 0.0;
+  double total_time = 0.0;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_pairs;
+  for (const mobility::DeviceVisit& visit : trace.visits()) {
+    total_time += visit.duration_hours;
+    const std::size_t physical =
+        visit.as == home ? 0 : model.physical_as_hops(home, visit.as);
+    if (physical >= 2) away_time += visit.duration_hours;
+
+    // Each distinct (dominant, current) address pair contributes one
+    // sample, as in §6.3.2.
+    if (visit.address == home_addr) continue;
+    if (!seen_pairs.emplace(home_addr.value(), visit.address.value())
+             .second) {
+      continue;
+    }
+    ++partial.pairs_total;
+    partial.physical_hops.push_back(static_cast<double>(physical));
+    if (!rng.chance(coverage)) continue;  // iPlane had no prediction
+    const auto hops = model.policy_as_hops(home, visit.as);
+    const auto delay = model.one_way_delay_ms(home, visit.as);
+    if (!hops.has_value() || !delay.has_value()) continue;
+    ++partial.pairs_sampled;
+    partial.policy_hops.push_back(static_cast<double>(*hops));
+    partial.delay_ms.push_back(*delay);
+  }
+  if (total_time > 0.0) partial.away_time_share = away_time / total_time;
+  return partial;
+}
+
+}  // namespace
+
 IndirectionStretchResult evaluate_indirection_stretch(
     std::span<const mobility::DeviceTrace> traces, const LatencyModel& model,
     double coverage, stats::Rng& rng) {
+  // Trace t draws its iPlane-coverage coins from the counter-based
+  // substream rng.split(t) — a pure function of the caller's seed and t —
+  // so the sampled pair set, and therefore every distribution below, is
+  // bit-identical at any thread count (including the serial path).
+  const std::vector<StretchPartial> partials = exec::parallel_map(
+      traces.size(), [&](std::size_t t) {
+        return evaluate_one_trace(traces[t], model, coverage, rng.split(t));
+      });
+
   IndirectionStretchResult result;
-  for (const mobility::DeviceTrace& trace : traces) {
-    if (trace.visits().empty()) continue;
-    const AsId home = trace.dominant_as();
-    const net::Ipv4Address home_addr = trace.dominant_address();
-
-    double away_time = 0.0;
-    double total_time = 0.0;
-    std::set<std::pair<std::uint32_t, std::uint32_t>> seen_pairs;
-    for (const mobility::DeviceVisit& visit : trace.visits()) {
-      total_time += visit.duration_hours;
-      const std::size_t physical = visit.as == home
-                                       ? 0
-                                       : model.physical_as_hops(home,
-                                                                visit.as);
-      if (physical >= 2) away_time += visit.duration_hours;
-
-      // Each distinct (dominant, current) address pair contributes one
-      // sample, as in §6.3.2.
-      if (visit.address == home_addr) continue;
-      if (!seen_pairs
-               .emplace(home_addr.value(), visit.address.value())
-               .second) {
-        continue;
-      }
-      ++result.pairs_total;
-      result.physical_hops.add(static_cast<double>(physical));
-      if (!rng.chance(coverage)) continue;  // iPlane had no prediction
-      const auto hops = model.policy_as_hops(home, visit.as);
-      const auto delay = model.one_way_delay_ms(home, visit.as);
-      if (!hops.has_value() || !delay.has_value()) continue;
-      ++result.pairs_sampled;
-      result.policy_hops.add(static_cast<double>(*hops));
-      result.delay_ms.add(*delay);
-    }
-    if (total_time > 0.0) {
-      result.away_time_share.add(away_time / total_time);
-    }
+  for (const StretchPartial& partial : partials) {
+    for (const double d : partial.delay_ms) result.delay_ms.add(d);
+    for (const double h : partial.policy_hops) result.policy_hops.add(h);
+    for (const double h : partial.physical_hops)
+      result.physical_hops.add(h);
+    if (partial.away_time_share.has_value())
+      result.away_time_share.add(*partial.away_time_share);
+    result.pairs_total += partial.pairs_total;
+    result.pairs_sampled += partial.pairs_sampled;
   }
   return result;
 }

@@ -1,8 +1,8 @@
 #include "lina/core/update_cost.hpp"
 
 #include <limits>
-#include <unordered_map>
 
+#include "lina/exec/parallel.hpp"
 #include "lina/strategy/port_oracle.hpp"
 
 namespace lina::core {
@@ -18,7 +18,7 @@ constexpr routing::Port kNoRoutePort =
 
 DeviceUpdateCostEvaluator::DeviceUpdateCostEvaluator(
     std::span<const routing::VantageRouter> routers)
-    : routers_(routers) {}
+    : routers_(routers), port_memos_(routers.size()) {}
 
 std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate(
     std::span<const mobility::DeviceTrace> traces) const {
@@ -35,17 +35,17 @@ std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_day(
 std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
     std::span<const mobility::DeviceTrace> traces, double begin_hour,
     double end_hour) const {
-  std::vector<RouterUpdateStats> stats;
-  stats.reserve(routers_.size());
-  for (const routing::VantageRouter& router : routers_) {
+  // Routers are independent tallies, so they fan out across the pool and
+  // land back in router order. The port memo outlives this call: the
+  // 20-day sweep asks about the same (router, address) pairs every day.
+  return exec::parallel_map(routers_.size(), [&](std::size_t r) {
+    const routing::VantageRouter& router = routers_[r];
+    auto& memo = port_memos_[r];
     RouterUpdateStats tally{std::string(router.name()), 0, 0};
-    std::unordered_map<std::uint32_t, routing::Port> port_cache;
     const auto port_of = [&](net::Ipv4Address addr) {
-      const auto [it, inserted] = port_cache.try_emplace(addr.value());
-      if (inserted) {
-        it->second = router.port_for(addr).value_or(kNoRoutePort);
-      }
-      return it->second;
+      return memo.get_or_build(addr.value(), [&] {
+        return router.port_for(addr).value_or(kNoRoutePort);
+      });
     };
     for (const mobility::DeviceTrace& trace : traces) {
       for (const mobility::DeviceMobilityEvent& event : trace.events()) {
@@ -54,9 +54,8 @@ std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
         if (port_of(event.from) != port_of(event.to)) ++tally.updates;
       }
     }
-    stats.push_back(std::move(tally));
-  }
-  return stats;
+    return tally;
+  });
 }
 
 ContentUpdateCostEvaluator::ContentUpdateCostEvaluator(
@@ -73,9 +72,10 @@ template <typename Traces>
 std::vector<RouterUpdateStats> evaluate_snapshot_series(
     std::span<const routing::VantageRouter> routers, const Traces& traces,
     strategy::StrategyKind kind) {
-  std::vector<RouterUpdateStats> stats;
-  stats.reserve(routers.size());
-  for (const routing::VantageRouter& router : routers) {
+  // Each router replays the traces through its own strategy/oracle pair,
+  // so routers parallelize cleanly; results come back in router order.
+  return exec::parallel_map(routers.size(), [&](std::size_t r) {
+    const routing::VantageRouter& router = routers[r];
     RouterUpdateStats tally{std::string(router.name()), 0, 0};
     const strategy::CachingFibOracle oracle(router.fib());
     const auto strat = strategy::make_strategy(kind);
@@ -91,9 +91,8 @@ std::vector<RouterUpdateStats> evaluate_snapshot_series(
         first = false;
       }
     }
-    stats.push_back(std::move(tally));
-  }
-  return stats;
+    return tally;
+  });
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+#pragma once
+
+// Striped-shared-mutex memoizer: the thread-safe replacement for the
+// `mutable std::map` lazy caches that made ForwardingFabric and
+// LatencyModel read paths thread-hostile. Values are built at most once
+// per key (the build runs under the owning stripe's exclusive lock), and
+// lookups after the first take only a shared lock on one stripe, so
+// readers of distinct stripes never contend.
+//
+// References returned by get_or_build stay valid for the memo's lifetime:
+// per-stripe std::unordered_map never invalidates element references on
+// insert, and the memo never erases (clear() is the only invalidator and
+// is documented single-threaded).
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace lina::exec {
+
+/// Combines a hash into a seed (boost-style avalanche).
+inline std::size_t hash_combine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for pair/tuple cache keys (the ForwardingFabric degraded-graph and
+/// detour caches key on (plan stamp, epoch[, destination])).
+struct TupleHash {
+  template <typename... Ts>
+  std::size_t operator()(const std::tuple<Ts...>& key) const {
+    return std::apply(
+        [](const Ts&... parts) {
+          std::size_t seed = 0;
+          ((seed = hash_combine(seed, std::hash<Ts>{}(parts))), ...);
+          return seed;
+        },
+        key);
+  }
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& key) const {
+    return hash_combine(std::hash<A>{}(key.first),
+                        std::hash<B>{}(key.second));
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          std::size_t StripeCount = 16>
+class Memo {
+  static_assert(StripeCount > 0);
+
+ public:
+  Memo() = default;
+  Memo(const Memo&) = delete;
+  Memo& operator=(const Memo&) = delete;
+
+  /// Returns the cached value for `key`, building it via `build()` (under
+  /// the stripe's exclusive lock, so exactly once per key) on first use.
+  template <typename Build>
+  const Value& get_or_build(const Key& key, Build&& build) const {
+    Stripe& stripe = stripe_for(key);
+    {
+      std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+      const auto it = stripe.map.find(key);
+      if (it != stripe.map.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+    auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) {
+      it = stripe.map.emplace(key, build()).first;
+    }
+    return it->second;
+  }
+
+  /// The cached value, or nullptr when absent (never builds).
+  const Value* find(const Key& key) const {
+    Stripe& stripe = stripe_for(key);
+    std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+    const auto it = stripe.map.find(key);
+    return it == stripe.map.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+  /// Drops every entry. NOT safe concurrently with get_or_build callers
+  /// that still hold returned references.
+  void clear() {
+    for (Stripe& stripe : stripes_) {
+      std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+      stripe.map.clear();
+    }
+  }
+
+ private:
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Stripe& stripe_for(const Key& key) const {
+    return stripes_[Hash{}(key) % StripeCount];
+  }
+
+  mutable std::array<Stripe, StripeCount> stripes_;
+};
+
+}  // namespace lina::exec

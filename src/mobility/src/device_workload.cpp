@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lina/exec/parallel.hpp"
 #include "lina/stats/distributions.hpp"
 
 namespace lina::mobility {
@@ -285,12 +286,13 @@ DeviceTrace DeviceWorkloadGenerator::generate_user(
 }
 
 std::vector<DeviceTrace> DeviceWorkloadGenerator::generate() const {
-  std::vector<DeviceTrace> traces;
-  traces.reserve(config_.user_count);
-  for (std::uint32_t u = 0; u < config_.user_count; ++u) {
-    traces.push_back(generate_user(u));
-  }
-  return traces;
+  // Each user already draws from an independent, id-labelled RNG stream,
+  // so the population fans out across the lina::exec pool and comes back
+  // in user order — bit-identical to the serial loop at any thread count
+  // (pinned by tests/exec/determinism_test.cpp).
+  return exec::parallel_map(config_.user_count, [this](std::size_t u) {
+    return generate_user(static_cast<std::uint32_t>(u));
+  });
 }
 
 }  // namespace lina::mobility

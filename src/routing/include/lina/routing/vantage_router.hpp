@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -20,11 +22,34 @@ class VantageRouter {
                 topology::GeoPoint location)
       : name_(std::move(name)), as_(as_number), location_(location) {}
 
+  // Copies duplicate the RIB and rebuild the FIB lazily in the copy; the
+  // once-flag is per-object (it guards the lazy build, not the data).
+  VantageRouter(const VantageRouter& other)
+      : name_(other.name_),
+        as_(other.as_),
+        location_(other.location_),
+        rib_(other.rib_) {}
+  VantageRouter& operator=(const VantageRouter& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      as_ = other.as_;
+      location_ = other.location_;
+      rib_ = other.rib_;
+      fib_ = Fib{};
+      fib_once_ = std::make_unique<std::once_flag>();
+    }
+    return *this;
+  }
+  VantageRouter(VantageRouter&&) = default;
+  VantageRouter& operator=(VantageRouter&&) = default;
+
   /// Adds a candidate route to the RIB. Invalidates the cached FIB.
   void install(RibRoute route);
 
   /// Selects best routes for every prefix. Called lazily by lookups but
-  /// exposed so bulk loading can pay the cost once.
+  /// exposed so bulk loading can pay the cost once. Thread-safe (the lazy
+  /// build runs under a std::once_flag), so one router may serve lookups
+  /// from many lina::exec workers.
   void build_fib() const;
 
   [[nodiscard]] std::string_view name() const { return name_; }
@@ -50,7 +75,10 @@ class VantageRouter {
   topology::GeoPoint location_;
   Rib rib_;
   mutable Fib fib_;
-  mutable bool fib_valid_ = false;
+  // Recreated (never re-armed) on install(); unique_ptr keeps the router
+  // movable, which std::once_flag itself is not.
+  mutable std::unique_ptr<std::once_flag> fib_once_ =
+      std::make_unique<std::once_flag>();
 };
 
 }  // namespace lina::routing

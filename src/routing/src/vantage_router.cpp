@@ -4,14 +4,12 @@ namespace lina::routing {
 
 void VantageRouter::install(RibRoute route) {
   rib_.add(std::move(route));
-  fib_valid_ = false;
+  // Invalidate by re-arming: call_once flags cannot be reset in place.
+  fib_once_ = std::make_unique<std::once_flag>();
 }
 
 void VantageRouter::build_fib() const {
-  if (!fib_valid_) {
-    fib_ = Fib::from_rib(rib_);
-    fib_valid_ = true;
-  }
+  std::call_once(*fib_once_, [this] { fib_ = Fib::from_rib(rib_); });
 }
 
 const Fib& VantageRouter::fib() const {

@@ -2,13 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <tuple>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "lina/exec/memo.hpp"
 #include "lina/routing/synthetic_internet.hpp"
 #include "lina/topology/as_graph.hpp"
 
@@ -27,6 +26,13 @@ struct FabricConfig {
 /// from AS geography. All architecture simulators forward through this
 /// fabric; they differ only in *which destination* each element of the
 /// network believes the mobile endpoint is at.
+///
+/// Thread-safe: one fabric may be shared by any number of concurrent
+/// sessions / query threads (lina::exec workers). The per-destination
+/// route tables, BFS distance rows, degraded graphs, and detour tables
+/// are memoized behind striped shared mutexes, and each entry is built
+/// exactly once per key — so the cached values, and every query result,
+/// are bit-identical whether the fabric is driven by one thread or many.
 class ForwardingFabric {
  public:
   explicit ForwardingFabric(const routing::SyntheticInternet& internet,
@@ -101,14 +107,17 @@ class ForwardingFabric {
 
   const routing::SyntheticInternet* internet_;
   FabricConfig config_;
-  mutable std::unordered_map<topology::AsId, std::vector<topology::AsId>>
-      next_hop_cache_;
-  mutable std::unordered_map<topology::AsId, std::vector<std::size_t>>
-      bfs_cache_;
-  mutable std::map<std::pair<std::uint64_t, std::size_t>, topology::AsGraph>
+  // Striped-shared-mutex memoizers (lina::exec): lazy like the original
+  // std::map caches, but safely shareable across workers. The degraded /
+  // detour keys are hashed tuples instead of ordered tuple-keyed maps —
+  // O(1) lookups on the failure-aware hot path.
+  exec::Memo<topology::AsId, std::vector<topology::AsId>> next_hop_cache_;
+  exec::Memo<topology::AsId, std::vector<std::size_t>> bfs_cache_;
+  exec::Memo<std::pair<std::uint64_t, std::size_t>, topology::AsGraph,
+             exec::TupleHash>
       degraded_graph_cache_;
-  mutable std::map<std::tuple<std::uint64_t, std::size_t, topology::AsId>,
-                   std::vector<topology::AsId>>
+  exec::Memo<std::tuple<std::uint64_t, std::size_t, topology::AsId>,
+             std::vector<topology::AsId>, exec::TupleHash>
       detour_cache_;
 };
 

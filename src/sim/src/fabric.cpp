@@ -26,19 +26,18 @@ ForwardingFabric::ForwardingFabric(const routing::SyntheticInternet& internet,
     : internet_(&internet), config_(config) {}
 
 const std::vector<AsId>& ForwardingFabric::next_hops_toward(AsId dest) const {
-  const auto it = next_hop_cache_.find(dest);
-  if (it != next_hop_cache_.end()) return it->second;
-
-  const auto& graph = internet_->graph();
-  const routing::PolicyRoutes routes(graph, dest);
-  std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
-  hops[dest] = dest;
-  for (AsId u = 0; u < graph.as_count(); ++u) {
-    if (u == dest) continue;
-    const auto path = routes.best_path(u);
-    if (path.has_value() && !path->empty()) hops[u] = path->next_hop();
-  }
-  return next_hop_cache_.emplace(dest, std::move(hops)).first->second;
+  return next_hop_cache_.get_or_build(dest, [&] {
+    const auto& graph = internet_->graph();
+    const routing::PolicyRoutes routes(graph, dest);
+    std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
+    hops[dest] = dest;
+    for (AsId u = 0; u < graph.as_count(); ++u) {
+      if (u == dest) continue;
+      const auto path = routes.best_path(u);
+      if (path.has_value() && !path->empty()) hops[u] = path->next_hop();
+    }
+    return hops;
+  });
 }
 
 std::optional<AsId> ForwardingFabric::next_hop(AsId at, AsId dest) const {
@@ -90,23 +89,23 @@ std::optional<std::size_t> ForwardingFabric::path_hops(AsId from,
 
 const std::vector<std::size_t>& ForwardingFabric::bfs_from(
     AsId source) const {
-  const auto it = bfs_cache_.find(source);
-  if (it != bfs_cache_.end()) return it->second;
-  const auto& graph = internet_->graph();
-  std::vector<std::size_t> dist(graph.as_count(), kUnreached);
-  dist[source] = 0;
-  std::deque<AsId> queue{source};
-  while (!queue.empty()) {
-    const AsId u = queue.front();
-    queue.pop_front();
-    for (const auto& link : graph.links(u)) {
-      if (dist[link.neighbor] == kUnreached) {
-        dist[link.neighbor] = dist[u] + 1;
-        queue.push_back(link.neighbor);
+  return bfs_cache_.get_or_build(source, [&] {
+    const auto& graph = internet_->graph();
+    std::vector<std::size_t> dist(graph.as_count(), kUnreached);
+    dist[source] = 0;
+    std::deque<AsId> queue{source};
+    while (!queue.empty()) {
+      const AsId u = queue.front();
+      queue.pop_front();
+      for (const auto& link : graph.links(u)) {
+        if (dist[link.neighbor] == kUnreached) {
+          dist[link.neighbor] = dist[u] + 1;
+          queue.push_back(link.neighbor);
+        }
       }
     }
-  }
-  return bfs_cache_.emplace(source, std::move(dist)).first->second;
+    return dist;
+  });
 }
 
 bool ForwardingFabric::policy_path_impaired(AsId from, AsId to,
@@ -136,67 +135,66 @@ const topology::AsGraph& ForwardingFabric::degraded_graph(
     const FailurePlan& failures, double time_ms) const {
   const auto key =
       std::make_pair(failures.stamp(), failures.data_plane_epoch(time_ms));
-  const auto it = degraded_graph_cache_.find(key);
-  if (it != degraded_graph_cache_.end()) return it->second;
-  obs::metric::fabric_degraded_graph_builds().add();
+  return degraded_graph_cache_.get_or_build(key, [&] {
+    obs::metric::fabric_degraded_graph_builds().add();
 
-  // Rebuild the AS graph without the elements the plan has taken down.
-  // Every AS keeps its dense id (dead ones just lose all adjacencies), so
-  // routes computed on the copy index directly into the healthy graph.
-  const auto& graph = internet_->graph();
-  topology::AsGraph degraded;
-  for (AsId as = 0; as < graph.as_count(); ++as)
-    degraded.add_as(graph.tier(as), graph.location(as));
-  for (AsId u = 0; u < graph.as_count(); ++u) {
-    if (failures.as_down(u, time_ms)) continue;
-    for (const auto& link : graph.links(u)) {
-      const AsId v = link.neighbor;
-      if (v < u) continue;  // each undirected link once
-      if (failures.as_down(v, time_ms) || failures.link_down(u, v, time_ms))
-        continue;
-      switch (link.rel) {  // role of v relative to u
-        case topology::AsRelationship::kProvider:
-          degraded.add_provider_link(u, v);
-          break;
-        case topology::AsRelationship::kCustomer:
-          degraded.add_provider_link(v, u);
-          break;
-        case topology::AsRelationship::kPeer:
-          degraded.add_peer_link(u, v);
-          break;
+    // Rebuild the AS graph without the elements the plan has taken down.
+    // Every AS keeps its dense id (dead ones just lose all adjacencies), so
+    // routes computed on the copy index directly into the healthy graph.
+    const auto& graph = internet_->graph();
+    topology::AsGraph degraded;
+    for (AsId as = 0; as < graph.as_count(); ++as)
+      degraded.add_as(graph.tier(as), graph.location(as));
+    for (AsId u = 0; u < graph.as_count(); ++u) {
+      if (failures.as_down(u, time_ms)) continue;
+      for (const auto& link : graph.links(u)) {
+        const AsId v = link.neighbor;
+        if (v < u) continue;  // each undirected link once
+        if (failures.as_down(v, time_ms) || failures.link_down(u, v, time_ms))
+          continue;
+        switch (link.rel) {  // role of v relative to u
+          case topology::AsRelationship::kProvider:
+            degraded.add_provider_link(u, v);
+            break;
+          case topology::AsRelationship::kCustomer:
+            degraded.add_provider_link(v, u);
+            break;
+          case topology::AsRelationship::kPeer:
+            degraded.add_peer_link(u, v);
+            break;
+        }
       }
     }
-  }
-  return degraded_graph_cache_.emplace(key, std::move(degraded))
-      .first->second;
+    return degraded;
+  });
 }
 
 const std::vector<AsId>& ForwardingFabric::detour_hops_toward(
     AsId dest, const FailurePlan& failures, double time_ms) const {
   const auto key = std::make_tuple(failures.stamp(),
                                    failures.data_plane_epoch(time_ms), dest);
-  const auto it = detour_cache_.find(key);
-  if (it != detour_cache_.end()) return it->second;
-  obs::metric::fabric_detour_route_builds().add();
-  obs::TraceRing::instance().record("lina.sim.fabric.reconverge", time_ms,
-                                    static_cast<double>(dest));
+  return detour_cache_.get_or_build(key, [&] {
+    obs::metric::fabric_detour_route_builds().add();
+    obs::TraceRing::instance().record("lina.sim.fabric.reconverge", time_ms,
+                                      static_cast<double>(dest));
 
-  // BGP reconvergence: valley-free policy routes on the surviving
-  // topology. Detours therefore obey the same export rules as healthy
-  // routes — a failure can only lengthen (or sever) a path, never grant a
-  // cheaper one than policy allows.
-  const auto& graph = degraded_graph(failures, time_ms);
-  std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
-  if (!failures.as_down(dest, time_ms)) {
-    const routing::PolicyRoutes routes(graph, dest);
-    hops[dest] = dest;
-    for (AsId u = 0; u < graph.as_count(); ++u) {
-      if (u == dest || failures.as_down(u, time_ms)) continue;
-      const auto path = routes.best_path(u);
-      if (path.has_value() && !path->empty()) hops[u] = path->next_hop();
+    // BGP reconvergence: valley-free policy routes on the surviving
+    // topology. Detours therefore obey the same export rules as healthy
+    // routes — a failure can only lengthen (or sever) a path, never grant a
+    // cheaper one than policy allows.
+    const auto& graph = degraded_graph(failures, time_ms);
+    std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
+    if (!failures.as_down(dest, time_ms)) {
+      const routing::PolicyRoutes routes(graph, dest);
+      hops[dest] = dest;
+      for (AsId u = 0; u < graph.as_count(); ++u) {
+        if (u == dest || failures.as_down(u, time_ms)) continue;
+        const auto path = routes.best_path(u);
+        if (path.has_value() && !path->empty()) hops[u] = path->next_hop();
+      }
     }
-  }
-  return detour_cache_.emplace(key, std::move(hops)).first->second;
+    return hops;
+  });
 }
 
 std::optional<AsId> ForwardingFabric::next_hop(AsId at, AsId dest,

@@ -16,15 +16,24 @@ class Rng {
   using result_type = std::uint64_t;
 
   /// Constructs a generator from a 64-bit seed.
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Constructs a generator whose seed is derived from a label, so that
   /// independent subsystems seeded from the same experiment seed do not
   /// accidentally share streams.
-  Rng(std::uint64_t seed, std::string_view label) : engine_(mix(seed, label)) {}
+  Rng(std::uint64_t seed, std::string_view label) : Rng(mix(seed, label)) {}
 
   /// Derives an independent child generator; `label` distinguishes children.
+  /// Consumes one draw, so consecutive forks differ.
   [[nodiscard]] Rng fork(std::string_view label);
+
+  /// Derives the `task_index`-th independent substream — counter-based: the
+  /// child seed is a pure function of this generator's *construction seed*
+  /// and the index, never of how many values have been drawn. This is the
+  /// lina::exec determinism primitive: give parallel work item i the
+  /// substream split(i) and the result stream is identical no matter how
+  /// items are sharded across threads (or run serially).
+  [[nodiscard]] Rng split(std::uint64_t task_index) const;
 
   static constexpr result_type min() { return std::mt19937_64::min(); }
   static constexpr result_type max() { return std::mt19937_64::max(); }
@@ -60,6 +69,7 @@ class Rng {
  private:
   static std::uint64_t mix(std::uint64_t seed, std::string_view label);
 
+  std::uint64_t seed_;  // construction seed; the split() stream key
   std::mt19937_64 engine_;
 };
 

@@ -20,6 +20,15 @@ std::uint64_t Rng::mix(std::uint64_t seed, std::string_view label) {
 
 Rng Rng::fork(std::string_view label) { return Rng(mix(engine_(), label)); }
 
+Rng Rng::split(std::uint64_t task_index) const {
+  // splitmix64 over (construction seed, counter); +1 keeps split(0) from
+  // cloning the parent stream.
+  std::uint64_t h = seed_ + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(h ^ (h >> 31));
+}
+
 std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
   if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
   return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
