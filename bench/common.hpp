@@ -18,15 +18,21 @@
 //     --threads <n>    lina::exec worker count for parallel phases
 //                      (default: hardware concurrency; results are
 //                      bit-identical at any value — see DESIGN.md §4c)
+//     --out-dir <dir>  where generated artifacts (the shared trace-shard
+//                      cache) are written; default ./trace-cache
+//     --trace-in <dir> replay an existing shard directory instead of
+//                      generating (validated; mismatches are fatal)
 // Passing --json/--csv/--trace enables the lina::obs registry for the
 // process; without them instrumentation stays disabled (no-op) and the
-// bench prints exactly its usual text output. The resolved thread count
-// is recorded in the run record's config block (never in results, so
-// serial and parallel runs stay headline-comparable).
+// bench prints exactly its usual text output. The resolved thread count,
+// --out-dir/--trace-in and any bench-specific extra flags are recorded in
+// the run record's config block (never in results, so serial and parallel
+// runs — and generated vs replayed workloads — stay headline-comparable).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "lina/core/lina.hpp"
+#include "lina/trace/replay.hpp"
 #include "lina/exec/thread_pool.hpp"
 #include "lina/obs/export.hpp"
 #include "lina/obs/metrics.hpp"
@@ -51,7 +58,17 @@ class Harness {
  public:
   using Clock = std::chrono::steady_clock;
 
-  Harness(int argc, char** argv, std::string name)
+  /// A bench-specific command-line flag: `--<name> <value>` when `value`
+  /// points at a string, a bare `--<name>` switch when `present` points at
+  /// a bool. Consumed flags are recorded in the config block.
+  struct ExtraFlag {
+    std::string_view name;
+    std::string* value = nullptr;
+    bool* present = nullptr;
+  };
+
+  Harness(int argc, char** argv, std::string name,
+          const std::vector<ExtraFlag>& extra = {})
       : name_(std::move(name)) {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
@@ -76,14 +93,41 @@ class Harness {
           std::cerr << name_ << ": bad --threads value '" << value
                     << "' (want a non-negative integer; 0 = hardware)\n";
         }
+      } else if (arg == "--out-dir") {
+        out_dir_ = take_value();
+      } else if (arg == "--trace-in") {
+        trace_in_ = take_value();
       } else {
-        std::cerr << name_ << ": ignoring unknown argument '" << arg
-                  << "' (supported: --json <path> --csv <path> --trace "
-                     "<path> --threads <n>)\n";
+        bool consumed = false;
+        for (const ExtraFlag& flag : extra) {
+          if (arg != flag.name) continue;
+          if (flag.value != nullptr) {
+            *flag.value = take_value();
+            note(std::string(arg.substr(2)), *flag.value);
+          } else if (flag.present != nullptr) {
+            *flag.present = true;
+            note(std::string(arg.substr(2)), "true");
+          }
+          consumed = true;
+          break;
+        }
+        if (!consumed) {
+          std::cerr << name_ << ": ignoring unknown argument '" << arg
+                    << "' (supported: --json <path> --csv <path> --trace "
+                       "<path> --threads <n> --out-dir <dir> --trace-in "
+                       "<dir>";
+          for (const ExtraFlag& flag : extra) {
+            std::cerr << ' ' << flag.name
+                      << (flag.value != nullptr ? " <value>" : "");
+          }
+          std::cerr << ")\n";
+        }
       }
     }
     note("threads", std::to_string(exec::default_threads()));
     note("hardware_threads", std::to_string(exec::hardware_threads()));
+    if (!out_dir_.empty()) note("out_dir", out_dir_);
+    if (!trace_in_.empty()) note("trace_in", trace_in_);
     if (wants_output()) {
       obs::Registry::instance().reset();
       obs::Registry::instance().enable(true);
@@ -129,6 +173,14 @@ class Harness {
   }
 
   [[nodiscard]] static Harness* active() { return active_; }
+
+  /// --out-dir (artifact root, e.g. the shared trace-shard cache); empty
+  /// means the default ./trace-cache.
+  [[nodiscard]] const std::string& out_dir() const { return out_dir_; }
+
+  /// --trace-in (an existing shard directory to replay); empty means
+  /// generate-or-reuse the cache.
+  [[nodiscard]] const std::string& trace_in() const { return trace_in_; }
 
   /// Runs `build` and attributes its wall time to the "fixtures" phase
   /// (and the lina.bench.fixture.build_ms histogram) instead of whatever
@@ -203,6 +255,8 @@ class Harness {
   std::string json_path_;
   std::string csv_path_;
   std::string trace_path_;
+  std::string out_dir_;
+  std::string trace_in_;
   obs::RunInfo info_;
   std::string phase_name_;
   Clock::time_point phase_start_{};
@@ -232,6 +286,72 @@ inline const std::vector<mobility::DeviceTrace>& paper_device_traces() {
             .generate();
       });
   return traces;
+}
+
+/// The same 372×30 workload as paper_device_traces(), but as a validated
+/// shard set on disk: generated once into a cache directory keyed by
+/// format version, seed, user count and day count, then reused by every
+/// figure that replays it (the reuse decision lands in the config block
+/// as trace.reuse=hit|miss|pinned). --trace-in pins an existing shard
+/// directory (mismatches are fatal); --out-dir moves the cache root.
+/// Streamed replay of this set is bit-identical to the resident vector.
+inline const trace::ShardSet& paper_trace_shards() {
+  const auto& internet = paper_internet();
+  static const trace::ShardSet set = Harness::timed_fixture(
+      "trace_shards", [&internet]() -> trace::ShardSet {
+        namespace fs = std::filesystem;
+        mobility::DeviceWorkloadConfig config;  // paper-calibrated defaults
+        config.days = 30;
+        Harness* harness = Harness::active();
+        const auto note = [&](std::string key, std::string value) {
+          if (harness != nullptr)
+            harness->note(std::move(key), std::move(value));
+        };
+        if (harness != nullptr && !harness->trace_in().empty()) {
+          trace::ShardSet pinned =
+              trace::ShardSet::discover(harness->trace_in());
+          note("trace.dir", harness->trace_in());
+          note("trace.reuse", "pinned");
+          return pinned;
+        }
+        const fs::path base =
+            (harness != nullptr && !harness->out_dir().empty())
+                ? fs::path(harness->out_dir())
+                : fs::path("trace-cache");
+        const fs::path dir =
+            base / ("device-v" + std::to_string(trace::kFormatVersion) +
+                    "-seed" + std::to_string(config.seed) + "-u" +
+                    std::to_string(config.user_count) + "-d" +
+                    std::to_string(config.days));
+        note("trace.dir", dir.string());
+        std::error_code ignored;
+        if (fs::exists(dir / trace::shard_file_name(0), ignored)) {
+          try {
+            trace::ShardSet cached = trace::ShardSet::discover(dir);
+            if (cached.seed() == config.seed &&
+                cached.user_count() == config.user_count &&
+                cached.day_count() == config.days) {
+              note("trace.reuse", "hit");
+              return cached;
+            }
+          } catch (const trace::TraceFormatError&) {
+            // Damaged or stale cache: wipe the shards and regenerate.
+          }
+          for (const auto& entry : fs::directory_iterator(dir)) {
+            if (entry.path().extension() == ".ltrc")
+              fs::remove(entry.path(), ignored);
+          }
+        }
+        note("trace.reuse", "miss");
+        const mobility::DeviceWorkloadGenerator generator(internet, config);
+        trace::StreamingWorkloadConfig stream_config;
+        // Small shards so even the paper-scale set exercises the k-way
+        // merge (372 users -> 3 shards).
+        stream_config.users_per_shard = 128;
+        return trace::StreamingWorkload(generator, stream_config)
+            .write_shards(dir);
+      });
+  return set;
 }
 
 /// 500 popular + 500 unpopular domains, 21 days of hourly resolution from

@@ -17,8 +17,15 @@ import sys
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        record = json.load(fh)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except OSError as error:
+        sys.exit(f"{path}: cannot read run record: {error.strerror or error}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"{path}: not valid JSON: {error}")
+    if not isinstance(record, dict):
+        sys.exit(f"{path}: not a bench run record (top level is not an object)")
     for key in ("name", "results", "phases"):
         if key not in record:
             sys.exit(f"{path}: not a bench run record (missing '{key}')")

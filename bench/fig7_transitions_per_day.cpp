@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
       "users change IP address more than 10 times a day; max average AS "
       "transition rate 31.6/day, min 0.25/day.");
 
-  const auto extent = core::analyze_extent(bench::paper_device_traces());
+  // Replays the shard cache shared with figs 6 and 9 (see common.hpp).
+  const auto extent =
+      trace::analyze_extent_streamed(bench::paper_trace_shards());
 
   const std::vector<std::pair<std::string, const stats::EmpiricalCdf*>>
       series{{"IP addresses", &extent.ip_transitions_per_day},

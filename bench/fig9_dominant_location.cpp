@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
       "address and around 85% at the dominant AS; users typically spend "
       "~30% of a day away from the dominant IP address.");
 
-  const auto extent = core::analyze_extent(bench::paper_device_traces());
+  // Replays the shard cache shared with figs 6 and 7 (see common.hpp).
+  const auto extent =
+      trace::analyze_extent_streamed(bench::paper_trace_shards());
 
   const std::vector<std::pair<std::string, const stats::EmpiricalCdf*>>
       series{{"IP addresses", &extent.dominant_ip_share},

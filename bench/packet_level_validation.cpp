@@ -10,13 +10,17 @@
 #include "lina/exec/parallel.hpp"
 #include "lina/sim/resolver_pool.hpp"
 #include "lina/sim/session.hpp"
+#include "lina/trace/replay.hpp"
 
 using namespace lina;
 
 namespace {
 
 /// Converts the first hours of a device trace into a sped-up AS-level
-/// mobility schedule (1 simulated second per trace hour).
+/// mobility schedule (1 simulated second per trace hour). The schedule
+/// itself comes from the shared trace-replay helper so the streamed
+/// session driver (trace::simulate_sessions_streamed) runs the exact same
+/// sessions.
 sim::SessionConfig session_from_trace(const mobility::DeviceTrace& trace,
                                       topology::AsId correspondent,
                                       double hours) {
@@ -25,17 +29,7 @@ sim::SessionConfig session_from_trace(const mobility::DeviceTrace& trace,
   config.duration_ms = hours * 1000.0;
   config.packet_interval_ms = 25.0;
   config.resolver_ttl_ms = 200.0;
-  topology::AsId last = static_cast<topology::AsId>(-1);
-  for (const mobility::DeviceVisit& visit : trace.visits()) {
-    if (visit.start_hour > hours) break;
-    if (visit.as == last) continue;
-    config.schedule.push_back({visit.start_hour * 1000.0, visit.as});
-    last = visit.as;
-  }
-  if (config.schedule.empty() || config.schedule.front().time_ms != 0.0) {
-    config.schedule.insert(config.schedule.begin(),
-                           {0.0, trace.visits().front().as});
-  }
+  config.schedule = trace::session_schedule_from_trace(trace, hours);
   return config;
 }
 

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "lina/mobility/content_trace.hpp"
+#include "lina/names/name_trie.hpp"
 #include "lina/routing/vantage_router.hpp"
+#include "lina/strategy/port_oracle.hpp"
 
 namespace lina::core {
 
@@ -32,5 +35,29 @@ struct AggregateabilityResult {
 [[nodiscard]] std::vector<AggregateabilityResult> evaluate_aggregateability(
     std::span<const routing::VantageRouter> routers,
     std::span<const mobility::ContentTrace> traces);
+
+/// Batched form for streamed catalogs: feed the traces in catalog order in
+/// batches of any size; resident state is each router's name table (one
+/// entry per routable name) plus its port-oracle cache — never the
+/// snapshot history. Insertion order matches the one-shot function, so
+/// finish() is bit-identical to evaluate_aggregateability.
+class AggregateabilityAccumulator {
+ public:
+  explicit AggregateabilityAccumulator(
+      std::span<const routing::VantageRouter> routers);
+
+  void accumulate(std::span<const mobility::ContentTrace> batch);
+
+  [[nodiscard]] std::vector<AggregateabilityResult> finish() const;
+
+ private:
+  struct RouterState {
+    const routing::VantageRouter* router;
+    strategy::CachingFibOracle oracle;
+    names::NameTrie<routing::Port> table;
+  };
+
+  std::vector<std::unique_ptr<RouterState>> states_;
+};
 
 }  // namespace lina::core

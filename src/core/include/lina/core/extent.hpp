@@ -33,4 +33,20 @@ struct ExtentOfMobility {
 [[nodiscard]] ExtentOfMobility analyze_extent(
     std::span<const mobility::DeviceTrace> traces);
 
+/// Incremental form of analyze_extent for streamed workloads: feed traces
+/// (or batches) in user order and finish() — sample insertion order and
+/// arithmetic match the one-shot function exactly, so a replayed trace
+/// set yields bit-identical CDFs without ever holding the population.
+class ExtentAccumulator {
+ public:
+  void add(const mobility::DeviceTrace& trace);
+  void add(std::span<const mobility::DeviceTrace> batch);
+
+  /// The distributions so far; the accumulator may keep accumulating.
+  [[nodiscard]] ExtentOfMobility& result() { return result_; }
+
+ private:
+  ExtentOfMobility result_;
+};
+
 }  // namespace lina::core

@@ -90,4 +90,27 @@ struct IndirectionStretchResult {
     std::span<const mobility::DeviceTrace> traces, const LatencyModel& model,
     double coverage, stats::Rng& rng);
 
+/// Batched form of evaluate_indirection_stretch for streamed workloads:
+/// feed user-ordered batches of any size. Trace t (global index across
+/// every batch fed so far) still draws from rng.split(t) and partials are
+/// still folded in global trace order, so the result is bit-identical to
+/// the one-shot call — and to itself at any batch size or thread count.
+class IndirectionStretchAccumulator {
+ public:
+  IndirectionStretchAccumulator(const LatencyModel& model, double coverage,
+                                const stats::Rng& rng)
+      : model_(model), coverage_(coverage), rng_(rng) {}
+
+  void accumulate(std::span<const mobility::DeviceTrace> batch);
+
+  [[nodiscard]] IndirectionStretchResult& result() { return result_; }
+
+ private:
+  const LatencyModel& model_;
+  double coverage_;
+  stats::Rng rng_;  // only split() is used; the copy never draws
+  std::size_t next_index_ = 0;
+  IndirectionStretchResult result_;
+};
+
 }  // namespace lina::core

@@ -48,6 +48,14 @@ class DeviceUpdateCostEvaluator {
   [[nodiscard]] std::vector<RouterUpdateStats> evaluate_day(
       std::span<const mobility::DeviceTrace> traces, std::size_t day) const;
 
+  /// Streamed form: folds a user-ordered batch into persistent per-router
+  /// tallies (`tallies` empty on the first call → initialized to one entry
+  /// per router). Event/update counts are order-independent integer sums,
+  /// so feeding the workload in any batching reproduces evaluate()
+  /// bit-for-bit while holding only one batch resident.
+  void accumulate(std::span<const mobility::DeviceTrace> traces,
+                  std::vector<RouterUpdateStats>& tallies) const;
+
  private:
   [[nodiscard]] std::vector<RouterUpdateStats> evaluate_filtered(
       std::span<const mobility::DeviceTrace> traces, double begin_hour,

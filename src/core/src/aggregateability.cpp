@@ -1,31 +1,54 @@
 #include "lina/core/aggregateability.hpp"
 
 #include "lina/exec/parallel.hpp"
-#include "lina/names/name_trie.hpp"
 #include "lina/strategy/forwarding_strategy.hpp"
-#include "lina/strategy/port_oracle.hpp"
 
 namespace lina::core {
+
+AggregateabilityAccumulator::AggregateabilityAccumulator(
+    std::span<const routing::VantageRouter> routers) {
+  states_.reserve(routers.size());
+  for (const routing::VantageRouter& router : routers) {
+    states_.push_back(std::make_unique<RouterState>(
+        RouterState{&router, strategy::CachingFibOracle(router.fib()), {}}));
+  }
+}
+
+void AggregateabilityAccumulator::accumulate(
+    std::span<const mobility::ContentTrace> batch) {
+  // Routers own disjoint state, so the per-vantage loop fans out across
+  // the pool; within a router, names insert in catalog order exactly as
+  // the one-shot evaluation would.
+  exec::parallel_for(states_.size(), [&](std::size_t r) {
+    RouterState& state = *states_[r];
+    for (const mobility::ContentTrace& trace : batch) {
+      const auto addrs = trace.final_addresses();
+      if (addrs.empty()) continue;
+      const auto best = strategy::best_entry(state.oracle, addrs);
+      if (!best.has_value()) continue;
+      state.table.insert(trace.name(), best->port);
+    }
+  });
+}
+
+std::vector<AggregateabilityResult> AggregateabilityAccumulator::finish()
+    const {
+  std::vector<AggregateabilityResult> results;
+  results.reserve(states_.size());
+  for (const auto& state : states_) {
+    results.push_back(AggregateabilityResult{
+        std::string(state->router->name()), state->table.size(),
+        state->table.lpm_compressed_size()});
+  }
+  return results;
+}
 
 std::vector<AggregateabilityResult> evaluate_aggregateability(
     std::span<const routing::VantageRouter> routers,
     std::span<const mobility::ContentTrace> traces) {
-  // Each router builds its own name table, so the per-vantage loop fans
-  // out across the pool; results land back in router order.
-  return exec::parallel_map(routers.size(), [&](std::size_t r) {
-    const routing::VantageRouter& router = routers[r];
-    const strategy::CachingFibOracle oracle(router.fib());
-    names::NameTrie<routing::Port> table;
-    for (const mobility::ContentTrace& trace : traces) {
-      const auto addrs = trace.final_addresses();
-      if (addrs.empty()) continue;
-      const auto best = strategy::best_entry(oracle, addrs);
-      if (!best.has_value()) continue;
-      table.insert(trace.name(), best->port);
-    }
-    return AggregateabilityResult{std::string(router.name()), table.size(),
-                                  table.lpm_compressed_size()};
-  });
+  AggregateabilityAccumulator accumulator(routers);
+  accumulator.accumulate(traces);
+  return accumulator.finish();
 }
 
 }  // namespace lina::core

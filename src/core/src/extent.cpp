@@ -2,34 +2,40 @@
 
 namespace lina::core {
 
+void ExtentAccumulator::add(const mobility::DeviceTrace& trace) {
+  if (trace.day_count() == 0) return;
+  double ips = 0, prefixes = 0, ases = 0;
+  double ip_trans = 0, prefix_trans = 0, as_trans = 0;
+  for (std::size_t day = 0; day < trace.day_count(); ++day) {
+    const mobility::DayStats stats = trace.day_stats(day);
+    ips += static_cast<double>(stats.distinct_ips);
+    prefixes += static_cast<double>(stats.distinct_prefixes);
+    ases += static_cast<double>(stats.distinct_ases);
+    ip_trans += static_cast<double>(stats.ip_transitions);
+    prefix_trans += static_cast<double>(stats.prefix_transitions);
+    as_trans += static_cast<double>(stats.as_transitions);
+    result_.dominant_ip_share.add(stats.dominant_ip_fraction);
+    result_.dominant_prefix_share.add(stats.dominant_prefix_fraction);
+    result_.dominant_as_share.add(stats.dominant_as_fraction);
+  }
+  const auto days = static_cast<double>(trace.day_count());
+  result_.ips_per_day.add(ips / days);
+  result_.prefixes_per_day.add(prefixes / days);
+  result_.ases_per_day.add(ases / days);
+  result_.ip_transitions_per_day.add(ip_trans / days);
+  result_.prefix_transitions_per_day.add(prefix_trans / days);
+  result_.as_transitions_per_day.add(as_trans / days);
+}
+
+void ExtentAccumulator::add(std::span<const mobility::DeviceTrace> batch) {
+  for (const mobility::DeviceTrace& trace : batch) add(trace);
+}
+
 ExtentOfMobility analyze_extent(
     std::span<const mobility::DeviceTrace> traces) {
-  ExtentOfMobility out;
-  for (const mobility::DeviceTrace& trace : traces) {
-    if (trace.day_count() == 0) continue;
-    double ips = 0, prefixes = 0, ases = 0;
-    double ip_trans = 0, prefix_trans = 0, as_trans = 0;
-    for (std::size_t day = 0; day < trace.day_count(); ++day) {
-      const mobility::DayStats stats = trace.day_stats(day);
-      ips += static_cast<double>(stats.distinct_ips);
-      prefixes += static_cast<double>(stats.distinct_prefixes);
-      ases += static_cast<double>(stats.distinct_ases);
-      ip_trans += static_cast<double>(stats.ip_transitions);
-      prefix_trans += static_cast<double>(stats.prefix_transitions);
-      as_trans += static_cast<double>(stats.as_transitions);
-      out.dominant_ip_share.add(stats.dominant_ip_fraction);
-      out.dominant_prefix_share.add(stats.dominant_prefix_fraction);
-      out.dominant_as_share.add(stats.dominant_as_fraction);
-    }
-    const auto days = static_cast<double>(trace.day_count());
-    out.ips_per_day.add(ips / days);
-    out.prefixes_per_day.add(prefixes / days);
-    out.ases_per_day.add(ases / days);
-    out.ip_transitions_per_day.add(ip_trans / days);
-    out.prefix_transitions_per_day.add(prefix_trans / days);
-    out.as_transitions_per_day.add(as_trans / days);
-  }
-  return out;
+  ExtentAccumulator accumulator;
+  accumulator.add(traces);
+  return std::move(accumulator.result());
 }
 
 }  // namespace lina::core

@@ -141,30 +141,39 @@ StretchPartial evaluate_one_trace(const mobility::DeviceTrace& trace,
 
 }  // namespace
 
+void IndirectionStretchAccumulator::accumulate(
+    std::span<const mobility::DeviceTrace> batch) {
+  // Trace t draws its iPlane-coverage coins from the counter-based
+  // substream rng.split(t) — a pure function of the caller's seed and the
+  // global trace index t — so the sampled pair set, and therefore every
+  // distribution below, is bit-identical at any thread count and any
+  // batching (including the serial, one-shot path).
+  const std::size_t base = next_index_;
+  const std::vector<StretchPartial> partials = exec::parallel_map(
+      batch.size(), [&](std::size_t t) {
+        return evaluate_one_trace(batch[t], model_, coverage_,
+                                  rng_.split(base + t));
+      });
+  next_index_ += batch.size();
+
+  for (const StretchPartial& partial : partials) {
+    for (const double d : partial.delay_ms) result_.delay_ms.add(d);
+    for (const double h : partial.policy_hops) result_.policy_hops.add(h);
+    for (const double h : partial.physical_hops)
+      result_.physical_hops.add(h);
+    if (partial.away_time_share.has_value())
+      result_.away_time_share.add(*partial.away_time_share);
+    result_.pairs_total += partial.pairs_total;
+    result_.pairs_sampled += partial.pairs_sampled;
+  }
+}
+
 IndirectionStretchResult evaluate_indirection_stretch(
     std::span<const mobility::DeviceTrace> traces, const LatencyModel& model,
     double coverage, stats::Rng& rng) {
-  // Trace t draws its iPlane-coverage coins from the counter-based
-  // substream rng.split(t) — a pure function of the caller's seed and t —
-  // so the sampled pair set, and therefore every distribution below, is
-  // bit-identical at any thread count (including the serial path).
-  const std::vector<StretchPartial> partials = exec::parallel_map(
-      traces.size(), [&](std::size_t t) {
-        return evaluate_one_trace(traces[t], model, coverage, rng.split(t));
-      });
-
-  IndirectionStretchResult result;
-  for (const StretchPartial& partial : partials) {
-    for (const double d : partial.delay_ms) result.delay_ms.add(d);
-    for (const double h : partial.policy_hops) result.policy_hops.add(h);
-    for (const double h : partial.physical_hops)
-      result.physical_hops.add(h);
-    if (partial.away_time_share.has_value())
-      result.away_time_share.add(*partial.away_time_share);
-    result.pairs_total += partial.pairs_total;
-    result.pairs_sampled += partial.pairs_sampled;
-  }
-  return result;
+  IndirectionStretchAccumulator accumulator(model, coverage, rng);
+  accumulator.accumulate(traces);
+  return std::move(accumulator.result());
 }
 
 }  // namespace lina::core

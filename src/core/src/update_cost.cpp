@@ -58,6 +58,28 @@ std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
   });
 }
 
+void DeviceUpdateCostEvaluator::accumulate(
+    std::span<const mobility::DeviceTrace> traces,
+    std::vector<RouterUpdateStats>& tallies) const {
+  if (tallies.empty()) {
+    tallies.reserve(routers_.size());
+    for (const routing::VantageRouter& router : routers_) {
+      tallies.push_back(RouterUpdateStats{std::string(router.name()), 0, 0});
+    }
+  }
+  if (tallies.size() != routers_.size()) {
+    throw std::invalid_argument(
+        "DeviceUpdateCostEvaluator::accumulate: tally vector does not match "
+        "the router set");
+  }
+  const std::vector<RouterUpdateStats> batch = evaluate_filtered(
+      traces, 0.0, std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < tallies.size(); ++r) {
+    tallies[r].events += batch[r].events;
+    tallies[r].updates += batch[r].updates;
+  }
+}
+
 ContentUpdateCostEvaluator::ContentUpdateCostEvaluator(
     std::span<const routing::VantageRouter> routers)
     : routers_(routers) {}

@@ -86,6 +86,17 @@ LINA_OBS_COUNTER(session_control_retries,
                  "lina.sim.session.control_retries")
 LINA_OBS_HISTOGRAM(session_run_wall_ms, "lina.sim.session.run_wall_ms")
 
+// Trace store (sharded binary workload traces and streaming replay).
+LINA_OBS_COUNTER(trace_shards_written, "lina.trace.shards_written")
+LINA_OBS_COUNTER(trace_bytes_written, "lina.trace.bytes_written")
+LINA_OBS_COUNTER(trace_visits_written, "lina.trace.visits_written")
+LINA_OBS_COUNTER(trace_events_written, "lina.trace.events_written")
+LINA_OBS_COUNTER(trace_shards_read, "lina.trace.shards_read")
+LINA_OBS_COUNTER(trace_bytes_read, "lina.trace.bytes_read")
+LINA_OBS_COUNTER(trace_visits_read, "lina.trace.visits_read")
+LINA_OBS_COUNTER(trace_cursor_events, "lina.trace.cursor_events")
+LINA_OBS_GAUGE(trace_merge_heap_depth, "lina.trace.merge_heap_depth")
+
 // Bench harness fixtures.
 LINA_OBS_HISTOGRAM(fixture_build_ms, "lina.bench.fixture.build_ms")
 

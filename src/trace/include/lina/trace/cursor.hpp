@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "lina/trace/reader.hpp"
+
+namespace lina::trace {
+
+/// Replays a whole trace set's attachment events in global (hour, user)
+/// order with a bounded k-way merge: one buffered EventReader plus one
+/// head event per shard, so memory is O(shards × read buffer) no matter
+/// how many users the set holds. Because the (hour, user) order is a
+/// strict total order over the set, the merged stream is bit-identical
+/// for any sharding of the same workload.
+class TraceCursor {
+ public:
+  /// The shard set must outlive nothing — infos are copied; files are
+  /// reopened here with small buffers.
+  explicit TraceCursor(const ShardSet& set,
+                       std::size_t buffer_bytes_per_shard = 256 * 1024);
+
+  /// The next event in global time order; false when all shards are
+  /// exhausted. Throws TraceFormatError if a shard's stream violates the
+  /// sort order (corruption the CRC caught too late, or a writer bug).
+  [[nodiscard]] bool next(TraceEvent& out);
+
+  /// Current merge-heap population (open shard streams).
+  [[nodiscard]] std::size_t heap_depth() const { return heap_.size(); }
+
+  [[nodiscard]] std::uint64_t events_replayed() const { return replayed_; }
+
+ private:
+  struct Head {
+    TraceEvent event;
+    std::size_t shard;  // index into streams_
+  };
+
+  void push_head(std::size_t shard);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<EventReader> streams_;
+  std::vector<Head> heap_;  // binary min-heap under event_precedes
+  std::uint64_t replayed_ = 0;
+  bool order_checked_ = true;
+  TraceEvent last_;
+};
+
+}  // namespace lina::trace

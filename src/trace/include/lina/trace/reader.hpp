@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lina/mobility/device_trace.hpp"
+#include "lina/trace/format.hpp"
+
+namespace lina::trace {
+
+/// One shard on disk: path plus its validated header.
+struct ShardInfo {
+  std::filesystem::path path;
+  ShardHeader header;
+};
+
+/// How much of a shard file to check before trusting it.
+enum class Validate : std::uint8_t {
+  kHeader,  // header + footer magic and size bookkeeping (cheap)
+  kCrc,     // kHeader plus a full sequential CRC32 scan
+};
+
+/// Validates one shard file and returns its header. Throws
+/// TraceFormatError naming the file and the failed check (bad magic,
+/// version/endianness mismatch, truncation, size bookkeeping, CRC).
+[[nodiscard]] ShardHeader validate_shard(const std::filesystem::path& path,
+                                         Validate mode = Validate::kCrc);
+
+/// A complete trace set: every `*.ltrc` shard of a directory, sorted by
+/// shard index and validated as one consistent set (same seed, day count
+/// and shard count everywhere; shard indexes 0..k-1 each present once;
+/// user-id ranges contiguous and ascending). Throws TraceFormatError on
+/// any inconsistency, and on an empty or missing directory.
+class ShardSet {
+ public:
+  [[nodiscard]] static ShardSet discover(const std::filesystem::path& dir,
+                                         Validate mode = Validate::kCrc);
+
+  [[nodiscard]] const std::vector<ShardInfo>& shards() const {
+    return shards_;
+  }
+  [[nodiscard]] std::uint32_t user_count() const;
+  [[nodiscard]] std::uint64_t visit_count() const;
+  [[nodiscard]] std::uint64_t event_count() const;
+  [[nodiscard]] std::uint64_t seed() const;
+  [[nodiscard]] std::uint32_t day_count() const;
+
+ private:
+  std::vector<ShardInfo> shards_;
+};
+
+/// Sequential per-user decoder of one shard. Loads the shard image in one
+/// buffered read (memory = one shard, the same users_per_shard-sized bound
+/// the writer obeys) and yields DeviceTraces in ascending user-id order.
+class TraceReader {
+ public:
+  explicit TraceReader(const ShardInfo& shard);
+
+  [[nodiscard]] const ShardHeader& header() const { return shard_.header; }
+
+  /// The next user's trace, or nullopt when the shard is exhausted (after
+  /// which the user-block section must be fully consumed — leftover bytes
+  /// are a format error).
+  [[nodiscard]] std::optional<mobility::DeviceTrace> next();
+
+ private:
+  ShardInfo shard_;
+  std::vector<char> image_;
+  std::unique_ptr<ByteCursor> cursor_;  // over the user-block section
+  std::uint32_t decoded_ = 0;
+};
+
+/// Streaming decoder of one shard's (hour, user)-sorted event section with
+/// a fixed-size read buffer — the bounded per-shard state of TraceCursor's
+/// k-way merge (the whole merge holds k buffers, never a decoded shard).
+class EventReader {
+ public:
+  explicit EventReader(const ShardInfo& shard,
+                       std::size_t buffer_bytes = 256 * 1024);
+
+  [[nodiscard]] const ShardHeader& header() const { return shard_.header; }
+
+  /// Decodes the next event into `out`; false when exhausted.
+  [[nodiscard]] bool next(TraceEvent& out);
+
+ private:
+  void refill();
+
+  ShardInfo shard_;
+  std::ifstream file_;
+  std::vector<char> buffer_;
+  std::size_t buffer_pos_ = 0;   // consumed bytes of buffer_
+  std::size_t buffer_len_ = 0;   // valid bytes in buffer_
+  std::uint64_t section_left_;   // unread bytes of the event section
+  std::uint64_t decoded_ = 0;
+  std::int64_t previous_user_ = 0;
+};
+
+}  // namespace lina::trace

@@ -1,0 +1,57 @@
+#pragma once
+
+// Streamed counterparts of the resident-vector evaluation pipelines: each
+// driver pulls bounded user batches out of a shard set and feeds the core
+// accumulators (or the session simulators) in global user order, so every
+// number is bit-identical to the in-memory path while peak memory is one
+// decoded shard plus one batch.
+
+#include <cstdint>
+#include <vector>
+
+#include "lina/core/extent.hpp"
+#include "lina/core/latency_model.hpp"
+#include "lina/core/update_cost.hpp"
+#include "lina/sim/session.hpp"
+#include "lina/trace/streaming.hpp"
+
+namespace lina::trace {
+
+inline constexpr std::size_t kDefaultBatchUsers = 2048;
+
+/// Streamed core::analyze_extent (Figures 6, 7, 9).
+[[nodiscard]] core::ExtentOfMobility analyze_extent_streamed(
+    const ShardSet& set, std::size_t batch_users = kDefaultBatchUsers);
+
+/// Streamed core::evaluate_indirection_stretch (Figure 10). Trace t still
+/// draws its coverage coins from rng.split(t) with t the global user
+/// index, so the batch size does not change the sampled pair set.
+[[nodiscard]] core::IndirectionStretchResult
+evaluate_indirection_stretch_streamed(
+    const ShardSet& set, const core::LatencyModel& model, double coverage,
+    stats::Rng& rng, std::size_t batch_users = kDefaultBatchUsers);
+
+/// Streamed DeviceUpdateCostEvaluator::evaluate (Figure 8).
+[[nodiscard]] std::vector<core::RouterUpdateStats>
+evaluate_device_update_cost_streamed(
+    const core::DeviceUpdateCostEvaluator& evaluator, const ShardSet& set,
+    std::size_t batch_users = kDefaultBatchUsers);
+
+/// Converts a device trace's first `hours` hours into the AS-level
+/// mobility schedule of a simulated session (1 simulated second per trace
+/// hour), collapsing consecutive same-AS visits.
+[[nodiscard]] std::vector<sim::MobilityStep> session_schedule_from_trace(
+    const mobility::DeviceTrace& trace, double hours);
+
+/// Runs one session per streamed user under `architecture`: `base` supplies
+/// every knob except the schedule and duration, which come from each user's
+/// trace (first `hours` hours via session_schedule_from_trace). Sessions
+/// within a batch fan out across the lina::exec pool and land back in user
+/// order, so the returned stats match the resident-vector loop
+/// bit-for-bit.
+[[nodiscard]] std::vector<sim::SessionStats> simulate_sessions_streamed(
+    const sim::ForwardingFabric& fabric, sim::SimArchitecture architecture,
+    const sim::SessionConfig& base, double hours, const ShardSet& set,
+    std::size_t batch_users = 64);
+
+}  // namespace lina::trace

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "lina/mobility/device_workload.hpp"
+#include "lina/trace/reader.hpp"
+#include "lina/trace/writer.hpp"
+
+namespace lina::trace {
+
+/// Knobs of the generate-to-shards pipeline. users_per_shard is the
+/// memory-vs-parallelism dial: each in-flight shard stages its image and
+/// event buffer in RAM (a few tens of MB at the default), and shards fan
+/// out across the lina::exec pool, so peak memory is threads × one shard.
+struct StreamingWorkloadConfig {
+  std::size_t users_per_shard = 8192;
+  /// Re-validate every shard (full CRC scan) right after writing.
+  bool verify_after_write = false;
+};
+
+/// Streams a DeviceWorkloadGenerator's population straight to a shard
+/// directory instead of a resident vector. Each shard covers a contiguous
+/// user-id range and is generated from the users' own seed-labelled RNG
+/// substreams, so the byte-identical shard set comes out at any thread
+/// count — and the same workload resharded differently still replays the
+/// same event stream (TraceCursor's order is a strict total order).
+class StreamingWorkload {
+ public:
+  StreamingWorkload(const mobility::DeviceWorkloadGenerator& generator,
+                    StreamingWorkloadConfig config = {})
+      : generator_(generator), config_(config) {}
+
+  /// Generates every shard into `dir` (created if missing; existing .ltrc
+  /// files are an error — refuse to mix trace sets) and returns the
+  /// validated set.
+  ShardSet write_shards(const std::filesystem::path& dir) const;
+
+  [[nodiscard]] const StreamingWorkloadConfig& config() const {
+    return config_;
+  }
+
+ private:
+  const mobility::DeviceWorkloadGenerator& generator_;
+  StreamingWorkloadConfig config_;
+};
+
+/// Batched, bounded-memory replay of a trace set in ascending user-id
+/// order: at most one decoded shard plus one decoded batch is resident.
+/// Feeding batches to the core accumulators in this order reproduces the
+/// in-memory evaluators bit-for-bit.
+class DeviceTraceStream {
+ public:
+  explicit DeviceTraceStream(const ShardSet& set);
+
+  /// Up to `max_users` traces, in user order; empty when exhausted.
+  [[nodiscard]] std::vector<mobility::DeviceTrace> next_batch(
+      std::size_t max_users);
+
+  [[nodiscard]] bool done() const;
+
+  /// Global index of the next user to be returned (== number returned so
+  /// far) — the `rng.split(t)` index for determinism-preserving sampling.
+  [[nodiscard]] std::size_t next_index() const { return next_index_; }
+
+ private:
+  const ShardSet* set_;
+  std::size_t shard_ = 0;
+  std::unique_ptr<TraceReader> reader_;
+  std::size_t next_index_ = 0;
+};
+
+/// The canonical shard-file name of shard `index` ("shard-00042.ltrc").
+[[nodiscard]] std::filesystem::path shard_file_name(std::uint32_t index);
+
+}  // namespace lina::trace

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "lina/mobility/device_trace.hpp"
+#include "lina/trace/format.hpp"
+
+namespace lina::trace {
+
+/// Identity of one shard inside a trace set; becomes the shard header.
+struct ShardMeta {
+  std::uint64_t seed = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::uint32_t first_user = 0;
+  std::uint32_t user_count = 0;  // exact number of append() calls expected
+  std::uint32_t day_count = 0;
+};
+
+/// Writes one shard file. Traces must arrive in ascending user-id order,
+/// user ids must lie in [first_user, first_user + user_count), and exactly
+/// user_count traces must be appended before finish().
+///
+/// The shard is staged in memory — user blocks stream into the image as
+/// they arrive; the event section is buffered so it can be sorted by
+/// (hour, user) — then written in one buffered sequential pass with the
+/// CRC32 footer. Peak memory is therefore one shard, which is what bounds
+/// the out-of-core pipeline: pick users_per_shard to fit your budget
+/// (StreamingWorkload's default keeps a shard in the tens of megabytes).
+class TraceWriter {
+ public:
+  struct Totals {
+    std::uint64_t bytes = 0;
+    std::uint64_t visits = 0;
+    std::uint64_t events = 0;
+  };
+
+  TraceWriter(std::filesystem::path file, ShardMeta meta);
+  ~TraceWriter();  // abandons (removes) the file if finish() was not called
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Encodes one user's trace (its day_count must match the shard's).
+  void append(const mobility::DeviceTrace& trace);
+
+  /// Sorts the event section, writes the file, and returns byte/record
+  /// totals. Throws TraceFormatError on I/O failure; the partial file is
+  /// removed so a crashed write never leaves a truncated shard behind.
+  Totals finish();
+
+ private:
+  std::filesystem::path file_;
+  ShardMeta meta_;
+  std::vector<char> blocks_;        // encoded user blocks
+  std::vector<TraceEvent> events_;  // buffered for the (hour, user) sort
+  std::uint64_t visit_count_ = 0;
+  std::uint32_t appended_ = 0;
+  std::uint32_t next_user_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace lina::trace

@@ -1,0 +1,87 @@
+#include "lina/trace/cursor.hpp"
+
+#include <utility>
+
+#include "lina/obs/metrics.hpp"
+
+namespace lina::trace {
+
+TraceCursor::TraceCursor(const ShardSet& set,
+                         std::size_t buffer_bytes_per_shard) {
+  streams_.reserve(set.shards().size());
+  heap_.reserve(set.shards().size());
+  for (const ShardInfo& shard : set.shards()) {
+    streams_.emplace_back(shard, buffer_bytes_per_shard);
+    push_head(streams_.size() - 1);
+  }
+  obs::metric::trace_merge_heap_depth().set(
+      static_cast<std::int64_t>(heap_.size()));
+}
+
+void TraceCursor::push_head(std::size_t shard) {
+  TraceEvent event;
+  if (!streams_[shard].next(event)) return;
+  heap_.push_back(Head{event, shard});
+  sift_up(heap_.size() - 1);
+}
+
+void TraceCursor::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!event_precedes(heap_[i].event, heap_[parent].event)) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void TraceCursor::sift_down(std::size_t i) {
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < heap_.size() &&
+        event_precedes(heap_[left].event, heap_[smallest].event)) {
+      smallest = left;
+    }
+    if (right < heap_.size() &&
+        event_precedes(heap_[right].event, heap_[smallest].event)) {
+      smallest = right;
+    }
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+bool TraceCursor::next(TraceEvent& out) {
+  if (heap_.empty()) return false;
+  out = heap_.front().event;
+  const std::size_t shard = heap_.front().shard;
+
+  if (replayed_ > 0 && event_precedes(out, last_)) {
+    throw TraceFormatError(
+        "TraceCursor: shard " +
+        std::to_string(streams_[shard].header().shard_index) +
+        " emitted an event out of (hour, user) order — corrupt or "
+        "mis-sorted event section");
+  }
+  last_ = out;
+
+  // Replace the popped head with that shard's next event (or shrink).
+  TraceEvent refill;
+  if (streams_[shard].next(refill)) {
+    heap_.front() = Head{refill, shard};
+    sift_down(0);
+  } else {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    obs::metric::trace_merge_heap_depth().set(
+        static_cast<std::int64_t>(heap_.size()));
+  }
+  ++replayed_;
+  obs::metric::trace_cursor_events().add(1);
+  return true;
+}
+
+}  // namespace lina::trace

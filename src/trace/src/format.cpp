@@ -1,0 +1,196 @@
+#include "lina/trace/format.hpp"
+
+namespace lina::trace {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrcTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::vector<char>& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::vector<char>& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xFF));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<char>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_varint(std::vector<char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(out, static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(out, static_cast<std::uint8_t>(v));
+}
+
+void ByteCursor::overrun(const char* what) const {
+  throw TraceFormatError(context_ + ": truncated while reading " + what +
+                         " at offset " + std::to_string(offset_));
+}
+
+std::uint8_t ByteCursor::u8() {
+  if (remaining() < 1) overrun("u8");
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint16_t ByteCursor::u16() {
+  if (remaining() < 2) overrun("u16");
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[offset_ + i]) << (8 * i));
+  }
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t ByteCursor::u32() {
+  if (remaining() < 4) overrun("u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t ByteCursor::u64() {
+  if (remaining() < 8) overrun("u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+double ByteCursor::f64() { return std::bit_cast<double>(u64()); }
+
+std::uint64_t ByteCursor::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw TraceFormatError(context_ + ": varint longer than 64 bits at offset " +
+                         std::to_string(offset_));
+}
+
+void ByteCursor::bytes(void* into, std::size_t n) {
+  if (remaining() < n) overrun("bytes");
+  auto* out = static_cast<char*>(into);
+  for (std::size_t i = 0; i < n; ++i) out[i] = data_[offset_ + i];
+  offset_ += n;
+}
+
+void encode_header(std::vector<char>& out, const ShardHeader& header) {
+  const std::size_t base = out.size();
+  out.insert(out.end(), kShardMagic.begin(), kShardMagic.end());
+  put_u16(out, header.version);
+  put_u16(out, kEndianMarker);
+  put_u64(out, header.seed);
+  put_u32(out, header.shard_index);
+  put_u32(out, header.shard_count);
+  put_u32(out, header.first_user);
+  put_u32(out, header.user_count);
+  put_u32(out, header.day_count);
+  put_u32(out, 0);  // reserved
+  put_u64(out, header.visit_count);
+  put_u64(out, header.event_count);
+  put_u64(out, header.events_offset);
+  if (out.size() - base != kHeaderBytes) {
+    throw std::logic_error("encode_header: layout drifted from kHeaderBytes");
+  }
+}
+
+ShardHeader decode_header(const char* data, std::size_t size,
+                          const std::string& context) {
+  if (size < kHeaderBytes) {
+    throw TraceFormatError(context + ": file shorter than a shard header (" +
+                           std::to_string(size) + " bytes)");
+  }
+  ByteCursor cursor(data, kHeaderBytes, context);
+  std::array<char, 4> magic{};
+  cursor.bytes(magic.data(), magic.size());
+  if (magic != kShardMagic) {
+    throw TraceFormatError(context + ": bad magic (not a lina::trace shard)");
+  }
+  ShardHeader header;
+  header.version = cursor.u16();
+  if (header.version != kFormatVersion) {
+    throw TraceFormatError(context + ": unsupported format version " +
+                           std::to_string(header.version) + " (this build " +
+                           "reads version " + std::to_string(kFormatVersion) +
+                           ")");
+  }
+  const std::uint16_t endian = cursor.u16();
+  if (endian != kEndianMarker) {
+    throw TraceFormatError(context +
+                           ": endianness marker mismatch (shard written on "
+                           "an incompatible-byte-order host?)");
+  }
+  header.seed = cursor.u64();
+  header.shard_index = cursor.u32();
+  header.shard_count = cursor.u32();
+  header.first_user = cursor.u32();
+  header.user_count = cursor.u32();
+  header.day_count = cursor.u32();
+  (void)cursor.u32();  // reserved
+  header.visit_count = cursor.u64();
+  header.event_count = cursor.u64();
+  header.events_offset = cursor.u64();
+  if (header.events_offset < kHeaderBytes ||
+      header.events_offset + kFooterBytes > size) {
+    throw TraceFormatError(context + ": event-section offset " +
+                           std::to_string(header.events_offset) +
+                           " out of range for a " + std::to_string(size) +
+                           "-byte file");
+  }
+  return header;
+}
+
+}  // namespace lina::trace

@@ -1,0 +1,315 @@
+#include "lina/trace/reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "lina/obs/metrics.hpp"
+
+namespace lina::trace {
+
+namespace {
+
+/// Reads [begin, end) of a file into `into` (resized), throwing with the
+/// file name on failure.
+void read_range(const std::filesystem::path& path, std::ifstream& file,
+                std::uint64_t begin, std::uint64_t end,
+                std::vector<char>& into) {
+  into.resize(end - begin);
+  file.seekg(static_cast<std::streamoff>(begin));
+  if (!file.read(into.data(), static_cast<std::streamsize>(into.size()))) {
+    throw TraceFormatError(path.string() + ": read failed at offset " +
+                           std::to_string(begin));
+  }
+}
+
+struct Footer {
+  std::uint32_t crc = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+Footer decode_footer(const std::filesystem::path& path,
+                     const char* data, std::uint64_t file_size) {
+  ByteCursor cursor(data, kFooterBytes, path.string());
+  std::array<char, 4> magic{};
+  cursor.bytes(magic.data(), magic.size());
+  if (magic != kFooterMagic) {
+    throw TraceFormatError(path.string() +
+                           ": footer magic missing (truncated shard?)");
+  }
+  Footer footer;
+  footer.crc = cursor.u32();
+  footer.total_bytes = cursor.u64();
+  if (footer.total_bytes != file_size) {
+    throw TraceFormatError(path.string() + ": footer records " +
+                           std::to_string(footer.total_bytes) +
+                           " bytes but the file holds " +
+                           std::to_string(file_size) +
+                           " (truncated or concatenated shard)");
+  }
+  return footer;
+}
+
+}  // namespace
+
+ShardHeader validate_shard(const std::filesystem::path& path, Validate mode) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw TraceFormatError(path.string() + ": cannot open shard");
+  }
+  file.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file.tellg());
+  if (file_size < kHeaderBytes + kFooterBytes) {
+    throw TraceFormatError(path.string() + ": file of " +
+                           std::to_string(file_size) +
+                           " bytes is shorter than header + footer");
+  }
+
+  std::vector<char> bytes;
+  read_range(path, file, 0, kHeaderBytes, bytes);
+  const ShardHeader header =
+      decode_header(bytes.data(), file_size, path.string());
+
+  read_range(path, file, file_size - kFooterBytes, file_size, bytes);
+  const Footer footer = decode_footer(path, bytes.data(), file_size);
+
+  if (mode == Validate::kCrc) {
+    file.seekg(0);
+    std::uint32_t crc = 0;
+    std::vector<char> chunk(1 << 20);
+    std::uint64_t left = file_size - kFooterBytes;
+    while (left > 0) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(left,
+                                                           chunk.size()));
+      if (!file.read(chunk.data(), static_cast<std::streamsize>(n))) {
+        throw TraceFormatError(path.string() + ": read failed during CRC");
+      }
+      crc = crc32(crc, chunk.data(), n);
+      left -= n;
+    }
+    if (crc != footer.crc) {
+      throw TraceFormatError(path.string() + ": CRC32 mismatch (stored " +
+                             std::to_string(footer.crc) + ", computed " +
+                             std::to_string(crc) + ") — corrupt shard");
+    }
+  }
+  return header;
+}
+
+ShardSet ShardSet::discover(const std::filesystem::path& dir, Validate mode) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw TraceFormatError(dir.string() + ": not a trace-set directory");
+  }
+  ShardSet set;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".ltrc") {
+      continue;
+    }
+    set.shards_.push_back(
+        ShardInfo{entry.path(), validate_shard(entry.path(), mode)});
+  }
+  if (set.shards_.empty()) {
+    throw TraceFormatError(dir.string() + ": no .ltrc shards found");
+  }
+  std::sort(set.shards_.begin(), set.shards_.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return a.header.shard_index < b.header.shard_index;
+            });
+  const ShardHeader& first = set.shards_.front().header;
+  if (set.shards_.size() != first.shard_count) {
+    throw TraceFormatError(
+        dir.string() + ": found " + std::to_string(set.shards_.size()) +
+        " shards, headers declare " + std::to_string(first.shard_count));
+  }
+  std::uint32_t expected_user = first.first_user;
+  for (std::size_t i = 0; i < set.shards_.size(); ++i) {
+    const ShardHeader& h = set.shards_[i].header;
+    const std::string name = set.shards_[i].path.string();
+    if (h.shard_index != i) {
+      throw TraceFormatError(dir.string() + ": shard index " +
+                             std::to_string(i) + " is missing or duplicated");
+    }
+    if (h.seed != first.seed || h.day_count != first.day_count ||
+        h.shard_count != first.shard_count) {
+      throw TraceFormatError(name +
+                             ": seed/day-count/shard-count disagrees with "
+                             "the rest of the set");
+    }
+    if (h.first_user != expected_user) {
+      throw TraceFormatError(name + ": user range starts at " +
+                             std::to_string(h.first_user) + ", expected " +
+                             std::to_string(expected_user) +
+                             " (ranges must be contiguous)");
+    }
+    expected_user += h.user_count;
+  }
+  return set;
+}
+
+std::uint32_t ShardSet::user_count() const {
+  std::uint32_t n = 0;
+  for (const ShardInfo& s : shards_) n += s.header.user_count;
+  return n;
+}
+
+std::uint64_t ShardSet::visit_count() const {
+  std::uint64_t n = 0;
+  for (const ShardInfo& s : shards_) n += s.header.visit_count;
+  return n;
+}
+
+std::uint64_t ShardSet::event_count() const {
+  std::uint64_t n = 0;
+  for (const ShardInfo& s : shards_) n += s.header.event_count;
+  return n;
+}
+
+std::uint64_t ShardSet::seed() const { return shards_.front().header.seed; }
+
+std::uint32_t ShardSet::day_count() const {
+  return shards_.front().header.day_count;
+}
+
+TraceReader::TraceReader(const ShardInfo& shard) : shard_(shard) {
+  std::ifstream file(shard_.path, std::ios::binary);
+  if (!file) {
+    throw TraceFormatError(shard_.path.string() + ": cannot open shard");
+  }
+  read_range(shard_.path, file, kHeaderBytes, shard_.header.events_offset,
+             image_);
+  cursor_ = std::make_unique<ByteCursor>(image_.data(), image_.size(),
+                                         shard_.path.string());
+  obs::metric::trace_shards_read().add(1);
+  obs::metric::trace_bytes_read().add(image_.size());
+}
+
+std::optional<mobility::DeviceTrace> TraceReader::next() {
+  if (decoded_ == shard_.header.user_count) {
+    if (!cursor_->done()) {
+      throw TraceFormatError(shard_.path.string() + ": " +
+                             std::to_string(cursor_->remaining()) +
+                             " stray bytes after the last user block");
+    }
+    return std::nullopt;
+  }
+  const auto user_id = static_cast<std::uint32_t>(cursor_->varint());
+  const std::uint32_t expected = shard_.header.first_user + decoded_;
+  if (user_id != expected) {
+    throw TraceFormatError(shard_.path.string() + ": user block holds id " +
+                           std::to_string(user_id) + ", expected " +
+                           std::to_string(expected));
+  }
+  const std::uint64_t visit_count = cursor_->varint();
+  if (visit_count == 0 || visit_count > shard_.header.visit_count) {
+    throw TraceFormatError(shard_.path.string() + ": implausible visit count " +
+                           std::to_string(visit_count) + " for user " +
+                           std::to_string(user_id));
+  }
+  const std::uint8_t flags = cursor_->u8();
+
+  std::vector<mobility::DeviceVisit> visits(visit_count);
+  double start = cursor_->f64();
+  for (auto& v : visits) v.duration_hours = cursor_->f64();
+  if ((flags & kBlockExplicitStarts) != 0) {
+    for (auto& v : visits) v.start_hour = cursor_->f64();
+  } else {
+    // The generator's own accumulation, replayed op-for-op: bit-identical
+    // start hours without storing them.
+    for (auto& v : visits) {
+      v.start_hour = start;
+      start = start + v.duration_hours;
+    }
+  }
+  std::int64_t address = 0;
+  for (auto& v : visits) {
+    address += zigzag_decode(cursor_->varint());
+    v.address = net::Ipv4Address(static_cast<std::uint32_t>(address));
+  }
+  for (auto& v : visits) {
+    const std::uint8_t length = cursor_->u8();
+    if (length > 32) {
+      throw TraceFormatError(shard_.path.string() + ": prefix length " +
+                             std::to_string(length) + " for user " +
+                             std::to_string(user_id));
+    }
+    v.prefix = net::Prefix(v.address, length);
+  }
+  std::int64_t as = 0;
+  for (auto& v : visits) {
+    as += zigzag_decode(cursor_->varint());
+    v.as = static_cast<topology::AsId>(as);
+  }
+  for (std::size_t i = 0; i < visits.size(); i += 8) {
+    const std::uint8_t bits = cursor_->u8();
+    for (std::size_t b = 0; b < 8 && i + b < visits.size(); ++b) {
+      visits[i + b].cellular = (bits & (1u << b)) != 0;
+    }
+  }
+
+  mobility::DeviceTrace trace(user_id, shard_.header.day_count);
+  for (mobility::DeviceVisit& v : visits) trace.append(v);
+  ++decoded_;
+  obs::metric::trace_visits_read().add(visit_count);
+  return trace;
+}
+
+EventReader::EventReader(const ShardInfo& shard, std::size_t buffer_bytes)
+    : shard_(shard),
+      file_(shard.path, std::ios::binary),
+      buffer_(std::max<std::size_t>(buffer_bytes, 256)) {
+  if (!file_) {
+    throw TraceFormatError(shard_.path.string() + ": cannot open shard");
+  }
+  file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+  section_left_ = file_size - kFooterBytes - shard_.header.events_offset;
+  file_.seekg(static_cast<std::streamoff>(shard_.header.events_offset));
+}
+
+void EventReader::refill() {
+  const std::size_t keep = buffer_len_ - buffer_pos_;
+  std::memmove(buffer_.data(), buffer_.data() + buffer_pos_, keep);
+  buffer_pos_ = 0;
+  buffer_len_ = keep;
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(section_left_, buffer_.size() - buffer_len_));
+  if (want == 0) return;
+  if (!file_.read(buffer_.data() + buffer_len_,
+                  static_cast<std::streamsize>(want))) {
+    throw TraceFormatError(shard_.path.string() +
+                           ": read failed in event section");
+  }
+  buffer_len_ += want;
+  section_left_ -= want;
+  obs::metric::trace_bytes_read().add(want);
+}
+
+bool EventReader::next(TraceEvent& out) {
+  if (decoded_ == shard_.header.event_count) return false;
+  // An encoded event is at most 25 bytes; refill keeps at least one whole
+  // record in the window so varints never straddle a buffer boundary.
+  if (buffer_len_ - buffer_pos_ < 32 && section_left_ > 0) refill();
+  ByteCursor cursor(buffer_.data() + buffer_pos_, buffer_len_ - buffer_pos_,
+                    shard_.path.string());
+  out.hour = cursor.f64();
+  previous_user_ += zigzag_decode(cursor.varint());
+  out.user = static_cast<std::uint32_t>(previous_user_);
+  out.address =
+      net::Ipv4Address(static_cast<std::uint32_t>(cursor.varint()));
+  const std::uint8_t length = cursor.u8();
+  if (length > 32) {
+    throw TraceFormatError(shard_.path.string() +
+                           ": prefix length " + std::to_string(length) +
+                           " in event section");
+  }
+  out.prefix = net::Prefix(out.address, length);
+  out.as = static_cast<topology::AsId>(cursor.varint());
+  const std::uint8_t flags = cursor.u8();
+  out.cellular = (flags & 0x01) != 0;
+  out.initial = (flags & 0x02) != 0;
+  buffer_pos_ += cursor.offset();
+  ++decoded_;
+  return true;
+}
+
+}  // namespace lina::trace

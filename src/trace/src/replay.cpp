@@ -1,0 +1,82 @@
+#include "lina/trace/replay.hpp"
+
+#include "lina/exec/parallel.hpp"
+
+namespace lina::trace {
+
+core::ExtentOfMobility analyze_extent_streamed(const ShardSet& set,
+                                               std::size_t batch_users) {
+  DeviceTraceStream stream(set);
+  core::ExtentAccumulator accumulator;
+  while (!stream.done()) {
+    const std::vector<mobility::DeviceTrace> batch =
+        stream.next_batch(batch_users);
+    accumulator.add(std::span<const mobility::DeviceTrace>(batch));
+  }
+  return std::move(accumulator.result());
+}
+
+core::IndirectionStretchResult evaluate_indirection_stretch_streamed(
+    const ShardSet& set, const core::LatencyModel& model, double coverage,
+    stats::Rng& rng, std::size_t batch_users) {
+  DeviceTraceStream stream(set);
+  core::IndirectionStretchAccumulator accumulator(model, coverage, rng);
+  while (!stream.done()) {
+    const std::vector<mobility::DeviceTrace> batch =
+        stream.next_batch(batch_users);
+    accumulator.accumulate(batch);
+  }
+  return std::move(accumulator.result());
+}
+
+std::vector<core::RouterUpdateStats> evaluate_device_update_cost_streamed(
+    const core::DeviceUpdateCostEvaluator& evaluator, const ShardSet& set,
+    std::size_t batch_users) {
+  DeviceTraceStream stream(set);
+  std::vector<core::RouterUpdateStats> tallies;
+  while (!stream.done()) {
+    const std::vector<mobility::DeviceTrace> batch =
+        stream.next_batch(batch_users);
+    evaluator.accumulate(batch, tallies);
+  }
+  return tallies;
+}
+
+std::vector<sim::MobilityStep> session_schedule_from_trace(
+    const mobility::DeviceTrace& trace, double hours) {
+  std::vector<sim::MobilityStep> schedule;
+  topology::AsId last = static_cast<topology::AsId>(-1);
+  for (const mobility::DeviceVisit& visit : trace.visits()) {
+    if (visit.start_hour > hours) break;
+    if (visit.as == last) continue;
+    schedule.push_back({visit.start_hour * 1000.0, visit.as});
+    last = visit.as;
+  }
+  if (schedule.empty() || schedule.front().time_ms != 0.0) {
+    schedule.insert(schedule.begin(), {0.0, trace.visits().front().as});
+  }
+  return schedule;
+}
+
+std::vector<sim::SessionStats> simulate_sessions_streamed(
+    const sim::ForwardingFabric& fabric, sim::SimArchitecture architecture,
+    const sim::SessionConfig& base, double hours, const ShardSet& set,
+    std::size_t batch_users) {
+  DeviceTraceStream stream(set);
+  std::vector<sim::SessionStats> all;
+  while (!stream.done()) {
+    const std::vector<mobility::DeviceTrace> batch =
+        stream.next_batch(batch_users);
+    std::vector<sim::SessionStats> stats =
+        exec::parallel_map(batch.size(), [&](std::size_t u) {
+          sim::SessionConfig config = base;
+          config.duration_ms = hours * 1000.0;
+          config.schedule = session_schedule_from_trace(batch[u], hours);
+          return sim::simulate_session(fabric, architecture, config);
+        });
+    for (sim::SessionStats& s : stats) all.push_back(std::move(s));
+  }
+  return all;
+}
+
+}  // namespace lina::trace

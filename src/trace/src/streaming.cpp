@@ -1,0 +1,89 @@
+#include "lina/trace/streaming.hpp"
+
+#include <cstdio>
+
+#include "lina/exec/parallel.hpp"
+
+namespace lina::trace {
+
+std::filesystem::path shard_file_name(std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%05u.ltrc", index);
+  return {name};
+}
+
+ShardSet StreamingWorkload::write_shards(
+    const std::filesystem::path& dir) const {
+  const mobility::DeviceWorkloadConfig& workload = generator_.config();
+  if (workload.user_count == 0) {
+    throw std::invalid_argument("StreamingWorkload: empty workload");
+  }
+  const std::size_t per_shard = std::max<std::size_t>(
+      1, std::min(config_.users_per_shard, workload.user_count));
+  const std::size_t shard_count =
+      (workload.user_count + per_shard - 1) / per_shard;
+
+  std::filesystem::create_directories(dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ltrc") {
+      throw TraceFormatError(dir.string() +
+                             ": already holds .ltrc shards — refusing to "
+                             "mix trace sets (use a fresh directory)");
+    }
+  }
+
+  // Shards are independent: shard s is a pure function of the workload
+  // config and its user-id range (each user draws from its own
+  // seed-labelled substream), so the fan-out is bit-identical at any
+  // thread count. Per-shard staging memory is the bound threads multiply.
+  exec::parallel_for(shard_count, [&](std::size_t s) {
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(s * per_shard);
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        std::min(per_shard, workload.user_count - first));
+    ShardMeta meta;
+    meta.seed = workload.seed;
+    meta.shard_index = static_cast<std::uint32_t>(s);
+    meta.shard_count = static_cast<std::uint32_t>(shard_count);
+    meta.first_user = first;
+    meta.user_count = count;
+    meta.day_count = static_cast<std::uint32_t>(workload.days);
+    TraceWriter writer(dir / shard_file_name(meta.shard_index), meta);
+    for (std::uint32_t u = 0; u < count; ++u) {
+      writer.append(generator_.generate_user(first + u));
+    }
+    writer.finish();
+  });
+
+  return ShardSet::discover(
+      dir, config_.verify_after_write ? Validate::kCrc : Validate::kHeader);
+}
+
+DeviceTraceStream::DeviceTraceStream(const ShardSet& set) : set_(&set) {}
+
+bool DeviceTraceStream::done() const {
+  return reader_ == nullptr && shard_ == set_->shards().size();
+}
+
+std::vector<mobility::DeviceTrace> DeviceTraceStream::next_batch(
+    std::size_t max_users) {
+  std::vector<mobility::DeviceTrace> batch;
+  batch.reserve(max_users);
+  while (batch.size() < max_users) {
+    if (reader_ == nullptr) {
+      if (shard_ == set_->shards().size()) break;
+      reader_ = std::make_unique<TraceReader>(set_->shards()[shard_]);
+    }
+    std::optional<mobility::DeviceTrace> trace = reader_->next();
+    if (!trace.has_value()) {
+      reader_.reset();
+      ++shard_;
+      continue;
+    }
+    batch.push_back(std::move(*trace));
+    ++next_index_;
+  }
+  return batch;
+}
+
+}  // namespace lina::trace

@@ -1,0 +1,182 @@
+#include "lina/trace/writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "lina/obs/metrics.hpp"
+
+namespace lina::trace {
+
+TraceWriter::TraceWriter(std::filesystem::path file, ShardMeta meta)
+    : file_(std::move(file)), meta_(meta), next_user_(meta.first_user) {}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) {
+    std::error_code ec;
+    std::filesystem::remove(file_, ec);  // never existed unless finish() ran
+  }
+}
+
+void TraceWriter::append(const mobility::DeviceTrace& trace) {
+  if (finished_) {
+    throw std::logic_error("TraceWriter::append after finish()");
+  }
+  if (appended_ == meta_.user_count) {
+    throw std::invalid_argument(
+        "TraceWriter::append: shard already holds its " +
+        std::to_string(meta_.user_count) + " users");
+  }
+  if (trace.user_id() != next_user_) {
+    throw std::invalid_argument(
+        "TraceWriter::append: expected user " + std::to_string(next_user_) +
+        ", got " + std::to_string(trace.user_id()) +
+        " (shards store contiguous ascending user-id ranges)");
+  }
+  if (trace.day_count() != meta_.day_count) {
+    throw std::invalid_argument(
+        "TraceWriter::append: trace spans " +
+        std::to_string(trace.day_count()) + " days, shard is declared for " +
+        std::to_string(meta_.day_count));
+  }
+  const auto visits = trace.visits();
+  if (visits.empty()) {
+    throw std::invalid_argument("TraceWriter::append: empty trace for user " +
+                                std::to_string(trace.user_id()));
+  }
+
+  // Timestamps delta-encode when the trace is exactly contiguous (the
+  // generator's accumulation makes it so); otherwise starts are stored
+  // verbatim so the round trip stays bit-exact for any legal DeviceTrace.
+  bool contiguous = visits.front().start_hour == 0.0;
+  for (std::size_t i = 1; contiguous && i < visits.size(); ++i) {
+    contiguous = visits[i].start_hour ==
+                 visits[i - 1].start_hour + visits[i - 1].duration_hours;
+  }
+
+  put_varint(blocks_, trace.user_id());
+  put_varint(blocks_, visits.size());
+  put_u8(blocks_, contiguous ? 0 : kBlockExplicitStarts);
+  put_f64(blocks_, visits.front().start_hour);
+  for (const mobility::DeviceVisit& v : visits) {
+    put_f64(blocks_, v.duration_hours);
+  }
+  if (!contiguous) {
+    for (const mobility::DeviceVisit& v : visits) {
+      put_f64(blocks_, v.start_hour);
+    }
+  }
+  std::uint32_t previous_address = 0;
+  for (const mobility::DeviceVisit& v : visits) {
+    const std::uint32_t value = v.address.value();
+    put_varint(blocks_, zigzag_encode(static_cast<std::int64_t>(value) -
+                                      static_cast<std::int64_t>(
+                                          previous_address)));
+    previous_address = value;
+  }
+  for (const mobility::DeviceVisit& v : visits) {
+    // An announced prefix is its address under the mask, so one length
+    // byte reconstructs it. Anything else is outside the format.
+    const net::Prefix rebuilt(v.address, v.prefix.length());
+    if (rebuilt != v.prefix) {
+      throw std::invalid_argument(
+          "TraceWriter::append: visit prefix " + v.prefix.to_string() +
+          " does not contain its address " + v.address.to_string());
+    }
+    put_u8(blocks_, static_cast<std::uint8_t>(v.prefix.length()));
+  }
+  std::int64_t previous_as = 0;
+  for (const mobility::DeviceVisit& v : visits) {
+    put_varint(blocks_, zigzag_encode(static_cast<std::int64_t>(v.as) -
+                                      previous_as));
+    previous_as = static_cast<std::int64_t>(v.as);
+  }
+  for (std::size_t i = 0; i < visits.size(); i += 8) {
+    std::uint8_t bits = 0;
+    for (std::size_t b = 0; b < 8 && i + b < visits.size(); ++b) {
+      if (visits[i + b].cellular) bits |= static_cast<std::uint8_t>(1u << b);
+    }
+    put_u8(blocks_, bits);
+  }
+
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    const mobility::DeviceVisit& v = visits[i];
+    events_.push_back(TraceEvent{v.start_hour, trace.user_id(), v.address,
+                                 v.prefix, v.as, v.cellular, i == 0});
+  }
+
+  visit_count_ += visits.size();
+  ++appended_;
+  ++next_user_;
+}
+
+TraceWriter::Totals TraceWriter::finish() {
+  if (finished_) {
+    throw std::logic_error("TraceWriter::finish called twice");
+  }
+  if (appended_ != meta_.user_count) {
+    throw std::invalid_argument(
+        "TraceWriter::finish: shard declared " +
+        std::to_string(meta_.user_count) + " users but got " +
+        std::to_string(appended_));
+  }
+
+  // The merged stream's total order; ties are impossible (strictly
+  // increasing start hours per user, one user id per trace).
+  std::sort(events_.begin(), events_.end(), event_precedes);
+
+  std::vector<char> event_bytes;
+  event_bytes.reserve(events_.size() * 18);
+  std::int64_t previous_user = 0;
+  for (const TraceEvent& e : events_) {
+    put_f64(event_bytes, e.hour);
+    put_varint(event_bytes, zigzag_encode(static_cast<std::int64_t>(e.user) -
+                                          previous_user));
+    previous_user = static_cast<std::int64_t>(e.user);
+    put_varint(event_bytes, e.address.value());
+    put_u8(event_bytes, static_cast<std::uint8_t>(e.prefix.length()));
+    put_varint(event_bytes, e.as);
+    put_u8(event_bytes, static_cast<std::uint8_t>((e.cellular ? 0x01 : 0) |
+                                                  (e.initial ? 0x02 : 0)));
+  }
+
+  ShardHeader header;
+  header.seed = meta_.seed;
+  header.shard_index = meta_.shard_index;
+  header.shard_count = meta_.shard_count;
+  header.first_user = meta_.first_user;
+  header.user_count = meta_.user_count;
+  header.day_count = meta_.day_count;
+  header.visit_count = visit_count_;
+  header.event_count = events_.size();
+  header.events_offset = kHeaderBytes + blocks_.size();
+
+  std::vector<char> image;
+  image.reserve(kHeaderBytes + blocks_.size() + event_bytes.size() +
+                kFooterBytes);
+  encode_header(image, header);
+  image.insert(image.end(), blocks_.begin(), blocks_.end());
+  image.insert(image.end(), event_bytes.begin(), event_bytes.end());
+  const std::uint32_t crc = crc32(0, image.data(), image.size());
+  image.insert(image.end(), kFooterMagic.begin(), kFooterMagic.end());
+  put_u32(image, crc);
+  put_u64(image, image.size() + 8);  // total file size, footer included
+
+  {
+    std::ofstream out(file_, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(image.data(),
+                           static_cast<std::streamsize>(image.size()))) {
+      std::error_code ec;
+      std::filesystem::remove(file_, ec);
+      throw TraceFormatError(file_.string() + ": shard write failed");
+    }
+  }
+  finished_ = true;
+
+  obs::metric::trace_shards_written().add(1);
+  obs::metric::trace_bytes_written().add(image.size());
+  obs::metric::trace_visits_written().add(visit_count_);
+  obs::metric::trace_events_written().add(events_.size());
+  return Totals{image.size(), visit_count_, events_.size()};
+}
+
+}  // namespace lina::trace

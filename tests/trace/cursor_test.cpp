@@ -1,0 +1,143 @@
+// TraceCursor tests: the k-way merge replays every attachment event of a
+// multi-shard set in strict global (hour, user) order, independent of how
+// the population was sharded, with a heap never deeper than the shard
+// count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../support/fixtures.hpp"
+#include "lina/trace/cursor.hpp"
+#include "lina/trace/streaming.hpp"
+#include "trace_test_util.hpp"
+
+namespace lina::trace {
+namespace {
+
+using lina::testing::TempTraceDir;
+
+mobility::DeviceWorkloadConfig small_config() {
+  mobility::DeviceWorkloadConfig config;
+  config.user_count = 60;
+  config.days = 5;
+  return config;
+}
+
+ShardSet write_set(const TempTraceDir& dir, std::size_t users_per_shard) {
+  const mobility::DeviceWorkloadGenerator generator(
+      lina::testing::shared_internet(), small_config());
+  StreamingWorkloadConfig config;
+  config.users_per_shard = users_per_shard;
+  return StreamingWorkload(generator, config).write_shards(dir.path());
+}
+
+std::vector<TraceEvent> replay_all(const ShardSet& set) {
+  TraceCursor cursor(set);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (cursor.next(event)) events.push_back(event);
+  return events;
+}
+
+TEST(TraceCursorTest, GlobalTimeOrderAcrossShards) {
+  TempTraceDir dir("cursor-order");
+  const ShardSet set = write_set(dir, 16);  // 60 users -> 4 shards
+  ASSERT_GE(set.shards().size(), 3u);
+
+  const std::vector<TraceEvent> events = replay_all(set);
+  EXPECT_EQ(events.size(), set.event_count());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_TRUE(event_precedes(events[i - 1], events[i]))
+        << "order violation at event " << i;
+  }
+}
+
+TEST(TraceCursorTest, EventsMatchVisitStarts) {
+  TempTraceDir dir("cursor-content");
+  const ShardSet set = write_set(dir, 16);
+
+  // Rebuild the expected stream straight from the generator.
+  const mobility::DeviceWorkloadGenerator generator(
+      lina::testing::shared_internet(), small_config());
+  std::vector<TraceEvent> expected;
+  for (std::uint32_t u = 0; u < small_config().user_count; ++u) {
+    const mobility::DeviceTrace trace = generator.generate_user(u);
+    bool first = true;
+    for (const mobility::DeviceVisit& visit : trace.visits()) {
+      TraceEvent event;
+      event.hour = visit.start_hour;
+      event.user = u;
+      event.address = visit.address;
+      event.prefix = visit.prefix;
+      event.as = visit.as;
+      event.cellular = visit.cellular;
+      event.initial = first;
+      expected.push_back(event);
+      first = false;
+    }
+  }
+  std::sort(expected.begin(), expected.end(), event_precedes);
+
+  const std::vector<TraceEvent> replayed = replay_all(set);
+  ASSERT_EQ(replayed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i], expected[i]) << "at event " << i;
+  }
+}
+
+TEST(TraceCursorTest, MergedStreamIndependentOfSharding) {
+  TempTraceDir coarse_dir("cursor-coarse");
+  TempTraceDir fine_dir("cursor-fine");
+  const ShardSet coarse = write_set(coarse_dir, 30);  // 2 shards
+  const ShardSet fine = write_set(fine_dir, 7);       // 9 shards
+  ASSERT_NE(coarse.shards().size(), fine.shards().size());
+
+  const std::vector<TraceEvent> a = replay_all(coarse);
+  const std::vector<TraceEvent> b = replay_all(fine);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "at event " << i;
+  }
+}
+
+TEST(TraceCursorTest, HeapDepthBoundedByShardCount) {
+  TempTraceDir dir("cursor-depth");
+  const ShardSet set = write_set(dir, 7);
+  TraceCursor cursor(set);
+  EXPECT_LE(cursor.heap_depth(), set.shards().size());
+  TraceEvent event;
+  std::size_t max_depth = 0;
+  while (cursor.next(event)) {
+    max_depth = std::max(max_depth, cursor.heap_depth());
+  }
+  EXPECT_LE(max_depth, set.shards().size());
+  EXPECT_EQ(cursor.heap_depth(), 0u);  // fully drained
+  EXPECT_EQ(cursor.events_replayed(), set.event_count());
+}
+
+TEST(TraceCursorTest, DetectsOutOfOrderShard) {
+  TempTraceDir dir("cursor-bad");
+  const ShardSet set = write_set(dir, 16);
+  // Swap two event records deep inside one shard's event section. Records
+  // vary in size, so instead corrupt the sort key: flip a high byte of an
+  // hour field — the CRC would catch it, but the cursor is constructed
+  // from header-validated infos only, so the order check must fire.
+  const ShardInfo& victim = set.shards()[1];
+  const std::uint64_t offset = victim.header.events_offset;
+  lina::testing::flip_byte(victim.path, offset + 6);  // hour's high bytes
+  const ShardSet reloaded =
+      ShardSet::discover(dir.path(), Validate::kHeader);
+  TraceCursor cursor(reloaded);
+  TraceEvent event;
+  EXPECT_THROW(
+      {
+        while (cursor.next(event)) {
+        }
+      },
+      TraceFormatError);
+}
+
+}  // namespace
+}  // namespace lina::trace

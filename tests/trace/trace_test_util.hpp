@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared helpers for the lina::trace suite: unique scratch directories
+// (removed on destruction) and byte-level file surgery for the
+// corruption/truncation tests.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lina::testing {
+
+class TempTraceDir {
+ public:
+  explicit TempTraceDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lina-trace-test-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempTraceDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  TempTraceDir(const TempTraceDir&) = delete;
+  TempTraceDir& operator=(const TempTraceDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+inline std::vector<char> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+inline void write_file(const std::filesystem::path& path,
+                       const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// XORs one byte of the file (default: deep inside the payload).
+inline void flip_byte(const std::filesystem::path& path, std::size_t offset) {
+  std::vector<char> bytes = read_file(path);
+  bytes.at(offset) = static_cast<char>(bytes.at(offset) ^ 0x40);
+  write_file(path, bytes);
+}
+
+/// Drops the last `n` bytes of the file.
+inline void truncate_file(const std::filesystem::path& path, std::size_t n) {
+  std::vector<char> bytes = read_file(path);
+  bytes.resize(bytes.size() > n ? bytes.size() - n : 0);
+  write_file(path, bytes);
+}
+
+}  // namespace lina::testing
