@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "lina/names/interner.hpp"
+#include "lina/obs/metrics.hpp"
 
 using namespace lina;
 
@@ -44,6 +46,23 @@ int main(int argc, char** argv) {
   }
   harness.result("aggregateability_min", lo);
   harness.result("aggregateability_max", hi);
+
+  // Storage-footprint headline: deterministic live-table bytes summed over
+  // vantages, plus the shared component-interner vocabulary. The byte
+  // figures derive from live node counts (not allocator capacities), so
+  // they are stable across runs and machines.
+  double popular_bytes = 0.0;
+  for (const auto& r : popular) {
+    popular_bytes += static_cast<double>(r.table_bytes);
+  }
+  harness.result("popular_name_table_bytes_total", popular_bytes);
+  const auto& interner = names::ComponentInterner::global();
+  harness.result("interner_components",
+                 static_cast<double>(interner.size()));
+  obs::metric::name_interner_entries().set(
+      static_cast<double>(interner.size()));
+  obs::metric::name_interner_bytes().set(
+      static_cast<double>(interner.bytes()));
   std::cout << "Measured popular aggregateability range: "
             << stats::fmt(lo, 1) << "x - " << stats::fmt(hi, 1)
             << "x (paper: 2x - 16x); unpopular stays near 1x as the tail "

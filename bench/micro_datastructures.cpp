@@ -10,6 +10,7 @@
 #include "lina/exec/thread_pool.hpp"
 #include "lina/names/name_trie.hpp"
 #include "lina/net/ip_trie.hpp"
+#include "reference_tries.hpp"
 #include "lina/routing/policy_routing.hpp"
 #include "lina/routing/rib.hpp"
 #include "lina/stats/rng.hpp"
@@ -85,6 +86,235 @@ void BM_NameTrieLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NameTrieLookup)->Range(1 << 8, 1 << 14);
+
+// "Legacy*" benchmarks run the pre-arena reference implementations
+// (tests/support/reference_tries.hpp) over identical seeds and shapes, so
+// a single JSON run carries the old-vs-new comparison.
+
+void BM_LegacyIpTrieInsert(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    testref::LegacyIpTrie<int> trie;
+    int value = 0;
+    for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LegacyIpTrieInsert)->Range(1 << 8, 1 << 14);
+
+void BM_LegacyIpTrieLookup(benchmark::State& state) {
+  stats::Rng rng(2);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  testref::LegacyIpTrie<int> trie;
+  int value = 0;
+  for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+  std::vector<net::Ipv4Address> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back(net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff))));
+  }
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(queries[q++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyIpTrieLookup)->Range(1 << 8, 1 << 16);
+
+void BM_IpTrieErase(benchmark::State& state) {
+  stats::Rng rng(8);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::IpTrie<int> trie;
+    int value = 0;
+    for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+    state.ResumeTiming();
+    for (const auto& prefix : prefixes) trie.erase(prefix);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpTrieErase)->Range(1 << 8, 1 << 14);
+
+void BM_LegacyIpTrieErase(benchmark::State& state) {
+  stats::Rng rng(8);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    testref::LegacyIpTrie<int> trie;
+    int value = 0;
+    for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+    state.ResumeTiming();
+    for (const auto& prefix : prefixes) trie.erase(prefix);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LegacyIpTrieErase)->Range(1 << 8, 1 << 14);
+
+void BM_IpTrieFreeze(benchmark::State& state) {
+  stats::Rng rng(9);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  net::IpTrie<int> trie;
+  int value = 0;
+  for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+  for (auto _ : state) {
+    const auto frozen = trie.freeze();
+    benchmark::DoNotOptimize(frozen.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IpTrieFreeze)->Range(1 << 8, 1 << 14);
+
+void BM_IpTrieFrozenLookupMany(benchmark::State& state) {
+  stats::Rng rng(2);  // same table/query stream as BM_IpTrieLookup
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  net::IpTrie<int> trie;
+  int value = 0;
+  for (const auto& prefix : prefixes) trie.insert(prefix, value++);
+  const auto frozen = trie.freeze();
+  std::vector<net::Ipv4Address> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back(net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff))));
+  }
+  std::vector<const int*> hits(queries.size());
+  for (auto _ : state) {
+    frozen.lookup_many(queries, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(queries.size()));
+}
+BENCHMARK(BM_IpTrieFrozenLookupMany)->Range(1 << 8, 1 << 16);
+
+void BM_IpTrieCompressedSize(benchmark::State& state) {
+  stats::Rng rng(10);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  net::IpTrie<int> trie;
+  for (const auto& prefix : prefixes) {
+    trie.insert(prefix, static_cast<int>(rng.index(4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lpm_compressed_size());  // O(1) read
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IpTrieCompressedSize)->Range(1 << 8, 1 << 14);
+
+void BM_LegacyIpTrieCompressedSize(benchmark::State& state) {
+  stats::Rng rng(10);
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), rng);
+  testref::LegacyIpTrie<int> trie;
+  for (const auto& prefix : prefixes) {
+    trie.insert(prefix, static_cast<int>(rng.index(4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lpm_compressed_size());  // full recount
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyIpTrieCompressedSize)->Range(1 << 8, 1 << 14);
+
+std::vector<names::ContentName> bench_names(std::size_t count,
+                                            stats::Rng& rng) {
+  std::vector<names::ContentName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    names::ContentName name({"com", "d" + std::to_string(rng.index(count))});
+    if (rng.chance(0.7)) name = name.child("s" + std::to_string(rng.index(40)));
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+void BM_NameTrieInsert(benchmark::State& state) {
+  stats::Rng rng(3);
+  const auto names_list =
+      bench_names(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    names::NameTrie<int> trie;
+    int value = 0;
+    for (const auto& name : names_list) trie.insert(name, value++);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NameTrieInsert)->Range(1 << 8, 1 << 14);
+
+void BM_LegacyNameTrieInsert(benchmark::State& state) {
+  stats::Rng rng(3);
+  const auto names_list =
+      bench_names(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    testref::LegacyNameTrie<int> trie;
+    int value = 0;
+    for (const auto& name : names_list) trie.insert(name, value++);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LegacyNameTrieInsert)->Range(1 << 8, 1 << 14);
+
+void BM_NameTrieLookupValue(benchmark::State& state) {
+  stats::Rng rng(3);  // same table/query stream as BM_NameTrieLookup
+  names::NameTrie<int> trie;
+  const auto names_list =
+      bench_names(static_cast<std::size_t>(state.range(0)), rng);
+  int value = 0;
+  for (const auto& name : names_list) trie.insert(name, value++);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup_value(names_list[q++ % names_list.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NameTrieLookupValue)->Range(1 << 8, 1 << 14);
+
+void BM_LegacyNameTrieLookup(benchmark::State& state) {
+  stats::Rng rng(3);
+  testref::LegacyNameTrie<int> trie;
+  const auto names_list =
+      bench_names(static_cast<std::size_t>(state.range(0)), rng);
+  int value = 0;
+  for (const auto& name : names_list) trie.insert(name, value++);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.lookup_value(names_list[q++ % names_list.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyNameTrieLookup)->Range(1 << 8, 1 << 14);
+
+void BM_NameTrieFrozenLookupMany(benchmark::State& state) {
+  stats::Rng rng(3);
+  names::NameTrie<int> trie;
+  const auto names_list =
+      bench_names(static_cast<std::size_t>(state.range(0)), rng);
+  int value = 0;
+  for (const auto& name : names_list) trie.insert(name, value++);
+  const auto frozen = trie.freeze();
+  std::vector<const int*> hits(names_list.size());
+  for (auto _ : state) {
+    frozen.lookup_many(names_list, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(names_list.size()));
+}
+BENCHMARK(BM_NameTrieFrozenLookupMany)->Range(1 << 8, 1 << 14);
 
 void BM_RouteSelection(benchmark::State& state) {
   stats::Rng rng(4);

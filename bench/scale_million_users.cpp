@@ -191,6 +191,48 @@ int main(int argc, char** argv) {
               << " M events/s), digest " << (digest >> 32) << "\n";
   }
 
+  // FIB replay: stream every visit address through a frozen snapshot of
+  // the first vantage router's FIB with batched (prefetched) LPM lookups —
+  // the forwarding-plane half of the scale story. The port digest is
+  // order-sensitive and architecture-independent, so it pins the lookup
+  // results bit-for-bit across runs and thread counts.
+  harness.phase("replay_fib");
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const routing::FrozenFib fib = internet.vantages().front().fib().freeze();
+    trace::DeviceTraceStream stream(set);
+    std::uint64_t digest = 1469598103934665603ULL;
+    std::uint64_t lookups = 0;
+    std::vector<net::Ipv4Address> addrs;
+    std::vector<const routing::FibEntry*> hits;
+    while (!stream.done()) {
+      addrs.clear();
+      for (const mobility::DeviceTrace& trace :
+           stream.next_batch(trace::kDefaultBatchUsers)) {
+        for (const mobility::DeviceVisit& visit : trace.visits()) {
+          addrs.push_back(visit.address);
+        }
+      }
+      hits.resize(addrs.size());
+      fib.entries_for_many(addrs, hits);
+      for (const routing::FibEntry* entry : hits) {
+        digest = mix(digest, entry == nullptr ? 0xffffffffULL : entry->port);
+      }
+      lookups += addrs.size();
+    }
+    const double elapsed = seconds_since(start);
+    harness.result("fib_lookups_per_sec",
+                   static_cast<double>(lookups) / elapsed);
+    harness.result("fib_replay_digest", static_cast<double>(digest >> 32));
+    harness.result("fib_table_bytes",
+                   static_cast<double>(
+                       internet.vantages().front().fib().table_bytes()));
+    std::cout << "replay_fib: " << lookups << " batched LPM lookups in "
+              << stats::fmt(elapsed, 1) << " s ("
+              << stats::fmt(static_cast<double>(lookups) / elapsed / 1e6, 2)
+              << " M lookups/s), digest " << (digest >> 32) << "\n";
+  }
+
   harness.result("peak_rss_mib", peak_rss_mib());
   std::cout << "peak RSS " << stats::fmt(peak_rss_mib(), 1) << " MiB, "
             << stats::fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 1)

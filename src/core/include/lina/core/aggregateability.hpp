@@ -18,6 +18,7 @@ struct AggregateabilityResult {
   std::string router;
   std::size_t complete_entries = 0;  // one per content name with a route
   std::size_t lpm_entries = 0;       // after subsumption
+  std::size_t table_bytes = 0;       // deterministic live-table footprint
 
   /// The paper's aggregateability metric: complete / LPM table size.
   [[nodiscard]] double ratio() const {
@@ -53,7 +54,7 @@ class AggregateabilityAccumulator {
  private:
   struct RouterState {
     const routing::VantageRouter* router;
-    strategy::CachingFibOracle oracle;
+    strategy::FrozenFibOracle oracle;
     names::NameTrie<routing::Port> table;
   };
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,6 +69,11 @@ class DeviceUpdateCostEvaluator {
   // (router, address). Memos are thread-safe, so routers fan out across
   // the lina::exec pool while sharing the evaluator.
   mutable std::vector<exec::Memo<std::uint32_t, routing::Port>> port_memos_;
+  // Lazily-built frozen FIB snapshot per router, so memo misses walk the
+  // flat preorder arena rather than the live trie. Slot r is only touched
+  // by the worker evaluating router r (parallel_map partitions by index),
+  // and FIBs are immutable for the evaluator's lifetime.
+  mutable std::vector<std::optional<routing::FrozenFib>> frozen_fibs_;
 };
 
 /// Evaluates the update cost of *content* mobility (§7.2) under a chosen

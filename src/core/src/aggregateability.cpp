@@ -10,7 +10,7 @@ AggregateabilityAccumulator::AggregateabilityAccumulator(
   states_.reserve(routers.size());
   for (const routing::VantageRouter& router : routers) {
     states_.push_back(std::make_unique<RouterState>(
-        RouterState{&router, strategy::CachingFibOracle(router.fib()), {}}));
+        RouterState{&router, strategy::FrozenFibOracle(router.fib()), {}}));
   }
 }
 
@@ -38,7 +38,7 @@ std::vector<AggregateabilityResult> AggregateabilityAccumulator::finish()
   for (const auto& state : states_) {
     results.push_back(AggregateabilityResult{
         std::string(state->router->name()), state->table.size(),
-        state->table.lpm_compressed_size()});
+        state->table.lpm_compressed_size(), state->table.table_bytes()});
   }
   return results;
 }

@@ -44,29 +44,48 @@ std::vector<DisplacedEntryTimeline> evaluate_displaced_entries(
     throw std::invalid_argument(
         "evaluate_displaced_entries: non-positive interval");
 
+  // The scan only ever asks for ports of home addresses and visit
+  // addresses, and every router needs the same set — so collect the
+  // distinct addresses once (first-seen order keeps this deterministic)
+  // and resolve them per router with one batched pass over a frozen FIB
+  // snapshot instead of memoizing live-trie walks inside the hot loop.
   double horizon = 0.0;
   std::vector<net::Ipv4Address> homes;
   homes.reserve(traces.size());
+  std::vector<net::Ipv4Address> distinct;
+  std::unordered_map<std::uint32_t, std::uint32_t> addr_index;
+  const auto index_of = [&](net::Ipv4Address addr) {
+    const auto [it, inserted] = addr_index.try_emplace(
+        addr.value(), static_cast<std::uint32_t>(distinct.size()));
+    if (inserted) distinct.push_back(addr);
+    return it->second;
+  };
   for (const mobility::DeviceTrace& trace : traces) {
     homes.push_back(trace.dominant_address());
+    index_of(trace.dominant_address());
     for (const mobility::DeviceVisit& visit : trace.visits()) {
+      index_of(visit.address);
       horizon = std::max(horizon, visit.start_hour + visit.duration_hours);
     }
   }
 
   // Per-vantage timelines are independent; fan out across the pool and
-  // return them in router order.
+  // return them in router order. `addr_index` is read-only from here on.
   return exec::parallel_map(routers.size(), [&](std::size_t r) {
     const routing::VantageRouter& router = routers[r];
     DisplacedEntryTimeline timeline;
     timeline.router = std::string(router.name());
     timeline.device_count = traces.size();
 
-    std::unordered_map<std::uint32_t, routing::Port> port_cache;
+    const routing::FrozenFib fib = router.fib().freeze();
+    std::vector<const routing::FibEntry*> hits(distinct.size());
+    fib.entries_for_many(distinct, hits);
+    std::vector<routing::Port> ports(distinct.size(), kNoRoutePort);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      if (hits[i] != nullptr) ports[i] = hits[i]->port;
+    }
     const auto port_of = [&](net::Ipv4Address addr) {
-      const auto [it, inserted] = port_cache.try_emplace(addr.value());
-      if (inserted) it->second = router.port_for(addr).value_or(kNoRoutePort);
-      return it->second;
+      return ports[addr_index.at(addr.value())];
     };
 
     double displaced_sum = 0.0;

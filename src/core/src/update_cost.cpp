@@ -18,7 +18,9 @@ constexpr routing::Port kNoRoutePort =
 
 DeviceUpdateCostEvaluator::DeviceUpdateCostEvaluator(
     std::span<const routing::VantageRouter> routers)
-    : routers_(routers), port_memos_(routers.size()) {}
+    : routers_(routers),
+      port_memos_(routers.size()),
+      frozen_fibs_(routers.size()) {}
 
 std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate(
     std::span<const mobility::DeviceTrace> traces) const {
@@ -41,10 +43,12 @@ std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
   return exec::parallel_map(routers_.size(), [&](std::size_t r) {
     const routing::VantageRouter& router = routers_[r];
     auto& memo = port_memos_[r];
+    if (!frozen_fibs_[r].has_value()) frozen_fibs_[r] = router.fib().freeze();
+    const routing::FrozenFib& fib = *frozen_fibs_[r];
     RouterUpdateStats tally{std::string(router.name()), 0, 0};
     const auto port_of = [&](net::Ipv4Address addr) {
       return memo.get_or_build(addr.value(), [&] {
-        return router.port_for(addr).value_or(kNoRoutePort);
+        return fib.port_for(addr).value_or(kNoRoutePort);
       });
     };
     for (const mobility::DeviceTrace& trace : traces) {
@@ -99,7 +103,7 @@ std::vector<RouterUpdateStats> evaluate_snapshot_series(
   return exec::parallel_map(routers.size(), [&](std::size_t r) {
     const routing::VantageRouter& router = routers[r];
     RouterUpdateStats tally{std::string(router.name()), 0, 0};
-    const strategy::CachingFibOracle oracle(router.fib());
+    const strategy::FrozenFibOracle oracle(router.fib());
     const auto strat = strategy::make_strategy(kind);
     for (const auto& trace : traces) {
       strat->reset();

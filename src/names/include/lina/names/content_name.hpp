@@ -2,6 +2,7 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -40,6 +41,14 @@ class ContentName {
   [[nodiscard]] std::span<const std::string> components() const {
     return components_;
   }
+
+  /// The components as dense interner ids (ComponentInterner::global()),
+  /// hash-consed once at construction: the name tries select children with
+  /// integer probes on these instead of hashing strings per hop. Ids are
+  /// process-local — never persist or compare them across processes.
+  [[nodiscard]] std::span<const std::uint32_t> component_ids() const {
+    return ids_;
+  }
   [[nodiscard]] std::size_t depth() const { return components_.size(); }
   [[nodiscard]] bool empty() const { return components_.empty(); }
 
@@ -63,10 +72,13 @@ class ContentName {
   /// Renders as an NDN-style URI "/a/b/c".
   [[nodiscard]] std::string to_uri() const;
 
+  // Ordering is decided by components_ alone: ids_ is compared only when
+  // the spellings are already equal, and equal spellings imply equal ids.
   friend auto operator<=>(const ContentName&, const ContentName&) = default;
 
  private:
   std::vector<std::string> components_;
+  std::vector<std::uint32_t> ids_;  // parallel to components_
 };
 
 }  // namespace lina::names

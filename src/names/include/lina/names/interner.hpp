@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lina::names {
+
+/// Hash-consing table for name components: each distinct component string
+/// is assigned a dense `uint32_t` id exactly once, after which every
+/// per-hop child selection in the name tries is an integer probe instead
+/// of string hashing/compares.
+///
+/// Interning happens once, at ContentName construction; the process-wide
+/// instance (`ComponentInterner::global()`) is shared by every name FIB so
+/// a name built anywhere can be looked up in any table. Thread-safe:
+/// reads (the overwhelmingly common case once the vocabulary is warm) take
+/// a shared lock; only a first-ever component takes the exclusive lock.
+///
+/// Ids are process-local and assignment-order dependent — they must never
+/// leak into results (the tries only use them for equality probes; any
+/// ordered traversal resolves ids back to spellings first).
+class ComponentInterner {
+ public:
+  ComponentInterner() = default;
+  ComponentInterner(const ComponentInterner&) = delete;
+  ComponentInterner& operator=(const ComponentInterner&) = delete;
+
+  /// The id for `component`, allocating one on first sight.
+  [[nodiscard]] std::uint32_t intern(std::string_view component);
+
+  /// The spelling behind an id; throws std::out_of_range on unknown ids.
+  [[nodiscard]] std::string_view spelling(std::uint32_t id) const;
+
+  /// Number of distinct components interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Approximate bytes retained (spellings + index entries).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// The process-wide interner every ContentName and name FIB shares.
+  [[nodiscard]] static ComponentInterner& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // Deque keeps the string objects (and therefore the views in ids_)
+  // stable under growth.
+  std::deque<std::string> spellings_;
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  std::size_t string_bytes_ = 0;
+};
+
+}  // namespace lina::names

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "lina/names/interner.hpp"
+
 namespace lina::names {
 
 namespace {
@@ -28,8 +30,11 @@ std::vector<std::string> split(std::string_view text, char sep) {
 
 ContentName::ContentName(std::vector<std::string> components)
     : components_(std::move(components)) {
+  ids_.reserve(components_.size());
+  ComponentInterner& interner = ComponentInterner::global();
   for (const auto& c : components_) {
     if (c.empty()) throw std::invalid_argument("ContentName: empty component");
+    ids_.push_back(interner.intern(c));
   }
 }
 

@@ -1,0 +1,49 @@
+#include "lina/names/interner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace lina::names {
+
+std::uint32_t ComponentInterner::intern(std::string_view component) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = ids_.find(component);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = ids_.find(component);
+  if (it != ids_.end()) return it->second;  // raced with another writer
+  const auto id = static_cast<std::uint32_t>(spellings_.size());
+  spellings_.emplace_back(component);
+  ids_.emplace(std::string_view(spellings_.back()), id);
+  string_bytes_ += component.size();
+  return id;
+}
+
+std::string_view ComponentInterner::spelling(std::uint32_t id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= spellings_.size())
+    throw std::out_of_range("ComponentInterner::spelling: unknown id");
+  return spellings_[id];
+}
+
+std::size_t ComponentInterner::size() const {
+  std::shared_lock lock(mutex_);
+  return spellings_.size();
+}
+
+std::size_t ComponentInterner::bytes() const {
+  std::shared_lock lock(mutex_);
+  return string_bytes_ + spellings_.size() * sizeof(std::string) +
+         ids_.size() *
+             (sizeof(std::string_view) + sizeof(std::uint32_t) +
+              2 * sizeof(void*));
+}
+
+ComponentInterner& ComponentInterner::global() {
+  static ComponentInterner instance;
+  return instance;
+}
+
+}  // namespace lina::names

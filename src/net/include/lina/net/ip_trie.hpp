@@ -1,19 +1,35 @@
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
-#include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "lina/net/frozen_ip_trie.hpp"
 #include "lina/net/ipv4.hpp"
 #include "lina/obs/metrics.hpp"
 
 namespace lina::net {
 
-/// A binary trie keyed by IP prefixes supporting longest-prefix-match
-/// lookups — the data structure underlying every FIB in the library.
+/// A path-compressed (Patricia-style) binary trie keyed by IP prefixes with
+/// longest-prefix-match lookups — the data structure underlying every FIB
+/// in the library.
+///
+/// Nodes live in a contiguous `std::vector` arena addressed by 32-bit
+/// indices: no per-node heap allocation, no pointer chasing through
+/// malloc-scattered memory. Each node stores its full prefix (`key`/`len`),
+/// so chains of single-child bit nodes never exist — lookups visit only
+/// branching or valued nodes (at most 33 on any root-to-leaf path instead
+/// of one node per bit). Erase prunes value-less chains back into a
+/// free-list, so memory stays bounded under mobility churn.
+///
+/// Structural invariant: every non-root node either holds a value or has
+/// exactly two children (value-less unary nodes are spliced out), which
+/// bounds live nodes by 2·size() + 1.
 ///
 /// T is the payload stored per prefix (an output port, a next hop, ...).
 /// Operations:
@@ -24,11 +40,15 @@ namespace lina::net {
 ///  - `lpm_compressed_size()`: the number of entries that survive
 ///    longest-prefix-match subsumption (an entry equal to its nearest stored
 ///    ancestor is redundant) — the quantity behind the paper's
-///    aggregateability metric (§3.3.2) applied to IP tables.
+///    aggregateability metric (§3.3.2) applied to IP tables. Maintained
+///    incrementally on every mutation (ancestor/descendant delta at the
+///    mutation point), so reading it is O(1),
+///  - `freeze()`: an immutable FrozenIpTrie snapshot with batched
+///    prefetched lookups for the read-mostly evaluation phases.
 template <typename T>
 class IpTrie {
  public:
-  IpTrie() = default;
+  IpTrie() { arena_.emplace_back(); }
 
   IpTrie(const IpTrie&) = delete;
   IpTrie& operator=(const IpTrie&) = delete;
@@ -38,47 +58,45 @@ class IpTrie {
   /// Inserts or overwrites the value at `prefix`. Returns true if a new
   /// entry was created, false if an existing entry was overwritten.
   bool insert(const Prefix& prefix, T value) {
-    Node* node = descend_or_create(prefix);
-    const bool created = !node->value.has_value();
-    node->value = std::move(value);
+    const std::uint32_t idx = find_or_create(prefix);
+    const bool created = !arena_[idx].value.has_value();
+    assign_value(idx, std::move(value));
     if (created) ++size_;
     obs::metric::ip_trie_inserts().add();
     if (!created) obs::metric::ip_trie_displacements().add();
+    check_compressed_invariant();
     return created;
   }
 
   /// Longest-prefix match: the most specific stored entry containing `addr`.
   [[nodiscard]] std::optional<std::pair<Prefix, T>> lookup(
       Ipv4Address addr) const {
-    const Node* best = nullptr;
-    Prefix best_prefix;
-    const Node* node = root_.get();
-    Prefix path(Ipv4Address(0), 0);
-    unsigned depth = 0;
+    const std::uint32_t a = addr.value();
+    std::uint32_t best = kNil;
+    std::uint32_t idx = 0;
     std::uint64_t visited = 0;
-    while (node != nullptr) {
+    while (idx != kNil) {
+      const Node& n = arena_[idx];
+      if (((a ^ n.key) & prefix_mask(n.len)) != 0) break;
       ++visited;
-      if (node->value.has_value()) {
-        best = node;
-        best_prefix = path;
-      }
-      if (depth == 32) break;
-      const bool bit = addr.bit(depth);
-      path = Prefix(addr, depth + 1);
-      node = bit ? node->one.get() : node->zero.get();
-      ++depth;
+      if (n.value.has_value()) best = idx;
+      if (n.len == 32) break;
+      idx = n.child[bit_at(a, n.len)];
     }
     obs::metric::ip_trie_lpm_lookups().add();
     obs::metric::ip_trie_lpm_node_visits().add(visited);
-    if (best == nullptr) return std::nullopt;
-    return std::make_pair(best_prefix, *best->value);
+    if (best == kNil) return std::nullopt;
+    // The matched prefix is derived once from the winning node — never
+    // materialised per descent step.
+    const Node& b = arena_[best];
+    return std::make_pair(Prefix(Ipv4Address(b.key), b.len), *b.value);
   }
 
   /// Exact-match lookup.
   [[nodiscard]] const T* exact(const Prefix& prefix) const {
-    const Node* node = descend(prefix);
-    return (node != nullptr && node->value.has_value()) ? &*node->value
-                                                        : nullptr;
+    const std::uint32_t idx = descend(prefix);
+    if (idx == kNil || !arena_[idx].value.has_value()) return nullptr;
+    return &*arena_[idx].value;
   }
 
   [[nodiscard]] T* exact(const Prefix& prefix) {
@@ -86,87 +104,362 @@ class IpTrie {
   }
 
   /// Removes the entry at `prefix` if present; returns whether it existed.
-  /// (Interior nodes are left in place; lookups remain correct.)
+  /// Value-less chains left behind are pruned into the free-list so the
+  /// arena stays bounded under insert/erase churn.
   bool erase(const Prefix& prefix) {
-    Node* node = const_cast<Node*>(descend(prefix));
-    if (node == nullptr || !node->value.has_value()) return false;
-    node->value.reset();
+    std::uint32_t stack[34];
+    std::size_t depth = 0;
+    const std::uint32_t idx = descend_recording(prefix, stack, depth);
+    if (idx == kNil || !arena_[idx].value.has_value()) return false;
+    clear_value(idx);
     --size_;
     obs::metric::ip_trie_erases().add();
+    prune(stack, depth);
+    check_compressed_invariant();
     return true;
   }
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  /// Visits every stored (prefix, value) pair in trie order.
+  /// Visits every stored (prefix, value) pair in trie order (shorter
+  /// prefixes before their descendants, zero branch before one branch).
   void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
-    visit_node(root_.get(), Prefix(Ipv4Address(0), 0), fn);
+    visit_node(0, fn);
   }
 
   /// Number of entries remaining after removing entries subsumed by their
-  /// nearest stored ancestor (same payload, as compared by ==).
+  /// nearest stored ancestor (same payload, as compared by ==). O(1): the
+  /// count is maintained incrementally by insert/assign/erase.
   [[nodiscard]] std::size_t lpm_compressed_size() const {
-    return compressed_count(root_.get(), nullptr);
+    return compressed_;
+  }
+
+  /// The O(n) recursive recount of lpm_compressed_size(), kept as the
+  /// reference for the incremental counter (debug builds cross-check every
+  /// mutation against it; the differential test suite does so explicitly).
+  [[nodiscard]] std::size_t lpm_compressed_size_recursive() const {
+    return compressed_count(0, nullptr);
   }
 
   void clear() {
-    root_ = std::make_unique<Node>();
+    arena_.clear();
+    arena_.emplace_back();
+    free_.clear();
     size_ = 0;
+    compressed_ = 0;
+  }
+
+  /// Arena occupancy: nodes currently reachable (excluding free-listed
+  /// slots). At most 2·size() + 1 by the structural invariant.
+  [[nodiscard]] std::size_t live_nodes() const {
+    return arena_.size() - free_.size();
+  }
+
+  /// Slots parked on the erase free-list, awaiting reuse.
+  [[nodiscard]] std::size_t free_nodes() const { return free_.size(); }
+
+  /// Bytes the arena retains from the allocator (capacity, not just live
+  /// nodes) — the `lina.fib.arena_bytes` telemetry source.
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_.capacity() * sizeof(Node) +
+           free_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Bytes needed for the live table alone (live nodes × node size) — the
+  /// deterministic "real memory per table" figure the table-size benches
+  /// report (independent of allocator growth policy).
+  [[nodiscard]] std::size_t table_bytes() const {
+    return live_nodes() * sizeof(Node);
+  }
+
+  /// Emits an immutable snapshot in preorder layout with batch lookups;
+  /// results are bit-identical to live lookups at freeze time.
+  [[nodiscard]] FrozenIpTrie<T> freeze() const {
+    using FNode = typename FrozenIpTrie<T>::Node;
+    std::vector<FNode> nodes;
+    std::vector<T> values;
+    std::vector<Prefix> prefixes;
+    nodes.reserve(live_nodes());
+    values.reserve(size_);
+    prefixes.reserve(size_);
+    freeze_node(0, nodes, values, prefixes);
+    return FrozenIpTrie<T>(std::move(nodes), std::move(values),
+                           std::move(prefixes));
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Node {
+    std::uint32_t key = 0;                  // full prefix bits, host bits 0
+    std::uint32_t child[2] = {kNil, kNil};  // arena indices
+    std::uint8_t len = 0;                   // prefix length 0..32
     std::optional<T> value;
-    std::unique_ptr<Node> zero;
-    std::unique_ptr<Node> one;
   };
 
-  const Node* descend(const Prefix& prefix) const {
-    const Node* node = root_.get();
-    for (unsigned depth = 0; depth < prefix.length() && node != nullptr;
-         ++depth) {
-      node = prefix.network().bit(depth) ? node->one.get() : node->zero.get();
+  /// Bit `i` (0 = most significant) of `key`; requires i < 32.
+  [[nodiscard]] static unsigned bit_at(std::uint32_t key, unsigned i) {
+    return (key >> (31u - i)) & 1u;
+  }
+
+  /// Length of the common prefix of two keys (32 when equal).
+  [[nodiscard]] static unsigned common_len(std::uint32_t a, std::uint32_t b) {
+    return static_cast<unsigned>(std::countl_zero(a ^ b));
+  }
+
+  std::uint32_t allocate(std::uint32_t key, std::uint8_t len) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      arena_[idx] = Node{};
+    } else {
+      idx = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
     }
-    return node;
+    arena_[idx].key = key;
+    arena_[idx].len = len;
+    return idx;
   }
 
-  Node* descend_or_create(const Prefix& prefix) {
-    Node* node = root_.get();
-    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
-      std::unique_ptr<Node>& child =
-          prefix.network().bit(depth) ? node->one : node->zero;
-      if (!child) child = std::make_unique<Node>();
-      node = child.get();
+  /// Exact descent; kNil if the prefix has no node.
+  [[nodiscard]] std::uint32_t descend(const Prefix& prefix) const {
+    const std::uint32_t key = prefix.network().value();
+    const unsigned len = prefix.length();
+    std::uint32_t idx = 0;
+    while (true) {
+      const Node& n = arena_[idx];
+      if (n.len > len) return kNil;
+      if (((key ^ n.key) & prefix_mask(n.len)) != 0) return kNil;
+      if (n.len == len) return idx;
+      const std::uint32_t c = n.child[bit_at(key, n.len)];
+      if (c == kNil) return kNil;
+      idx = c;
     }
-    return node;
   }
 
-  static void visit_node(
-      const Node* node, const Prefix& path,
-      const std::function<void(const Prefix&, const T&)>& fn) {
-    if (node == nullptr) return;
-    if (node->value.has_value()) fn(path, *node->value);
-    if (path.length() == 32) return;
-    visit_node(node->zero.get(), path.left_half(), fn);
-    visit_node(node->one.get(), path.right_half(), fn);
+  /// Exact descent that records the node path (for erase pruning).
+  [[nodiscard]] std::uint32_t descend_recording(const Prefix& prefix,
+                                                std::uint32_t* stack,
+                                                std::size_t& depth) const {
+    const std::uint32_t key = prefix.network().value();
+    const unsigned len = prefix.length();
+    std::uint32_t idx = 0;
+    while (true) {
+      const Node& n = arena_[idx];
+      if (n.len > len) return kNil;
+      if (((key ^ n.key) & prefix_mask(n.len)) != 0) return kNil;
+      stack[depth++] = idx;
+      if (n.len == len) return idx;
+      const std::uint32_t c = n.child[bit_at(key, n.len)];
+      if (c == kNil) return kNil;
+      idx = c;
+    }
   }
 
-  static std::size_t compressed_count(const Node* node,
-                                      const T* inherited) {
-    if (node == nullptr) return 0;
+  /// Finds the node for `prefix`, creating (leaf / proper-prefix parent /
+  /// split) nodes as needed. Returns its index; never touches values.
+  std::uint32_t find_or_create(const Prefix& prefix) {
+    const std::uint32_t key = prefix.network().value();
+    const unsigned len = prefix.length();
+    std::uint32_t idx = 0;
+    while (true) {
+      // Invariant: arena_[idx] is a (non-strict) prefix of (key, len).
+      if (arena_[idx].len == len) return idx;
+      const unsigned branch = bit_at(key, arena_[idx].len);
+      const std::uint32_t c = arena_[idx].child[branch];
+      if (c == kNil) {
+        const std::uint32_t leaf = allocate(key, static_cast<std::uint8_t>(len));
+        arena_[idx].child[branch] = leaf;  // allocate() may move the arena
+        return leaf;
+      }
+      const std::uint32_t child_key = arena_[c].key;
+      const unsigned child_len = arena_[c].len;
+      const unsigned cpl =
+          std::min({child_len, len, common_len(child_key, key)});
+      if (cpl == child_len) {  // child is a prefix of the target: descend
+        idx = c;
+        continue;
+      }
+      if (cpl == len) {
+        // Target is a proper prefix of the child: interpose the target.
+        const std::uint32_t mid = allocate(key, static_cast<std::uint8_t>(len));
+        arena_[mid].child[bit_at(child_key, len)] = c;
+        arena_[idx].child[branch] = mid;
+        return mid;
+      }
+      // Keys diverge below both: split with a value-less branch node.
+      const std::uint32_t mid =
+          allocate(key & prefix_mask(cpl), static_cast<std::uint8_t>(cpl));
+      const std::uint32_t leaf = allocate(key, static_cast<std::uint8_t>(len));
+      arena_[mid].child[bit_at(child_key, cpl)] = c;
+      arena_[mid].child[bit_at(key, cpl)] = leaf;
+      arena_[idx].child[branch] = mid;
+      return leaf;
+    }
+  }
+
+  /// Splices value-less unary/leaf nodes out of the path recorded by
+  /// descend_recording (stack[depth-1] is the erased node).
+  void prune(const std::uint32_t* stack, std::size_t depth) {
+    while (depth > 1) {
+      const std::uint32_t idx = stack[--depth];
+      Node& n = arena_[idx];
+      if (n.value.has_value()) return;
+      const std::uint32_t parent = stack[depth - 1];
+      const unsigned branch = bit_at(n.key, arena_[parent].len);
+      const bool has0 = n.child[0] != kNil;
+      const bool has1 = n.child[1] != kNil;
+      if (has0 && has1) return;  // still a branch node: keep
+      // Unary: splice the lone child through; leaf: detach entirely.
+      arena_[parent].child[branch] =
+          has0 ? n.child[0] : (has1 ? n.child[1] : kNil);
+      n.value.reset();
+      free_.push_back(idx);
+      if (has0 || has1) return;  // parent's child count unchanged
+    }
+  }
+
+  // --- incremental lpm_compressed_size maintenance -----------------------
+
+  [[nodiscard]] static std::size_t contribution(const std::optional<T>& value,
+                                                const T* above) {
+    if (!value.has_value()) return 0;
+    return (above == nullptr || !(*above == *value)) ? 1 : 0;
+  }
+
+  /// Nearest valued strict ancestor of `idx` (nullptr if none). O(path).
+  [[nodiscard]] const T* ancestor_value(std::uint32_t idx) const {
+    const std::uint32_t key = arena_[idx].key;
+    const T* above = nullptr;
+    std::uint32_t cur = 0;
+    while (cur != idx) {
+      const Node& n = arena_[cur];
+      if (n.value.has_value()) above = &*n.value;
+      cur = n.child[bit_at(key, n.len)];
+    }
+    return above;
+  }
+
+  /// Sum of subsumption contributions over the valued frontier of `idx`:
+  /// the valued descendants with no other valued node between them and
+  /// `idx` (exactly the entries whose nearest stored ancestor is `idx`
+  /// when `idx` holds a value, or `idx`'s own ancestor otherwise).
+  [[nodiscard]] std::size_t frontier_contribution(std::uint32_t idx,
+                                                  const T* above) const {
+    std::size_t sum = 0;
+    scratch_.clear();
+    const Node& root = arena_[idx];
+    if (root.child[0] != kNil) scratch_.push_back(root.child[0]);
+    if (root.child[1] != kNil) scratch_.push_back(root.child[1]);
+    while (!scratch_.empty()) {
+      const std::uint32_t c = scratch_.back();
+      scratch_.pop_back();
+      const Node& n = arena_[c];
+      if (n.value.has_value()) {
+        sum += contribution(n.value, above);
+        continue;  // deeper entries inherit from this node, not from idx
+      }
+      if (n.child[0] != kNil) scratch_.push_back(n.child[0]);
+      if (n.child[1] != kNil) scratch_.push_back(n.child[1]);
+    }
+    return sum;
+  }
+
+  /// Applies a value write at `idx`, updating `compressed_` by the local
+  /// ancestor/descendant delta.
+  void assign_value(std::uint32_t idx, T value) {
+    const T* above = ancestor_value(idx);
+    Node& n = arena_[idx];
+    const T* effective_before =
+        n.value.has_value() ? &*n.value : above;
+    std::size_t before = contribution(n.value, above) +
+                         frontier_contribution(idx, effective_before);
+    n.value = std::move(value);
+    // n is still valid: frontier/ancestor walks never allocate.
+    std::size_t after = contribution(arena_[idx].value, above) +
+                        frontier_contribution(idx, &*arena_[idx].value);
+    compressed_ += after;
+    compressed_ -= before;
+  }
+
+  /// Clears the value at `idx`, updating `compressed_` likewise.
+  void clear_value(std::uint32_t idx) {
+    const T* above = ancestor_value(idx);
+    Node& n = arena_[idx];
+    const std::size_t before = contribution(n.value, above) +
+                               frontier_contribution(idx, &*n.value);
+    n.value.reset();
+    const std::size_t after = frontier_contribution(idx, above);
+    compressed_ += after;
+    compressed_ -= before;
+  }
+
+  void check_compressed_invariant() const {
+#ifndef NDEBUG
+    assert(compressed_ == lpm_compressed_size_recursive());
+#endif
+  }
+
+  // --- traversal ---------------------------------------------------------
+
+  void visit_node(std::uint32_t idx,
+                  const std::function<void(const Prefix&, const T&)>& fn)
+      const {
+    if (idx == kNil) return;
+    const Node& n = arena_[idx];
+    if (n.value.has_value()) fn(Prefix(Ipv4Address(n.key), n.len), *n.value);
+    visit_node(n.child[0], fn);
+    visit_node(n.child[1], fn);
+  }
+
+  [[nodiscard]] std::size_t compressed_count(std::uint32_t idx,
+                                             const T* inherited) const {
+    if (idx == kNil) return 0;
+    const Node& n = arena_[idx];
     std::size_t count = 0;
     const T* effective = inherited;
-    if (node->value.has_value()) {
-      if (inherited == nullptr || !(*inherited == *node->value)) ++count;
-      effective = &*node->value;
+    if (n.value.has_value()) {
+      count = contribution(n.value, inherited);
+      effective = &*n.value;
     }
-    return count + compressed_count(node->zero.get(), effective) +
-           compressed_count(node->one.get(), effective);
+    return count + compressed_count(n.child[0], effective) +
+           compressed_count(n.child[1], effective);
   }
 
-  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  /// Preorder copy into the frozen layout. Returns the new node's index.
+  std::uint32_t freeze_node(std::uint32_t idx,
+                            std::vector<typename FrozenIpTrie<T>::Node>& nodes,
+                            std::vector<T>& values,
+                            std::vector<Prefix>& prefixes) const {
+    const Node& n = arena_[idx];
+    const std::uint32_t self = static_cast<std::uint32_t>(nodes.size());
+    nodes.emplace_back();
+    nodes[self].key = n.key;
+    nodes[self].len = n.len;
+    if (n.value.has_value()) {
+      nodes[self].value_slot = static_cast<std::uint32_t>(values.size());
+      values.push_back(*n.value);
+      prefixes.emplace_back(Ipv4Address(n.key), n.len);
+    }
+    if (n.child[0] != kNil) {
+      const std::uint32_t c = freeze_node(n.child[0], nodes, values, prefixes);
+      nodes[self].child0 = c;
+    }
+    if (n.child[1] != kNil) {
+      const std::uint32_t c = freeze_node(n.child[1], nodes, values, prefixes);
+      nodes[self].child1 = c;
+    }
+    return self;
+  }
+
+  std::vector<Node> arena_;          // [0] is the root (len 0)
+  std::vector<std::uint32_t> free_;  // recycled slots from erase pruning
   std::size_t size_ = 0;
+  std::size_t compressed_ = 0;  // incremental lpm_compressed_size()
+  // Reused DFS stack for the frontier walks (no per-mutation allocation).
+  mutable std::vector<std::uint32_t> scratch_;
 };
 
 }  // namespace lina::net

@@ -45,6 +45,13 @@ LINA_OBS_COUNTER(name_trie_displacements,
                  "lina.names.name_trie.displacements")
 LINA_OBS_COUNTER(name_trie_erases, "lina.names.name_trie.erases")
 
+// FIB storage footprint (arena capacities and the shared component
+// interner), refreshed whenever a table is frozen or a bench samples it.
+LINA_OBS_GAUGE(fib_arena_bytes, "lina.fib.arena_bytes")
+LINA_OBS_GAUGE(name_fib_arena_bytes, "lina.fib.name_arena_bytes")
+LINA_OBS_GAUGE(name_interner_entries, "lina.names.interner.entries")
+LINA_OBS_GAUGE(name_interner_bytes, "lina.names.interner.bytes")
+
 // Forwarding fabric (per-hop forwarding and failure reroutes).
 LINA_OBS_COUNTER(fabric_next_hop_queries, "lina.sim.fabric.next_hop_queries")
 LINA_OBS_COUNTER(fabric_detour_hops, "lina.sim.fabric.detour_hops")

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <span>
 #include <utility>
 
+#include "lina/net/frozen_ip_trie.hpp"
 #include "lina/net/ip_trie.hpp"
 #include "lina/net/ipv4.hpp"
 #include "lina/routing/rib.hpp"
@@ -28,6 +30,48 @@ struct FibEntry {
 /// which member of an address set to forward toward (mirrors
 /// `route_preferred` minus local-pref, which FIBs do not retain).
 [[nodiscard]] bool entry_preferred(const FibEntry& a, const FibEntry& b);
+
+/// An immutable snapshot of a Fib for read-mostly phases: same
+/// longest-prefix-match results as the source table at freeze time, plus a
+/// software-prefetched batch `entries_for_many` that keeps several
+/// independent descents in flight per cache-miss window. Built by
+/// Fib::freeze().
+class FrozenFib {
+ public:
+  FrozenFib() = default;
+  explicit FrozenFib(net::FrozenIpTrie<FibEntry> trie)
+      : trie_(std::move(trie)) {}
+
+  /// Longest-prefix match; nullopt if no entry covers the address.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, FibEntry>> lookup(
+      net::Ipv4Address addr) const {
+    return trie_.lookup(addr);
+  }
+
+  /// LPM payload only — no Prefix materialisation; nullptr if uncovered.
+  [[nodiscard]] const FibEntry* entry_for(net::Ipv4Address addr) const {
+    return trie_.lookup_value(addr);
+  }
+
+  /// The forwarding port for an address, or nullopt if uncovered.
+  [[nodiscard]] std::optional<Port> port_for(net::Ipv4Address addr) const {
+    const FibEntry* e = trie_.lookup_value(addr);
+    if (e == nullptr) return std::nullopt;
+    return e->port;
+  }
+
+  /// Batch LPM: out[i] = entry_for(addrs[i]); sizes must match.
+  void entries_for_many(std::span<const net::Ipv4Address> addrs,
+                        std::span<const FibEntry*> out) const {
+    trie_.lookup_many(addrs, out);
+  }
+
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+  [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+ private:
+  net::FrozenIpTrie<FibEntry> trie_;
+};
 
 /// A forwarding information base: longest-prefix-match table from IP
 /// prefixes to selected forwarding entries.
@@ -59,6 +103,19 @@ class Fib {
   /// Number of distinct output ports — the "next-hop degree" the paper uses
   /// to explain cross-router differences in update rate (§6.2.2).
   [[nodiscard]] std::size_t next_hop_degree() const;
+
+  /// Immutable batched-lookup snapshot (also refreshes the
+  /// lina.fib.arena_bytes gauge).
+  [[nodiscard]] FrozenFib freeze() const;
+
+  /// Bytes retained from the allocator by the live trie arena.
+  [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+  /// Deterministic live-table bytes (live nodes × node size) — what the
+  /// table-size benches report.
+  [[nodiscard]] std::size_t table_bytes() const { return trie_.table_bytes(); }
+
+  [[nodiscard]] std::size_t live_nodes() const { return trie_.live_nodes(); }
 
   /// Visits all entries.
   void visit(const std::function<void(const net::Prefix&, const FibEntry&)>&

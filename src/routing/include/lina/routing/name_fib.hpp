@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "lina/names/content_name.hpp"
 #include "lina/names/name_trie.hpp"
@@ -18,6 +19,36 @@ namespace lina::routing {
 /// the bits keep being served from the same place — Q must install the
 /// exception [/Disney/StarWarsIV -> 5] iff its LPM ports for the old and
 /// new names differ.
+/// Immutable snapshot of a NameFib with batch lookups; results are
+/// bit-identical to the live table at freeze time. Built by
+/// NameFib::freeze().
+class FrozenNameFib {
+ public:
+  FrozenNameFib() = default;
+  explicit FrozenNameFib(names::FrozenNameTrie<Port> trie)
+      : trie_(std::move(trie)) {}
+
+  /// Longest-matching-prefix port for `name`; nullopt if uncovered.
+  [[nodiscard]] std::optional<Port> port_for(
+      const names::ContentName& name) const {
+    const Port* p = trie_.lookup_value(name);
+    if (p == nullptr) return std::nullopt;
+    return *p;
+  }
+
+  /// Batch LPM: out[i] = port pointer for names[i] (nullptr if uncovered).
+  void ports_for_many(std::span<const names::ContentName> names,
+                      std::span<const Port*> out) const {
+    trie_.lookup_many(names, out);
+  }
+
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+  [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+ private:
+  names::FrozenNameTrie<Port> trie_;
+};
+
 class NameFib {
  public:
   /// Announces a name prefix on an output port (overwrites on repeat).
@@ -49,6 +80,16 @@ class NameFib {
   [[nodiscard]] std::size_t lpm_compressed_size() const {
     return trie_.lpm_compressed_size();
   }
+
+  /// Immutable batched-lookup snapshot (also refreshes the
+  /// lina.fib.name_arena_bytes gauge).
+  [[nodiscard]] FrozenNameFib freeze() const;
+
+  /// Bytes retained from the allocator by the live trie arena + edge table.
+  [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+  /// Deterministic live-table bytes — what the table-size benches report.
+  [[nodiscard]] std::size_t table_bytes() const { return trie_.table_bytes(); }
 
  private:
   names::NameTrie<Port> trie_;

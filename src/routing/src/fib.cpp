@@ -1,5 +1,7 @@
 #include "lina/routing/fib.hpp"
 
+#include "lina/obs/metrics.hpp"
+
 namespace lina::routing {
 
 bool entry_preferred(const FibEntry& a, const FibEntry& b) {
@@ -37,6 +39,12 @@ std::optional<Port> Fib::port_for(net::Ipv4Address addr) const {
   const auto hit = trie_.lookup(addr);
   if (!hit.has_value()) return std::nullopt;
   return hit->second.port;
+}
+
+FrozenFib Fib::freeze() const {
+  obs::metric::fib_arena_bytes().set(
+      static_cast<double>(trie_.arena_bytes()));
+  return FrozenFib(trie_.freeze());
 }
 
 std::size_t Fib::next_hop_degree() const {

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "lina/names/interner.hpp"
+#include "lina/obs/metrics.hpp"
+
 namespace lina::routing {
 
 void NameFib::announce(const names::ContentName& prefix, Port port) {
@@ -13,9 +16,20 @@ bool NameFib::withdraw(const names::ContentName& prefix) {
 }
 
 std::optional<Port> NameFib::port_for(const names::ContentName& name) const {
-  const auto hit = trie_.lookup(name);
-  if (!hit.has_value()) return std::nullopt;
-  return hit->second;
+  const Port* p = trie_.lookup_value(name);
+  if (p == nullptr) return std::nullopt;
+  return *p;
+}
+
+FrozenNameFib NameFib::freeze() const {
+  obs::metric::name_fib_arena_bytes().set(
+      static_cast<double>(trie_.arena_bytes()));
+  const names::ComponentInterner& interner = names::ComponentInterner::global();
+  obs::metric::name_interner_entries().set(
+      static_cast<double>(interner.size()));
+  obs::metric::name_interner_bytes().set(
+      static_cast<double>(interner.bytes()));
+  return FrozenNameFib(trie_.freeze());
 }
 
 bool NameFib::process_rename(const names::ContentName& from,

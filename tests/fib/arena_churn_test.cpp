@@ -1,0 +1,120 @@
+// Memory-stabilization regression tests for the arena tries: erase must
+// recycle pruned nodes through the free-list so that repeated
+// insert/erase churn reuses slots instead of growing the arena without
+// bound (the pre-arena IpTrie left dead interior chains behind forever).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lina/names/content_name.hpp"
+#include "lina/names/name_trie.hpp"
+#include "lina/net/ip_trie.hpp"
+#include "lina/net/ipv4.hpp"
+
+namespace {
+
+using lina::names::ContentName;
+using lina::names::NameTrie;
+using lina::net::IpTrie;
+using lina::net::Ipv4Address;
+using lina::net::Prefix;
+
+std::vector<Prefix> churn_prefixes(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::vector<Prefix> prefixes;
+  prefixes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned length = 8 + static_cast<unsigned>(rng() % 17);
+    prefixes.emplace_back(
+        Ipv4Address(static_cast<std::uint32_t>(rng())), length);
+  }
+  return prefixes;
+}
+
+TEST(IpTrieArenaChurnTest, EraseReclaimsNodesToFreeList) {
+  IpTrie<int> trie;
+  const auto prefixes = churn_prefixes(99, 512);
+  for (const Prefix& p : prefixes) trie.insert(p, 1);
+  const std::size_t loaded_live = trie.live_nodes();
+  for (const Prefix& p : prefixes) trie.erase(p);
+  EXPECT_EQ(trie.size(), 0u);
+  // Everything except the permanent root has been pruned and recycled.
+  EXPECT_EQ(trie.live_nodes(), 1u);
+  EXPECT_GE(trie.free_nodes(), loaded_live - 1);
+}
+
+TEST(IpTrieArenaChurnTest, RepeatedChurnDoesNotGrowTheArena) {
+  IpTrie<int> trie;
+  const auto prefixes = churn_prefixes(7, 1024);
+  std::size_t settled_bytes = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (const Prefix& p : prefixes) trie.insert(p, cycle);
+    for (const Prefix& p : prefixes) trie.erase(p);
+    if (cycle == 0) {
+      settled_bytes = trie.arena_bytes();
+    } else {
+      // Later cycles replay the same shapes out of the free-list: the
+      // arena footprint must stay exactly where cycle 0 left it.
+      EXPECT_EQ(trie.arena_bytes(), settled_bytes) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(IpTrieArenaChurnTest, LiveNodesStayWithinStructuralBound) {
+  IpTrie<int> trie;
+  std::mt19937_64 rng(3);
+  const auto prefixes = churn_prefixes(3, 2048);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.insert(prefixes[i], static_cast<int>(i % 5));
+    if (rng() % 3 == 0) trie.erase(prefixes[rng() % (i + 1)]);
+    ASSERT_LE(trie.live_nodes(), 2 * trie.size() + 1);
+  }
+}
+
+std::vector<ContentName> churn_names(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::vector<ContentName> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t depth = 1 + rng() % 5;
+    std::vector<std::string> parts;
+    for (std::size_t d = 0; d < depth; ++d) {
+      parts.push_back("n" + std::to_string(rng() % 32));
+    }
+    names.emplace_back(std::move(parts));
+  }
+  return names;
+}
+
+TEST(NameTrieArenaChurnTest, EraseReclaimsNodesToFreeList) {
+  NameTrie<int> trie;
+  const auto names = churn_names(42, 512);
+  for (const ContentName& n : names) trie.insert(n, 1);
+  const std::size_t loaded_live = trie.live_nodes();
+  for (const ContentName& n : names) trie.erase(n);
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.live_nodes(), 1u);
+  EXPECT_GE(trie.free_nodes(), loaded_live - 1);
+}
+
+TEST(NameTrieArenaChurnTest, RepeatedChurnDoesNotGrowTheArena) {
+  NameTrie<int> trie;
+  const auto names = churn_names(5, 1024);
+  std::size_t settled_nodes = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (const ContentName& n : names) trie.insert(n, cycle);
+    for (const ContentName& n : names) trie.erase(n);
+    const std::size_t total = trie.live_nodes() + trie.free_nodes();
+    if (cycle == 0) {
+      settled_nodes = total;
+    } else {
+      EXPECT_EQ(total, settled_nodes) << "cycle " << cycle;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Randomized differential suite for the arena-backed LPM engines: replays
+// seeded operation streams against the production tries and the reference
+// (pre-optimisation) implementations in tests/support/reference_tries.hpp
+// and asserts every observable agrees — lookups, exact matches, erases,
+// visitation order, and the incrementally-maintained
+// lpm_compressed_size() against both the recursive recount and the
+// reference's recount. Frozen snapshots are checked against their source
+// tables, including the batched lookup_many path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lina/names/content_name.hpp"
+#include "lina/names/name_trie.hpp"
+#include "lina/net/ip_trie.hpp"
+#include "lina/net/ipv4.hpp"
+#include "reference_tries.hpp"
+
+namespace {
+
+using lina::names::ContentName;
+using lina::names::NameTrie;
+using lina::net::IpTrie;
+using lina::net::Ipv4Address;
+using lina::net::Prefix;
+using lina::testref::LegacyIpTrie;
+using lina::testref::LegacyNameTrie;
+
+constexpr std::size_t kOps = 100000;
+constexpr std::size_t kAuditEvery = 4096;  // full-table audits are O(n)
+
+Prefix random_prefix(std::mt19937_64& rng) {
+  // Lengths cluster around /16../24 like real tables; a narrow address
+  // pool forces nesting, overwrites and erase collisions.
+  const unsigned length = 8 + static_cast<unsigned>(rng() % 17);
+  const auto addr = static_cast<std::uint32_t>(rng() % (1u << 20)) << 12;
+  return Prefix(Ipv4Address(addr), length);
+}
+
+Ipv4Address random_addr(std::mt19937_64& rng) {
+  return Ipv4Address(static_cast<std::uint32_t>(rng() % (1u << 20)) << 12);
+}
+
+class IpTrieDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+void audit_ip(const IpTrie<int>& trie, const LegacyIpTrie<int>& ref) {
+  ASSERT_EQ(trie.size(), ref.size());
+  ASSERT_EQ(trie.lpm_compressed_size(), trie.lpm_compressed_size_recursive());
+  ASSERT_EQ(trie.lpm_compressed_size(), ref.lpm_compressed_size());
+  // Structural bound: a path-compressed trie with n entries has at most
+  // n leaves + n-1 branch points + the root.
+  ASSERT_LE(trie.live_nodes(), 2 * trie.size() + 1);
+
+  std::vector<std::pair<Prefix, int>> got;
+  std::vector<std::pair<Prefix, int>> want;
+  trie.visit([&](const Prefix& p, int v) { got.emplace_back(p, v); });
+  ref.visit([&](const Prefix& p, int v) { want.emplace_back(p, v); });
+  ASSERT_EQ(got, want);
+
+  const auto frozen = trie.freeze();
+  ASSERT_EQ(frozen.size(), trie.size());
+  std::vector<Ipv4Address> addrs;
+  std::mt19937_64 probe_rng(trie.size() * 2654435761u + 17);
+  for (int i = 0; i < 64; ++i) addrs.push_back(random_addr(probe_rng));
+  std::vector<const int*> batch(addrs.size());
+  frozen.lookup_many(addrs, batch);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const auto live = trie.lookup(addrs[i]);
+    const auto one = frozen.lookup(addrs[i]);
+    ASSERT_EQ(live, one);
+    ASSERT_EQ(live, ref.lookup(addrs[i]));
+    if (live.has_value()) {
+      ASSERT_NE(batch[i], nullptr);
+      ASSERT_EQ(*batch[i], live->second);
+    } else {
+      ASSERT_EQ(batch[i], nullptr);
+    }
+  }
+}
+
+TEST_P(IpTrieDifferentialTest, MatchesReferenceOverRandomOps) {
+  std::mt19937_64 rng(GetParam());
+  IpTrie<int> trie;
+  LegacyIpTrie<int> ref;
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    const auto kind = rng() % 10;
+    if (kind < 5) {
+      const Prefix p = random_prefix(rng);
+      // Few distinct values so ancestors frequently subsume descendants.
+      const int value = static_cast<int>(rng() % 4);
+      ASSERT_EQ(trie.insert(p, value), ref.insert(p, value));
+    } else if (kind < 7) {
+      const Prefix p = random_prefix(rng);
+      ASSERT_EQ(trie.erase(p), ref.erase(p));
+    } else if (kind < 9) {
+      const Ipv4Address a = random_addr(rng);
+      ASSERT_EQ(trie.lookup(a), ref.lookup(a));
+    } else {
+      const Prefix p = random_prefix(rng);
+      const int* got = trie.exact(p);
+      const int* want = ref.exact(p);
+      ASSERT_EQ(got != nullptr, want != nullptr);
+      if (got != nullptr) ASSERT_EQ(*got, *want);
+    }
+    ASSERT_EQ(trie.size(), ref.size());
+    if ((op + 1) % kAuditEvery == 0) audit_ip(trie, ref);
+  }
+  audit_ip(trie, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpTrieDifferentialTest,
+                         ::testing::Values(1u, 7u, 1337u));
+
+ContentName random_name(std::mt19937_64& rng) {
+  // ~40 distinct components over depth 1..4: deep nesting and frequent
+  // shared prefixes, so subsumption and pruning both get exercised.
+  const std::size_t depth = 1 + rng() % 4;
+  std::vector<std::string> parts;
+  parts.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    parts.push_back("c" + std::to_string(rng() % 10 + 10 * i));
+  }
+  return ContentName(std::move(parts));
+}
+
+class NameTrieDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+void audit_name(const NameTrie<int>& trie, const LegacyNameTrie<int>& ref) {
+  ASSERT_EQ(trie.size(), ref.size());
+  ASSERT_EQ(trie.lpm_compressed_size(), trie.lpm_compressed_size_recursive());
+  ASSERT_EQ(trie.lpm_compressed_size(), ref.lpm_compressed_size());
+
+  std::vector<std::pair<ContentName, int>> got;
+  std::vector<std::pair<ContentName, int>> want;
+  trie.visit([&](const ContentName& n, int v) { got.emplace_back(n, v); });
+  ref.visit([&](const ContentName& n, int v) { want.emplace_back(n, v); });
+  ASSERT_EQ(got, want);
+
+  const auto frozen = trie.freeze();
+  ASSERT_EQ(frozen.size(), trie.size());
+  std::vector<ContentName> names;
+  std::mt19937_64 probe_rng(trie.size() * 2654435761u + 29);
+  for (int i = 0; i < 64; ++i) names.push_back(random_name(probe_rng));
+  std::vector<const int*> batch(names.size());
+  frozen.lookup_many(names, batch);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const int* live = trie.lookup_value(names[i]);
+    const int* one = frozen.lookup_value(names[i]);
+    const int* want_value = ref.lookup_value(names[i]);
+    // Frozen snapshots copy the payloads, so compare values, not pointers.
+    ASSERT_EQ(live != nullptr, want_value != nullptr);
+    ASSERT_EQ(live != nullptr, one != nullptr);
+    ASSERT_EQ(batch[i], one);  // batch and scalar walk the same snapshot
+    if (live != nullptr) {
+      ASSERT_EQ(*live, *want_value);
+      ASSERT_EQ(*live, *one);
+    }
+  }
+}
+
+TEST_P(NameTrieDifferentialTest, MatchesReferenceOverRandomOps) {
+  std::mt19937_64 rng(GetParam());
+  NameTrie<int> trie;
+  LegacyNameTrie<int> ref;
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    const auto kind = rng() % 10;
+    if (kind < 5) {
+      const ContentName n = random_name(rng);
+      const int value = static_cast<int>(rng() % 4);
+      ASSERT_EQ(trie.insert(n, value), ref.insert(n, value));
+    } else if (kind < 7) {
+      const ContentName n = random_name(rng);
+      ASSERT_EQ(trie.erase(n), ref.erase(n));
+    } else if (kind < 9) {
+      const ContentName n = random_name(rng);
+      ASSERT_EQ(trie.lookup(n), ref.lookup(n));
+    } else {
+      const ContentName n = random_name(rng);
+      const int* got = trie.exact(n);
+      const int* want = ref.exact(n);
+      ASSERT_EQ(got != nullptr, want != nullptr);
+      if (got != nullptr) ASSERT_EQ(*got, *want);
+    }
+    ASSERT_EQ(trie.size(), ref.size());
+    if ((op + 1) % kAuditEvery == 0) audit_name(trie, ref);
+  }
+  audit_name(trie, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameTrieDifferentialTest,
+                         ::testing::Values(2u, 11u, 4242u));
+
+}  // namespace
