@@ -7,13 +7,25 @@ Exit status 0 when the candidate's headline `results` block matches the
 baseline exactly (the lina::exec determinism contract: the same bench at
 any --threads value must produce byte-identical headline numbers); 1 on
 any drift, with a per-key report. Per-phase wall times are expected to
-differ — they are reported as a speedup table, never compared.
+differ — they are reported as a speedup table, never compared. Result
+keys that are themselves timings or machine-dependent rates (suffixes
+`_ms`, `_per_sec`, `_mib` — e.g. snapshot_load_ms, peak_rss_mib) are
+likewise reported but never gated.
 
 Stdlib only, so the check runs anywhere the repo builds.
 """
 
 import json
 import sys
+
+# Headline keys with these suffixes measure wall time, throughput, or
+# memory — legitimate run-to-run variation, never byte-identical. They
+# are shown for information and excluded from the drift gate.
+TIMING_SUFFIXES = ("_ms", "_per_sec", "_mib")
+
+
+def is_timing_key(key):
+    return key.endswith(TIMING_SUFFIXES)
 
 
 def load(path):
@@ -33,15 +45,19 @@ def load(path):
 
 
 def compare_results(base, cand):
-    drift = []
+    drift, timing = [], []
     for key in sorted(set(base) | set(cand)):
-        if key not in base:
+        if is_timing_key(key):
+            timing.append(
+                f"  . {key}: {base.get(key, '-')!r} vs {cand.get(key, '-')!r}"
+            )
+        elif key not in base:
             drift.append(f"  + {key} = {cand[key]!r} (absent in baseline)")
         elif key not in cand:
             drift.append(f"  - {key} = {base[key]!r} (absent in candidate)")
         elif base[key] != cand[key]:
             drift.append(f"  ~ {key}: {base[key]!r} -> {cand[key]!r}")
-    return drift
+    return drift, timing
 
 
 def phase_table(base, cand):
@@ -79,12 +95,16 @@ def main(argv):
         for phase, b, c, s in rows:
             print(f"  {phase:<16} {b:>10.1f} {c:>10.1f} {s:>7.2f}x")
 
-    drift = compare_results(base["results"], cand["results"])
+    drift, timing = compare_results(base["results"], cand["results"])
+    if timing:
+        print("timing/rate keys (informational, never gated):")
+        print("\n".join(timing))
     if drift:
         print("HEADLINE DRIFT — results blocks differ:")
         print("\n".join(drift))
         return 1
-    print(f"headline results identical ({len(base['results'])} keys)")
+    gated = sum(1 for k in base["results"] if not is_timing_key(k))
+    print(f"headline results identical ({gated} gated keys)")
     return 0
 
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common.hpp"
+#include "lina/snap/store.hpp"
 #include "lina/trace/cursor.hpp"
 #include "lina/trace/replay.hpp"
 
@@ -197,9 +198,10 @@ int main(int argc, char** argv) {
   // order-sensitive and architecture-independent, so it pins the lookup
   // results bit-for-bit across runs and thread counts.
   harness.phase("replay_fib");
-  {
-    const auto start = std::chrono::steady_clock::now();
-    const routing::FrozenFib fib = internet.vantages().front().fib().freeze();
+  // Streams every visit address through the given frozen FIB with batched
+  // (prefetched) LPM lookups; returns {digest, lookups}. The digest is
+  // order-sensitive, so equal digests mean bit-identical lookup results.
+  const auto fib_replay = [&set](const routing::FrozenFib& fib) {
     trace::DeviceTraceStream stream(set);
     std::uint64_t digest = 1469598103934665603ULL;
     std::uint64_t lookups = 0;
@@ -220,6 +222,14 @@ int main(int argc, char** argv) {
       }
       lookups += addrs.size();
     }
+    return std::pair<std::uint64_t, std::uint64_t>{digest, lookups};
+  };
+  std::uint64_t fib_digest = 0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const routing::FrozenFib fib = internet.vantages().front().fib().freeze();
+    const auto [digest, lookups] = fib_replay(fib);
+    fib_digest = digest;
     const double elapsed = seconds_since(start);
     harness.result("fib_lookups_per_sec",
                    static_cast<double>(lookups) / elapsed);
@@ -231,6 +241,53 @@ int main(int argc, char** argv) {
               << stats::fmt(elapsed, 1) << " s ("
               << stats::fmt(static_cast<double>(lookups) / elapsed / 1e6, 2)
               << " M lookups/s), digest " << (digest >> 32) << "\n";
+  }
+
+  // Warm start: persist the vantage FIB with lina::snap, reload it, and
+  // replay the same address stream through the loaded copy. The digest
+  // must match replay_fib bit-for-bit — a snapshot that forwards even one
+  // packet differently is a failure, not a drift.
+  harness.phase("warm_start");
+  {
+    const fs::path dir =
+        (harness.out_dir().empty() ? fs::temp_directory_path()
+                                   : fs::path(harness.out_dir())) /
+        ("scale-snap-" + std::to_string(users));
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+    std::uint64_t snapshot_bytes = 0;
+    {
+      snap::SnapshotStore store(dir);
+      snapshot_bytes =
+          store
+              .save_ip_fib("vantage-0",
+                           internet.vantages().front().fib().freeze())
+              .bytes;
+    }
+    const auto load_start = std::chrono::steady_clock::now();
+    const routing::FrozenFib loaded = [&] {
+      const snap::SnapshotStore store(dir);
+      return store.load_ip_fib("vantage-0");
+    }();
+    const double load_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - load_start)
+            .count();
+    const auto [digest, lookups] = fib_replay(loaded);
+    if (digest != fib_digest) {
+      std::cerr << "warm_start: reloaded FIB digest " << (digest >> 32)
+                << " != live digest " << (fib_digest >> 32) << "\n";
+      return 1;
+    }
+    harness.result("warm_start_digest", static_cast<double>(digest >> 32));
+    harness.result("snapshot_bytes_per_entry",
+                   static_cast<double>(snapshot_bytes) /
+                       static_cast<double>(loaded.size()));
+    harness.result("snapshot_load_ms", load_ms);
+    std::cout << "warm_start: " << snapshot_bytes << " snapshot bytes, "
+              << "loaded in " << stats::fmt(load_ms, 2) << " ms, " << lookups
+              << " lookups re-verified, digest matches live FIB\n";
+    fs::remove_all(dir, ignored);
   }
 
   harness.result("peak_rss_mib", peak_rss_mib());

@@ -3,11 +3,16 @@
 // would carry under pure name-based routing, sampled over time — the
 // measured counterpart of the paper's 3% x 30% ~= 1% back-of-the-envelope.
 
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
 #include <iostream>
 
 #include "common.hpp"
 #include "lina/core/fib_size.hpp"
 #include "lina/obs/metrics.hpp"
+#include "lina/snap/store.hpp"
 
 using namespace lina;
 
@@ -90,5 +95,63 @@ int main(int argc, char** argv) {
   }
   harness.result("ip_fib_entries_total", static_cast<double>(fib_entries));
   harness.result("ip_fib_table_bytes_total", fib_table_bytes);
+
+  // Durable-snapshot footprint and warm-start cost (lina::snap): persist
+  // every vantage FIB, then load them all back. Snapshot bytes are
+  // deterministic (bit-packed frozen arenas), so bytes/entry is a gated
+  // headline; the load time is a reported timing.
+  harness.phase("snapshot");
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("lina-snap-bench-tablesize-" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    std::uint64_t snapshot_bytes = 0;
+    {
+      snap::SnapshotStore store(dir);
+      for (const auto& vantage : internet.vantages()) {
+        snapshot_bytes +=
+            store.save_ip_fib(std::string(vantage.name()),
+                              vantage.fib().freeze())
+                .bytes;
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t loaded_entries = 0;
+    {
+      const snap::SnapshotStore store(dir);
+      for (const auto& vantage : internet.vantages()) {
+        loaded_entries +=
+            store.load_ip_fib(std::string(vantage.name())).size();
+      }
+    }
+    const double load_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (loaded_entries != fib_entries) {
+      std::cerr << "snapshot reload lost entries: " << loaded_entries
+                << " != " << fib_entries << "\n";
+      return 1;
+    }
+    harness.result("snapshot_bytes_per_entry",
+                   static_cast<double>(snapshot_bytes) /
+                       static_cast<double>(fib_entries));
+    harness.result("snapshot_load_ms", load_ms);
+    std::cout << "snapshot: " << internet.vantages().size()
+              << " vantage FIBs, " << snapshot_bytes << " bytes ("
+              << stats::fmt(static_cast<double>(snapshot_bytes) /
+                                static_cast<double>(fib_entries),
+                            2)
+              << " B/entry vs " << stats::fmt(fib_table_bytes /
+                                                  static_cast<double>(
+                                                      fib_entries),
+                                              2)
+              << " B/entry live), reloaded in " << stats::fmt(load_ms, 2)
+              << " ms\n";
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+  }
   return 0;
 }

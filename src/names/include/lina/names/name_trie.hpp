@@ -427,11 +427,39 @@ class FrozenNameTrie {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Arena slots (node-id address space; slot 0 is the root). Retired
+  /// source-trie slots are carried as value-less, edge-less ids.
+  [[nodiscard]] std::size_t node_slots() const { return values_.size(); }
+
   [[nodiscard]] std::size_t arena_bytes() const {
     return values_.capacity() * sizeof(std::optional<T>) +
            keys_.capacity() * sizeof(std::uint64_t) +
            children_.capacity() * sizeof(std::uint32_t);
   }
+
+  /// Visits every live edge as (parent, component-id, child) in probe-table
+  /// order — the serialization view used by lina::snap.
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kEmptyKey) continue;
+      fn(static_cast<std::uint32_t>(keys_[i] >> 32),
+         static_cast<std::uint32_t>(keys_[i]), children_[i]);
+    }
+  }
+
+  /// Node-id-indexed payload slots (engaged iff the node stores an entry).
+  [[nodiscard]] std::span<const std::optional<T>> raw_values() const {
+    return values_;
+  }
+
+  /// Rebuilds a frozen trie from its logical contents — the edge list
+  /// (edge_key(parent, id) -> child) plus node-id-indexed values. The
+  /// loader-side inverse of for_each_edge/raw_values; freeze() routes
+  /// through this too, so both paths share the probe-table layout.
+  [[nodiscard]] static FrozenNameTrie assemble(
+      std::span<const std::pair<std::uint64_t, std::uint32_t>> edges,
+      std::vector<std::optional<T>> values, std::size_t size);
 
   /// LPM payload for `name`; nullptr if uncovered. Identical to the source
   /// trie's lookup_value at freeze time.
@@ -509,25 +537,36 @@ class FrozenNameTrie {
 };
 
 template <typename T>
-FrozenNameTrie<T> NameTrie<T>::freeze() const {
+FrozenNameTrie<T> FrozenNameTrie<T>::assemble(
+    std::span<const std::pair<std::uint64_t, std::uint32_t>> edges,
+    std::vector<std::optional<T>> values, std::size_t size) {
   FrozenNameTrie<T> frozen;
   std::size_t capacity = 2;
-  while (capacity < edges_.size() * 2) capacity <<= 1;
-  frozen.keys_.assign(capacity, FrozenNameTrie<T>::kEmptyKey);
-  frozen.children_.assign(capacity, FrozenNameTrie<T>::kNil);
+  while (capacity < edges.size() * 2) capacity <<= 1;
+  frozen.keys_.assign(capacity, kEmptyKey);
+  frozen.children_.assign(capacity, kNil);
   frozen.mask_ = capacity - 1;
-  for (const auto& [key, child] : edges_) {
+  for (const auto& [key, child] : edges) {
     std::size_t i = detail::EdgeHash{}(key)&frozen.mask_;
-    while (frozen.keys_[i] != FrozenNameTrie<T>::kEmptyKey) {
+    while (frozen.keys_[i] != kEmptyKey) {
       i = (i + 1) & frozen.mask_;
     }
     frozen.keys_[i] = key;
     frozen.children_[i] = child;
   }
-  frozen.values_.reserve(arena_.size());
-  for (const Node& n : arena_) frozen.values_.push_back(n.value);
-  frozen.size_ = size_;
+  frozen.values_ = std::move(values);
+  frozen.size_ = size;
   return frozen;
+}
+
+template <typename T>
+FrozenNameTrie<T> NameTrie<T>::freeze() const {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> edges(edges_.begin(),
+                                                             edges_.end());
+  std::vector<std::optional<T>> values;
+  values.reserve(arena_.size());
+  for (const Node& n : arena_) values.push_back(n.value);
+  return FrozenNameTrie<T>::assemble(edges, std::move(values), size_);
 }
 
 }  // namespace lina::names

@@ -69,6 +69,12 @@ class FrozenIpTrie {
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
+  // Raw arena views for serialization (lina::snap). The spans alias the
+  // trie's storage and follow its lifetime.
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+  [[nodiscard]] std::span<const Prefix> prefixes() const { return prefixes_; }
+
   /// Bytes retained by the snapshot (nodes + payloads + prefix table).
   [[nodiscard]] std::size_t arena_bytes() const {
     return nodes_.capacity() * sizeof(Node) +

@@ -104,6 +104,16 @@ LINA_OBS_COUNTER(trace_visits_read, "lina.trace.visits_read")
 LINA_OBS_COUNTER(trace_cursor_events, "lina.trace.cursor_events")
 LINA_OBS_GAUGE(trace_merge_heap_depth, "lina.trace.merge_heap_depth")
 
+// Snapshot store (durable FIB snapshots and warm-start recovery).
+LINA_OBS_COUNTER(snap_saves, "lina.snap.saves")
+LINA_OBS_COUNTER(snap_bytes_written, "lina.snap.bytes_written")
+LINA_OBS_COUNTER(snap_loads, "lina.snap.loads")
+LINA_OBS_COUNTER(snap_load_failures, "lina.snap.load_failures")
+LINA_OBS_COUNTER(snap_fallback_rebuilds, "lina.snap.fallback_rebuilds")
+LINA_OBS_GAUGE(snap_snapshot_bytes, "lina.snap.snapshot_bytes")
+LINA_OBS_HISTOGRAM(snap_save_ms, "lina.snap.save_ms")
+LINA_OBS_HISTOGRAM(snap_load_ms, "lina.snap.load_ms")
+
 // Bench harness fixtures.
 LINA_OBS_HISTOGRAM(fixture_build_ms, "lina.bench.fixture.build_ms")
 

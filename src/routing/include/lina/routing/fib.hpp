@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <set>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "lina/net/frozen_ip_trie.hpp"
@@ -25,6 +27,8 @@ struct FibEntry {
 
   friend bool operator==(const FibEntry&, const FibEntry&) = default;
 };
+
+class Fib;
 
 /// Returns true if entry `a` is strictly preferred over `b` when choosing
 /// which member of an address set to forward toward (mirrors
@@ -68,6 +72,21 @@ class FrozenFib {
 
   [[nodiscard]] std::size_t size() const { return trie_.size(); }
   [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+  /// The underlying frozen trie — serialization view for lina::snap.
+  [[nodiscard]] const net::FrozenIpTrie<FibEntry>& trie() const {
+    return trie_;
+  }
+
+  /// Loads the snapshot named `table` from the lina::snap store at `dir`,
+  /// falling back to `live.freeze()` (and bumping
+  /// lina.snap.fallback_rebuilds) if the snapshot is missing, truncated,
+  /// corrupt, or from an incompatible format version. Never throws on a
+  /// bad snapshot — corruption always degrades to a rebuild. Defined in
+  /// lina::snap; link lina::snap to use.
+  [[nodiscard]] static FrozenFib load_or_rebuild(
+      const std::filesystem::path& dir, const std::string& table,
+      const Fib& live);
 
  private:
   net::FrozenIpTrie<FibEntry> trie_;

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <filesystem>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "lina/names/content_name.hpp"
 #include "lina/names/name_trie.hpp"
 #include "lina/routing/rib.hpp"
 
 namespace lina::routing {
+
+class NameFib;
 
 /// A name-based router's forwarding table (Figure 2 right): hierarchical
 /// name prefixes mapped to output ports, looked up by longest matching
@@ -44,6 +48,21 @@ class FrozenNameFib {
 
   [[nodiscard]] std::size_t size() const { return trie_.size(); }
   [[nodiscard]] std::size_t arena_bytes() const { return trie_.arena_bytes(); }
+
+  /// The underlying frozen trie — serialization view for lina::snap.
+  [[nodiscard]] const names::FrozenNameTrie<Port>& trie() const {
+    return trie_;
+  }
+
+  /// Loads the snapshot named `table` from the lina::snap store at `dir`,
+  /// falling back to `live.freeze()` (and bumping
+  /// lina.snap.fallback_rebuilds) if the snapshot is missing, truncated,
+  /// corrupt, or from an incompatible format version. Never throws on a
+  /// bad snapshot — corruption always degrades to a rebuild. Defined in
+  /// lina::snap; link lina::snap to use.
+  [[nodiscard]] static FrozenNameFib load_or_rebuild(
+      const std::filesystem::path& dir, const std::string& table,
+      const NameFib& live);
 
  private:
   names::FrozenNameTrie<Port> trie_;

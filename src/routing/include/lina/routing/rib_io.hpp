@@ -1,11 +1,22 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
+#include <string_view>
 
 #include "lina/routing/rib.hpp"
 #include "lina/routing/vantage_router.hpp"
 
 namespace lina::routing {
+
+/// A malformed RIB dump row. The message always carries the dump name and
+/// 1-based line number (`<name>:line <n>: <what>`) so a bad row in a
+/// multi-megabyte table dump is findable. Derives from
+/// std::invalid_argument, which read_rib historically threw.
+class RibIoError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Text serialization of RIBs in a Routeviews-style table format
 /// (`show ip bgp`-like, one candidate route per line):
@@ -22,9 +33,11 @@ namespace lina::routing {
 void write_rib(std::ostream& out, const Rib& rib);
 
 /// Parses routes written by write_rib (or hand-converted dumps); accepts
-/// an optional header line starting with "PREFIX". Throws
-/// std::invalid_argument on malformed rows.
-[[nodiscard]] Rib read_rib(std::istream& in);
+/// an optional header line starting with "PREFIX". Throws RibIoError on
+/// malformed rows, naming `context` (the dump's file name or origin) and
+/// the offending line.
+[[nodiscard]] Rib read_rib(std::istream& in,
+                           std::string_view context = "<rib>");
 
 /// Convenience: a named router built from a parsed dump.
 [[nodiscard]] VantageRouter vantage_from_dump(std::istream& in,

@@ -65,40 +65,50 @@ void write_rib(std::ostream& out, const Rib& rib) {
   }
 }
 
-Rib read_rib(std::istream& in) {
+Rib read_rib(std::istream& in, std::string_view context) {
   Rib rib;
   std::string line;
+  std::size_t line_no = 0;
   bool first = true;
+  const auto fail = [&](const std::string& what) -> RibIoError {
+    return RibIoError(std::string(context) + ":line " +
+                      std::to_string(line_no) + ": " + what + " in row '" +
+                      line + "'");
+  };
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     if (first) {
       first = false;
       if (line.rfind("PREFIX", 0) == 0) continue;  // header
     }
     const auto fields = split(line, '|');
-    if (fields.size() != 6)
-      throw std::invalid_argument("rib_io: row needs 6 fields: '" + line +
-                                  "'");
-    RibRoute route;
-    route.prefix = net::Prefix::parse(fields[0]);
-    const std::uint32_t next_hop = parse_u32(fields[1], "next hop");
-    route.local_pref = parse_u32(fields[2], "local pref");
-    route.med = parse_u32(fields[3], "med");
-    route.route_class = parse_class(fields[4]);
-
-    std::vector<topology::AsId> hops;
-    std::istringstream path_stream(fields[5]);
-    std::string token;
-    while (path_stream >> token) {
-      hops.push_back(parse_u32(token, "AS path hop"));
+    if (fields.size() != 6) {
+      throw fail("row needs 6 |-separated fields, got " +
+                 std::to_string(fields.size()));
     }
-    if (hops.empty())
-      throw std::invalid_argument("rib_io: empty AS path: '" + line + "'");
-    if (hops.front() != next_hop)
-      throw std::invalid_argument(
-          "rib_io: NEXT_HOP_AS must equal the AS path's first hop: '" +
-          line + "'");
-    route.as_path = AsPath(std::move(hops));
+    RibRoute route;
+    try {
+      route.prefix = net::Prefix::parse(fields[0]);
+      const std::uint32_t next_hop = parse_u32(fields[1], "next hop");
+      route.local_pref = parse_u32(fields[2], "local pref");
+      route.med = parse_u32(fields[3], "med");
+      route.route_class = parse_class(fields[4]);
+
+      std::vector<topology::AsId> hops;
+      std::istringstream path_stream(fields[5]);
+      std::string token;
+      while (path_stream >> token) {
+        hops.push_back(parse_u32(token, "AS path hop"));
+      }
+      if (hops.empty()) throw std::invalid_argument("rib_io: empty AS path");
+      if (hops.front() != next_hop)
+        throw std::invalid_argument(
+            "rib_io: NEXT_HOP_AS must equal the AS path's first hop");
+      route.as_path = AsPath(std::move(hops));
+    } catch (const std::exception& e) {
+      throw fail(e.what());
+    }
     rib.add(std::move(route));
   }
   return rib;

@@ -42,6 +42,14 @@ struct ContentSessionConfig {
   /// content store still satisfies them — caching as resilience, §8) and
   /// die at a dark publisher. The plan must outlive the call.
   const FailurePlan* failures = nullptr;
+
+  /// Consumer-side interest retransmission under injected faults: an
+  /// interest that dies (dark AS, no route, stale belief at a publisher
+  /// that moved) is reissued from the consumer on this backoff, probing
+  /// for fault repair or belief convergence. Only consulted when a
+  /// non-empty FailurePlan is attached — the failure-free simulator's
+  /// staleness losses (the §8 phenomenon) are left untouched.
+  RetryPolicy retry;
 };
 
 struct ContentSessionStats {
@@ -49,6 +57,10 @@ struct ContentSessionStats {
   std::size_t satisfied_from_cache = 0;
   std::size_t satisfied_from_publisher = 0;
   std::size_t unsatisfied = 0;
+
+  /// Interest retransmissions under faults (attempts beyond the first per
+  /// requested segment); always 0 without a FailurePlan.
+  std::size_t interest_retries = 0;
 
   stats::EmpiricalCdf retrieval_delay_ms;
 

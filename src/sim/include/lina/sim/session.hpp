@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lina/core/backoff.hpp"
 #include "lina/sim/fabric.hpp"
 #include "lina/sim/failure_plan.hpp"
 #include "lina/stats/cdf.hpp"
@@ -31,12 +32,7 @@ struct MobilityStep {
 /// (registrations, lookups, update relays). Only consulted when a
 /// FailurePlan injects faults; the failure-free simulator never retries
 /// because nothing ever fails.
-struct RetryPolicy {
-  std::size_t max_attempts = 8;  // first try plus up to 7 retransmissions
-  double backoff_ms = 100.0;     // delay before the first retransmission
-  double multiplier = 2.0;       // backoff growth per retransmission
-  double max_backoff_ms = 1000.0;  // cap, so probes keep a steady cadence
-};
+using RetryPolicy = core::BackoffPolicy;
 
 /// A correspondent streaming constant-bit-rate packets at a mobile device.
 struct SessionConfig {

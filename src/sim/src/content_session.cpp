@@ -37,6 +37,9 @@ class ContentSessionRunner {
         config.update_hop_ms <= 0.0 || config.catalog_segments == 0)
       throw std::invalid_argument(
           "simulate_content_session: non-positive parameter");
+    if (!config.retry.valid())
+      throw std::invalid_argument(
+          "simulate_content_session: malformed retry policy");
     const std::size_t as_count = fabric.internet().graph().as_count();
     if (config.consumer >= as_count)
       throw std::out_of_range("simulate_content_session: consumer AS");
@@ -54,7 +57,7 @@ class ContentSessionRunner {
         const auto segment =
             static_cast<std::uint64_t>(zipf_.sample(rng_));
         std::vector<AsId> path;
-        hop(config_.consumer, segment, queue_.now(), 0.0, path, 0);
+        hop(config_.consumer, segment, queue_.now(), 0.0, path, 0, 0);
       });
     }
     queue_.run();
@@ -112,12 +115,35 @@ class ContentSessionRunner {
     });
   }
 
+  /// Reissues a dead interest from the consumer on the retry backoff.
+  /// Only the faulty simulator probes this way; the failure-free
+  /// simulator's staleness losses are the §8 phenomenon itself and stay
+  /// untouched (bit-identical results without a plan).
+  void retransmit(std::uint64_t segment, double send_time_ms,
+                  std::size_t attempt) {
+    if (!faults_ || !config_.retry.attempts_left(attempt)) return;
+    queue_.schedule_in(
+        config_.retry.delay_ms(attempt),
+        [this, segment, send_time_ms, attempt] {
+          ++stats_.interest_retries;
+          std::vector<AsId> path;
+          hop(config_.consumer, segment, send_time_ms, 0.0, path, 0,
+              attempt + 1);
+        });
+  }
+
   void hop(AsId at, std::uint64_t segment, double send_time_ms,
            double forward_delay_ms, std::vector<AsId> path,
-           std::size_t hops) {
-    if (hops > config_.interest_ttl_hops) return;  // interest dies
+           std::size_t hops, std::size_t attempt) {
+    if (hops > config_.interest_ttl_hops) {  // interest dies
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
     // A dark AS forwards nothing and serves nothing (not even its cache).
-    if (faults_ && plan_->as_down(at, queue_.now())) return;
+    if (faults_ && plan_->as_down(at, queue_.now())) {
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
     path.push_back(at);
 
     // Content-store check (skip the consumer's own node for the first
@@ -131,20 +157,26 @@ class ContentSessionRunner {
     if (at == dest) {
       if (publisher_location(queue_.now()) == at) {
         satisfy(segment, send_time_ms, forward_delay_ms, path, false);
+      } else {
+        // Stale belief and no cached copy — unreachable now (§8); a
+        // retransmission may find a converged belief or a repaired fault.
+        retransmit(segment, send_time_ms, attempt);
       }
-      // else: stale belief and no cached copy — unreachable (§8).
       return;
     }
     const auto next = faults_
                           ? fabric_.next_hop(at, dest, *plan_, queue_.now())
                           : fabric_.next_hop(at, dest);
-    if (!next.has_value()) return;
+    if (!next.has_value()) {
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
     const double link = fabric_.link_delay_ms(at, *next);
     queue_.schedule_in(
         link, [this, next = *next, segment, send_time_ms, forward_delay_ms,
-               link, path = std::move(path), hops]() mutable {
+               link, path = std::move(path), hops, attempt]() mutable {
           hop(next, segment, send_time_ms, forward_delay_ms + link,
-              std::move(path), hops + 1);
+              std::move(path), hops + 1, attempt);
         });
   }
 

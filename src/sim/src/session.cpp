@@ -50,8 +50,7 @@ void validate(const SessionConfig& config, const ForwardingFabric& fabric,
       config.resolver_replicas.empty())
     throw std::invalid_argument(
         "simulate_session: kReplicatedResolution needs resolver_replicas");
-  if (config.retry.max_attempts == 0 || config.retry.backoff_ms <= 0.0 ||
-      config.retry.multiplier < 1.0 || config.retry.max_backoff_ms <= 0.0)
+  if (!config.retry.valid())
     throw std::invalid_argument("simulate_session: malformed retry policy");
   const std::size_t as_count = fabric.internet().graph().as_count();
   if (config.correspondent >= as_count)
@@ -181,14 +180,11 @@ class SessionRunner {
   /// Delay before retransmission number `attempt` + 1 (capped exponential,
   /// so long outages keep being probed at a steady cadence).
   [[nodiscard]] double backoff_ms(std::size_t attempt) const {
-    return std::min(
-        config_.retry.max_backoff_ms,
-        config_.retry.backoff_ms *
-            std::pow(config_.retry.multiplier, static_cast<double>(attempt)));
+    return config_.retry.delay_ms(attempt);
   }
 
   [[nodiscard]] bool attempts_left(std::size_t attempt) const {
-    return attempt + 1 < config_.retry.max_attempts;
+    return config_.retry.attempts_left(attempt);
   }
 
   /// Seeded coin: is this session's next control message dropped by an

@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic fault injection for the snapshot I/O layer.
+//
+// A FaultPlan is a declarative description of what goes wrong during (or
+// after) one save: the store's file layer consults it at every write,
+// fsync, and rename, and applies the post-commit corruptions to the
+// final file. Tests drive a seeded matrix of plans and assert the
+// recovery contract: every injected fault is either detected at write
+// time (a named SnapIoError, durable state untouched or cleanly absent)
+// or detected at load time (a named SnapFormatError, after which
+// load_or_rebuild falls back to the live table) — never UB, never a
+// silently wrong lookup.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lina::snap {
+
+/// Injected failure modes for one snapshot save. Default-constructed
+/// plans inject nothing (the store treats an all-default plan exactly
+/// like no plan at all).
+struct FaultPlan {
+  /// ENOSPC-style short write: the temp file accepts only the first N
+  /// bytes, then the write fails. The partial temp file is left behind —
+  /// exactly what a full disk leaves — and save throws SnapIoError.
+  std::optional<std::uint64_t> fail_write_after;
+
+  /// fsync of the temp file reports failure (battery-backed cache gone
+  /// bad, NFS hiccup). Save throws SnapIoError before the rename, so the
+  /// previous generation stays current.
+  bool fail_fsync = false;
+
+  /// The atomic rename fails (EXDEV, permission flip). Save throws
+  /// SnapIoError; the fully-written temp file is left behind.
+  bool fail_rename = false;
+
+  /// Simulated process death after the temp file is written but before
+  /// the rename: save stops (throws SnapIoError naming the crash) with
+  /// the temp file on disk and the manifest untouched.
+  bool crash_before_rename = false;
+
+  /// Simulated process death after the data file is renamed into place
+  /// but before the manifest commit: the new file exists, the manifest
+  /// still names the previous generation.
+  bool crash_before_manifest = false;
+
+  // --- post-commit corruption (what a later reader finds) ---------------
+
+  /// Truncate the committed snapshot file to this many bytes — a torn
+  /// write or lost tail cache flush.
+  std::optional<std::uint64_t> truncate_to;
+
+  /// Flip these absolute bit offsets in the committed snapshot file —
+  /// media decay / cosmic-ray bit rot.
+  std::vector<std::uint64_t> flip_bits;
+
+  [[nodiscard]] bool empty() const {
+    return !fail_write_after.has_value() && !fail_fsync && !fail_rename &&
+           !crash_before_rename && !crash_before_manifest &&
+           !truncate_to.has_value() && flip_bits.empty();
+  }
+};
+
+}  // namespace lina::snap

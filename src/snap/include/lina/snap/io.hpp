@@ -1,0 +1,49 @@
+#pragma once
+
+// Crash-safe file primitives for the snapshot store: atomic whole-file
+// publication (temp file + fsync + rename + directory fsync) and
+// read-only memory mapping. All failures — real or injected via a
+// FaultPlan — surface as SnapIoError naming the file and the operation.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "lina/snap/fault.hpp"
+#include "lina/snap/format.hpp"
+
+namespace lina::snap {
+
+/// Durably publishes `image` at `path`: writes `path`'s sibling temp
+/// file, fsyncs it, atomically renames it over `path`, and fsyncs the
+/// containing directory so the rename itself is durable. Readers
+/// therefore observe either the complete previous file or the complete
+/// new one — never a partial write. `faults` (optional) injects the
+/// write-side failure modes; post-commit corruptions are applied to the
+/// final file after a successful publish.
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::vector<char>& image,
+                       const FaultPlan* faults = nullptr);
+
+/// A read-only memory-mapped file. The mapping lives for the object's
+/// lifetime; an empty file maps to a valid zero-length view.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::filesystem::path& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace lina::snap

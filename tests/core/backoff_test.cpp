@@ -1,0 +1,70 @@
+// Unit tests for the shared capped exponential backoff (extracted from
+// the session simulator; both retrying simulators now consult the same
+// arithmetic, so its edge cases are pinned here once).
+
+#include "lina/core/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lina::core {
+namespace {
+
+TEST(BackoffPolicy, FirstRetransmissionWaitsTheBaseDelay) {
+  const BackoffPolicy policy{.max_attempts = 4,
+                             .backoff_ms = 50.0,
+                             .multiplier = 2.0,
+                             .max_backoff_ms = 1000.0};
+  EXPECT_DOUBLE_EQ(policy.delay_ms(0), 50.0);
+}
+
+TEST(BackoffPolicy, DelayGrowsByTheMultiplierPerAttempt) {
+  const BackoffPolicy policy{.max_attempts = 8,
+                             .backoff_ms = 10.0,
+                             .multiplier = 3.0,
+                             .max_backoff_ms = 1e9};
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1), 30.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(2), 90.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(5), 10.0 * 243.0);
+}
+
+TEST(BackoffPolicy, CapHoldsForLongOutages) {
+  const BackoffPolicy policy{.max_attempts = 32,
+                             .backoff_ms = 100.0,
+                             .multiplier = 2.0,
+                             .max_backoff_ms = 1000.0};
+  EXPECT_DOUBLE_EQ(policy.delay_ms(3), 800.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(4), 1000.0);  // 1600 capped
+  EXPECT_DOUBLE_EQ(policy.delay_ms(20), 1000.0);
+}
+
+TEST(BackoffPolicy, UnitMultiplierIsConstantCadence) {
+  const BackoffPolicy policy{.max_attempts = 8,
+                             .backoff_ms = 25.0,
+                             .multiplier = 1.0,
+                             .max_backoff_ms = 1000.0};
+  EXPECT_DOUBLE_EQ(policy.delay_ms(0), 25.0);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(7), 25.0);
+}
+
+TEST(BackoffPolicy, AttemptsLeftCountsTheFirstTryAsAttemptZero) {
+  const BackoffPolicy policy{.max_attempts = 3};
+  EXPECT_TRUE(policy.attempts_left(0));   // may retransmit once
+  EXPECT_TRUE(policy.attempts_left(1));   // and twice
+  EXPECT_FALSE(policy.attempts_left(2));  // third attempt is the last
+  EXPECT_FALSE(policy.attempts_left(100));
+
+  const BackoffPolicy single{.max_attempts = 1};
+  EXPECT_FALSE(single.attempts_left(0));  // one shot, no retransmissions
+}
+
+TEST(BackoffPolicy, ValidityRejectsUnrunnablePolicies) {
+  EXPECT_TRUE(BackoffPolicy{}.valid());
+  EXPECT_FALSE(BackoffPolicy{.max_attempts = 0}.valid());
+  EXPECT_FALSE(BackoffPolicy{.backoff_ms = 0.0}.valid());
+  EXPECT_FALSE(BackoffPolicy{.backoff_ms = -1.0}.valid());
+  EXPECT_FALSE(BackoffPolicy{.multiplier = 0.5}.valid());
+  EXPECT_FALSE(BackoffPolicy{.max_backoff_ms = 0.0}.valid());
+}
+
+}  // namespace
+}  // namespace lina::core

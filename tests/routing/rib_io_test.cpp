@@ -68,6 +68,61 @@ TEST(RibIoTest, RejectsMalformedRows) {
   expect_throw("1.0.0.0/16|7|0|3|customer|7 99 7\n");     // looped path
 }
 
+TEST(RibIoTest, MalformedRowErrorsNameTheDumpAndLine) {
+  // The header counts as line 1, the good row as line 2; the bad row —
+  // non-numeric MED — is line 3 and the error must say so.
+  std::istringstream input(
+      "PREFIX|NEXT_HOP_AS|LOCAL_PREF|MED|REL|AS_PATH\n"
+      "10.0.0.0/8|701|0|5|peer|701 3356\n"
+      "10.1.0.0/16|701|0|lots|peer|701 3356\n");
+  try {
+    (void)read_rib(input, "rib-2026-08.dump");
+    FAIL() << "malformed MED must throw";
+  } catch (const RibIoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rib-2026-08.dump:line 3"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("med"), std::string::npos) << what;
+    EXPECT_NE(what.find("lots"), std::string::npos) << what;
+  }
+}
+
+TEST(RibIoTest, FieldCountErrorsReportTheCount) {
+  std::istringstream input("1.0.0.0/16|7|0|3\n");
+  try {
+    (void)read_rib(input);
+    FAIL() << "short row must throw";
+  } catch (const RibIoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<rib>:line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("6 |-separated fields, got 4"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(RibIoTest, NextHopMismatchErrorIsNamed) {
+  std::istringstream input("1.0.0.0/16|8|0|3|customer|7 99\n");
+  try {
+    (void)read_rib(input, "mismatch.dump");
+    FAIL() << "next-hop mismatch must throw";
+  } catch (const RibIoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mismatch.dump:line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("NEXT_HOP_AS"), std::string::npos) << what;
+    // The offending row rides along for grep-ability.
+    EXPECT_NE(what.find("1.0.0.0/16|8|0|3|customer|7 99"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(RibIoTest, RibIoErrorIsStillAnInvalidArgument) {
+  // Callers that predate RibIoError catch std::invalid_argument; the
+  // refinement must not break them.
+  std::istringstream input("garbage row\n");
+  EXPECT_THROW((void)read_rib(input), std::invalid_argument);
+}
+
 TEST(RibIoTest, VantageFromDumpBuildsWorkingFib) {
   std::stringstream buffer;
   write_rib(buffer, sample_rib());
