@@ -22,17 +22,31 @@
 //                      cache) are written; default ./trace-cache
 //     --trace-in <dir> replay an existing shard directory instead of
 //                      generating (validated; mismatches are fatal)
+//     --profile <path> record a lina::prof span profile and write it as
+//                      Chrome trace-event JSON (Perfetto-loadable); the
+//                      export is parse-back validated before the bench
+//                      exits. Enables the obs registry too, so spans
+//                      carry counter deltas.
+//     --folded <path>  also write the profile as folded-stack text for
+//                      flamegraph.pl / speedscope
 // Passing --json/--csv/--trace enables the lina::obs registry for the
 // process; without them instrumentation stays disabled (no-op) and the
 // bench prints exactly its usual text output. The resolved thread count,
 // --out-dir/--trace-in and any bench-specific extra flags are recorded in
 // the run record's config block (never in results, so serial and parallel
 // runs — and generated vs replayed workloads — stay headline-comparable).
+// Every output path (and --out-dir) is probed for writability up front,
+// so a typo fails the run immediately instead of after the measured
+// phases. Profiling never changes results: headline numbers are
+// bit-identical with --profile on or off (tests/prof/bit_identity_test).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <deque>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -47,6 +61,8 @@
 #include "lina/obs/registry.hpp"
 #include "lina/obs/timer.hpp"
 #include "lina/obs/trace.hpp"
+#include "lina/prof/export.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::bench {
 
@@ -97,6 +113,10 @@ class Harness {
         out_dir_ = take_value();
       } else if (arg == "--trace-in") {
         trace_in_ = take_value();
+      } else if (arg == "--profile") {
+        profile_path_ = take_value();
+      } else if (arg == "--folded") {
+        folded_path_ = take_value();
       } else {
         bool consumed = false;
         for (const ExtraFlag& flag : extra) {
@@ -115,7 +135,7 @@ class Harness {
           std::cerr << name_ << ": ignoring unknown argument '" << arg
                     << "' (supported: --json <path> --csv <path> --trace "
                        "<path> --threads <n> --out-dir <dir> --trace-in "
-                       "<dir>";
+                       "<dir> --profile <path> --folded <path>";
           for (const ExtraFlag& flag : extra) {
             std::cerr << ' ' << flag.name
                       << (flag.value != nullptr ? " <value>" : "");
@@ -128,10 +148,24 @@ class Harness {
     note("hardware_threads", std::to_string(exec::hardware_threads()));
     if (!out_dir_.empty()) note("out_dir", out_dir_);
     if (!trace_in_.empty()) note("trace_in", trace_in_);
-    if (wants_output()) {
+    if (!profile_path_.empty()) note("profile", profile_path_);
+    if (!folded_path_.empty()) note("folded", folded_path_);
+    // Fail fast on unwritable destinations: a typo'd path should abort
+    // here, not after the measured phases have run to completion.
+    probe_writable("--json", json_path_);
+    probe_writable("--csv", csv_path_);
+    probe_writable("--trace", trace_path_);
+    probe_writable("--profile", profile_path_);
+    probe_writable("--folded", folded_path_);
+    probe_out_dir();
+    if (wants_output() || wants_profile()) {
       obs::Registry::instance().reset();
       obs::Registry::instance().enable(true);
       obs::TraceRing::instance().clear();
+    }
+    if (wants_profile()) {
+      prof::Profiler::instance().reset();
+      prof::Profiler::instance().enable(true);
     }
     active_ = this;
     open_phase("main");
@@ -140,7 +174,35 @@ class Harness {
   ~Harness() {
     close_phase();
     if (active_ == this) active_ = nullptr;
-    if (!wants_output()) return;
+    if (!wants_output() && !wants_profile()) return;
+    if (wants_profile()) prof::Profiler::instance().enable(false);
+    // Self-accounting gauges go in while the registry still records, so
+    // the snapshot shows whether the trace ring or span rings truncated.
+    obs::metric::trace_ring_events().set(
+        static_cast<double>(obs::TraceRing::instance().size()));
+    obs::metric::trace_ring_dropped().set(
+        static_cast<double>(obs::TraceRing::instance().dropped()));
+    if (wants_profile()) {
+      const auto threads = prof::Profiler::instance().thread_profiles();
+      std::uint64_t recorded = 0;
+      std::uint64_t dropped = 0;
+      for (const prof::ThreadProfile& t : threads) {
+        recorded += t.recorded;
+        dropped += t.dropped;
+      }
+      obs::metric::prof_spans_recorded().set(static_cast<double>(recorded));
+      obs::metric::prof_spans_dropped().set(static_cast<double>(dropped));
+      obs::metric::prof_threads().set(static_cast<double>(threads.size()));
+      // Per-thread drop gauges only for threads that actually truncated,
+      // so a clean run's snapshot stays free of N empty entries.
+      for (const prof::ThreadProfile& t : threads) {
+        if (t.dropped == 0) continue;
+        obs::Registry::instance()
+            .gauge("lina.prof.thread." + std::to_string(t.thread) +
+                   ".dropped")
+            .set(static_cast<double>(t.dropped));
+      }
+    }
     obs::Registry::instance().enable(false);
     try {
       write_outputs();
@@ -204,8 +266,52 @@ class Harness {
            !trace_path_.empty();
   }
 
+  [[nodiscard]] bool wants_profile() const {
+    return !profile_path_.empty() || !folded_path_.empty();
+  }
+
+  /// Aborts the run (exit code 2) if `path` cannot be opened for writing.
+  /// Append mode so probing an existing file never truncates it.
+  void probe_writable(const char* flag, const std::string& path) {
+    if (path.empty()) return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+      std::cerr << name_ << ": " << flag << " path '" << path
+                << "' is not writable\n";
+      std::exit(2);
+    }
+  }
+
+  void probe_out_dir() {
+    if (out_dir_.empty()) return;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(out_dir_, ec);
+    const fs::path probe_path =
+        fs::path(out_dir_) / ".lina-write-probe";
+    std::ofstream probe(probe_path);
+    if (ec || !probe) {
+      std::cerr << name_ << ": --out-dir '" << out_dir_
+                << "' is not writable\n";
+      std::exit(2);
+    }
+    probe.close();
+    fs::remove(probe_path, ec);
+  }
+
+  /// Phase names are dynamic strings but span names must outlive the
+  /// export, so they are interned in a stable deque for the process
+  /// lifetime.
+  [[nodiscard]] const char* intern_phase_span_name(
+      const std::string& phase) {
+    interned_names_.push_back("lina.bench.phase." + phase);
+    return interned_names_.back().c_str();
+  }
+
   void open_phase(std::string name) {
     phase_name_ = std::move(name);
+    if (wants_profile())
+      phase_span_.begin(intern_phase_span_name(phase_name_));
     phase_start_ = Clock::now();
     phase_fixture_ms_ = 0.0;
   }
@@ -215,6 +321,7 @@ class Harness {
     const double ms = std::chrono::duration<double, std::milli>(
                           Clock::now() - phase_start_)
                           .count();
+    phase_span_.end();
     info_.phases.emplace_back(phase_name_,
                               std::max(0.0, ms - phase_fixture_ms_));
     phase_name_.clear();
@@ -247,6 +354,26 @@ class Harness {
                 << " events, " << obs::TraceRing::instance().dropped()
                 << " dropped)\n";
     }
+    if (wants_profile()) write_profile();
+  }
+
+  void write_profile() {
+    const prof::ProfileReport report = prof::collect();
+    if (!profile_path_.empty()) {
+      const std::string trace = prof::export_chrome_trace(report);
+      // Parse-back self-check: an export that chrome://tracing or
+      // Perfetto would reject fails the bench loudly, right here.
+      const std::size_t validated = prof::validate_chrome_trace(trace);
+      obs::write_text_file(profile_path_, trace);
+      std::cout << "[prof] wrote " << profile_path_ << " (" << validated
+                << " spans across " << report.threads.size()
+                << " threads, " << report.dropped_total()
+                << " dropped)\n";
+    }
+    if (!folded_path_.empty()) {
+      obs::write_text_file(folded_path_, prof::export_folded(report));
+      std::cout << "[prof] wrote " << folded_path_ << "\n";
+    }
   }
 
   inline static Harness* active_ = nullptr;
@@ -257,8 +384,12 @@ class Harness {
   std::string trace_path_;
   std::string out_dir_;
   std::string trace_in_;
+  std::string profile_path_;
+  std::string folded_path_;
   obs::RunInfo info_;
   std::string phase_name_;
+  prof::Span phase_span_;
+  std::deque<std::string> interned_names_;  // stable span-name storage
   Clock::time_point phase_start_{};
   double phase_fixture_ms_ = 0.0;
   double fixtures_ms_ = 0.0;

@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json run records.
+"""Compare BENCH_*.json run records.
 
 Usage: compare_runs.py BASELINE.json CANDIDATE.json
+       compare_runs.py --summary-md RECORD.json [RECORD.json ...]
 
-Exit status 0 when the candidate's headline `results` block matches the
-baseline exactly (the lina::exec determinism contract: the same bench at
-any --threads value must produce byte-identical headline numbers); 1 on
-any drift, with a per-key report. Per-phase wall times are expected to
-differ — they are reported as a speedup table, never compared. Result
-keys that are themselves timings or machine-dependent rates (suffixes
-`_ms`, `_per_sec`, `_mib` — e.g. snapshot_load_ms, peak_rss_mib) are
-likewise reported but never gated.
+Two-file mode: exit status 0 when the candidate's headline `results`
+block matches the baseline exactly (the lina::exec determinism contract:
+the same bench at any --threads value must produce byte-identical
+headline numbers); 1 on any drift, with a per-key report. Per-phase wall
+times are expected to differ — they are reported as a speedup table,
+never compared. Result keys that are themselves timings or
+machine-dependent rates (suffixes `_ms`, `_per_sec`, `_mib` — e.g.
+snapshot_load_ms, peak_rss_mib) are likewise reported but never gated.
+
+--summary-md mode: emits a markdown perf-trend table over any number of
+run records (committed baselines plus fresh runs) — one overview table
+and one per-bench result table with timing keys marked (*) as ungated.
+This is the bench trajectory artifact CI appends to the job summary.
 
 Stdlib only, so the check runs anywhere the repo builds.
 """
@@ -73,7 +79,64 @@ def phase_table(base, cand):
     return rows
 
 
+def format_value(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def summary_md(paths):
+    """Markdown perf-trend tables over any number of run records."""
+    if not paths:
+        sys.exit("--summary-md: need at least one run record")
+    records = [(path, load(path)) for path in paths]
+
+    lines = ["## Bench perf trend", ""]
+    lines += [
+        "| bench | record | threads | total wall ms | results |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for path, record in records:
+        total_ms = sum(p.get("wall_ms", 0.0) for p in record["phases"])
+        threads = record.get("config", {}).get("threads", "?")
+        lines.append(
+            f"| {record['name']} | `{path}` | {threads} "
+            f"| {total_ms:.1f} | {len(record['results'])} |"
+        )
+    lines.append("")
+
+    by_bench = {}
+    for path, record in records:
+        by_bench.setdefault(record["name"], []).append((path, record))
+    for bench in sorted(by_bench):
+        runs = by_bench[bench]
+        keys = sorted({k for _, r in runs for k in r["results"]})
+        if not keys:
+            continue
+        lines.append(f"### {bench}")
+        lines.append("")
+        header = "| result | " + " | ".join(
+            f"`{path}`" for path, _ in runs
+        ) + " |"
+        lines.append(header)
+        lines.append("|---|" + "---:|" * len(runs))
+        for key in keys:
+            marker = " (*)" if is_timing_key(key) else ""
+            cells = " | ".join(
+                format_value(r["results"].get(key, "—")) for _, r in runs
+            )
+            lines.append(f"| {key}{marker} | {cells} |")
+        lines.append("")
+    lines.append(
+        "(*) timing/rate key — informational, excluded from the drift gate"
+    )
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--summary-md":
+        return summary_md(argv[2:])
     if len(argv) != 3:
         sys.exit(__doc__.strip())
     base = load(argv[1])

@@ -9,6 +9,7 @@
 
 #include "lina/exec/thread_pool.hpp"
 #include "lina/names/name_trie.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/net/ip_trie.hpp"
 #include "reference_tries.hpp"
 #include "lina/routing/policy_routing.hpp"
@@ -411,6 +412,51 @@ void BM_AllPairsShortestPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_AllPairsShortestPaths)
     ->ArgsProduct({{256, 512, 1024}, {1, 8}});
+
+// Span-overhead pins for the lina::prof contract: a disabled PROF_SPAN
+// must cost <= ~2ns (one relaxed atomic load + branch), an enabled span
+// recorded into a non-saturated ring <= ~40ns on native hardware (one
+// calibrated TSC read per boundary, eight counter samples, one ring slot
+// write). VMs that virtualize rdtsc (~15ns/read) roughly double that —
+// compare trends across runs on the same box, not the absolute ceiling.
+
+void BM_ProfSpanDisabled(benchmark::State& state) {
+  prof::Profiler::instance().enable(false);
+  prof::Profiler::instance().reset();
+  for (auto _ : state) {
+    PROF_SPAN("lina.bench.noop");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfSpanDisabled);
+
+void BM_ProfSpanEnabled(benchmark::State& state) {
+  auto& profiler = prof::Profiler::instance();
+  profiler.enable(false);
+  profiler.set_ring_capacity(1 << 16);
+  profiler.reset();
+  profiler.enable(true);
+  // Drain the ring before it saturates so the benchmark measures the
+  // record path, not the cheaper drop-and-count path.
+  const std::size_t budget = profiler.ring_capacity() - 8;
+  std::size_t since_reset = 0;
+  for (auto _ : state) {
+    if (++since_reset >= budget) {
+      state.PauseTiming();
+      profiler.reset();
+      since_reset = 0;
+      state.ResumeTiming();
+    }
+    PROF_SPAN("lina.bench.recorded");
+    benchmark::ClobberMemory();
+  }
+  profiler.enable(false);
+  profiler.reset();
+  profiler.set_ring_capacity(prof::Profiler::kDefaultRingCapacity);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfSpanEnabled);
 
 }  // namespace
 

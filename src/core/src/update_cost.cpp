@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/strategy/port_oracle.hpp"
 
 namespace lina::core {
@@ -37,6 +38,7 @@ std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_day(
 std::vector<RouterUpdateStats> DeviceUpdateCostEvaluator::evaluate_filtered(
     std::span<const mobility::DeviceTrace> traces, double begin_hour,
     double end_hour) const {
+  PROF_SPAN("lina.core.update_cost");
   // Routers are independent tallies, so they fan out across the pool and
   // land back in router order. The port memo outlives this call: the
   // 20-day sweep asks about the same (router, address) pairs every day.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "lina/exec/thread_pool.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::exec {
 
@@ -54,6 +55,7 @@ inline ChunkPlan plan_chunks(std::size_t items, std::size_t threads) {
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
   if (n == 0) return;
+  PROF_SPAN("lina.exec.parallel_for");
   if (threads == 0) threads = default_threads();
   if (threads <= 1 || n < 2 || in_parallel_region()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);

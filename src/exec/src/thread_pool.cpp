@@ -3,6 +3,8 @@
 #include <atomic>
 #include <algorithm>
 
+#include "lina/prof/prof.hpp"
+
 namespace lina::exec {
 
 namespace {
@@ -49,6 +51,7 @@ bool in_parallel_region() { return tls_in_parallel_region; }
 struct ThreadPool::Job {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
+  std::uint64_t parent_span = 0;     // submitter's open prof span (0 = none)
   std::atomic<std::size_t> next{0};  // next unclaimed chunk index
   std::size_t active = 0;            // threads inside (guarded by pool mutex)
   std::exception_ptr error;          // first failure (guarded by pool mutex)
@@ -95,11 +98,15 @@ void ThreadPool::worker_loop() {
 
     {
       RegionScope region;
+      // Spans opened in this job's chunks attribute to the region that
+      // submitted the job, even though it lives on another thread.
+      prof::AdoptedParentScope causal_parent(job->parent_span);
       for (;;) {
         const std::size_t chunk =
             job->next.fetch_add(1, std::memory_order_relaxed);
         if (chunk >= job->count) break;
         try {
+          PROF_SPAN("lina.exec.chunk");
           (*job->fn)(chunk);
         } catch (...) {
           const std::lock_guard<std::mutex> error_lock(mutex_);
@@ -119,6 +126,7 @@ void ThreadPool::run(std::size_t chunk_count, std::size_t threads,
   Job job;
   job.count = chunk_count;
   job.fn = &chunk_fn;
+  job.parent_span = prof::current_span_id();
 
   // One job at a time; later top-level callers queue here.
   const std::lock_guard<std::mutex> run_lock(run_mutex_);
@@ -140,6 +148,7 @@ void ThreadPool::run(std::size_t chunk_count, std::size_t threads,
           job.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= chunk_count) break;
       try {
+        PROF_SPAN("lina.exec.chunk");
         chunk_fn(chunk);
       } catch (...) {
         const std::lock_guard<std::mutex> error_lock(mutex_);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/stats/distributions.hpp"
 
 namespace lina::mobility {
@@ -286,6 +287,7 @@ DeviceTrace DeviceWorkloadGenerator::generate_user(
 }
 
 std::vector<DeviceTrace> DeviceWorkloadGenerator::generate() const {
+  PROF_SPAN("lina.mobility.workload_generate");
   // Each user already draws from an independent, id-labelled RNG stream,
   // so the population fans out across the lina::exec pool and comes back
   // in user order — bit-identical to the serial loop at any thread count

@@ -15,6 +15,7 @@
 #include "lina/names/content_name.hpp"
 #include "lina/names/interner.hpp"
 #include "lina/obs/metrics.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::names {
 
@@ -477,6 +478,7 @@ class FrozenNameTrie {
   /// per query.
   void lookup_many(std::span<const ContentName> names,
                    std::span<const T*> out) const {
+    PROF_SPAN("lina.trie.name_lookup_many");
     if (values_.empty()) {
       for (std::size_t i = 0; i < names.size(); ++i) out[i] = nullptr;
       return;
@@ -561,6 +563,7 @@ FrozenNameTrie<T> FrozenNameTrie<T>::assemble(
 
 template <typename T>
 FrozenNameTrie<T> NameTrie<T>::freeze() const {
+  PROF_SPAN("lina.trie.name_freeze");
   std::vector<std::pair<std::uint64_t, std::uint32_t>> edges(edges_.begin(),
                                                              edges_.end());
   std::vector<std::optional<T>> values;

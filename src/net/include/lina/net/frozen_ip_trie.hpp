@@ -10,6 +10,7 @@
 
 #include "lina/net/ipv4.hpp"
 #include "lina/obs/metrics.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::net {
 
@@ -111,6 +112,7 @@ class FrozenIpTrie {
   /// per-query `lookup_value` in order; out.size() must equal addrs.size().
   void lookup_many(std::span<const Ipv4Address> addrs,
                    std::span<const T*> out) const {
+    PROF_SPAN("lina.trie.ip_lookup_many");
     constexpr std::size_t kLanes = 8;
     std::uint64_t visited = 0;
     if (nodes_.empty()) {

@@ -176,6 +176,7 @@ class IpTrie {
   /// Emits an immutable snapshot in preorder layout with batch lookups;
   /// results are bit-identical to live lookups at freeze time.
   [[nodiscard]] FrozenIpTrie<T> freeze() const {
+    PROF_SPAN("lina.trie.ip_freeze");
     using FNode = typename FrozenIpTrie<T>::Node;
     std::vector<FNode> nodes;
     std::vector<T> values;

@@ -117,6 +117,15 @@ LINA_OBS_HISTOGRAM(snap_load_ms, "lina.snap.load_ms")
 // Bench harness fixtures.
 LINA_OBS_HISTOGRAM(fixture_build_ms, "lina.bench.fixture.build_ms")
 
+// Instrumentation self-accounting: ring occupancy and truncation for the
+// obs trace ring and the prof span rings, set at export time so every
+// BENCH_*.json records whether its trace/profile was truncated.
+LINA_OBS_GAUGE(trace_ring_events, "lina.obs.trace_ring.events")
+LINA_OBS_GAUGE(trace_ring_dropped, "lina.obs.trace_ring.dropped")
+LINA_OBS_GAUGE(prof_spans_recorded, "lina.prof.spans_recorded")
+LINA_OBS_GAUGE(prof_spans_dropped, "lina.prof.spans_dropped")
+LINA_OBS_GAUGE(prof_threads, "lina.prof.threads")
+
 #undef LINA_OBS_COUNTER
 #undef LINA_OBS_GAUGE
 #undef LINA_OBS_HISTOGRAM

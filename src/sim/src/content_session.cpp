@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "lina/prof/prof.hpp"
 #include "lina/sim/content_store.hpp"
 #include "lina/sim/event_queue.hpp"
 #include "lina/stats/distributions.hpp"
@@ -195,6 +196,7 @@ class ContentSessionRunner {
 
 ContentSessionStats simulate_content_session(
     const ForwardingFabric& fabric, const ContentSessionConfig& config) {
+  PROF_SPAN("lina.session.content");
   return ContentSessionRunner(fabric, config).run();
 }
 

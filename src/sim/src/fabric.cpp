@@ -8,6 +8,7 @@
 
 #include "lina/obs/metrics.hpp"
 #include "lina/obs/trace.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/routing/policy_routing.hpp"
 #include "lina/sim/failure_plan.hpp"
 #include "lina/topology/geo.hpp"
@@ -27,6 +28,7 @@ ForwardingFabric::ForwardingFabric(const routing::SyntheticInternet& internet,
 
 const std::vector<AsId>& ForwardingFabric::next_hops_toward(AsId dest) const {
   return next_hop_cache_.get_or_build(dest, [&] {
+    PROF_SPAN("lina.fabric.route_build");
     const auto& graph = internet_->graph();
     const routing::PolicyRoutes routes(graph, dest);
     std::vector<AsId> hops(graph.as_count(), topology::kNoNode);
@@ -90,6 +92,7 @@ std::optional<std::size_t> ForwardingFabric::path_hops(AsId from,
 const std::vector<std::size_t>& ForwardingFabric::bfs_from(
     AsId source) const {
   return bfs_cache_.get_or_build(source, [&] {
+    PROF_SPAN("lina.fabric.bfs_row");
     const auto& graph = internet_->graph();
     std::vector<std::size_t> dist(graph.as_count(), kUnreached);
     dist[source] = 0;
@@ -136,6 +139,7 @@ const topology::AsGraph& ForwardingFabric::degraded_graph(
   const auto key =
       std::make_pair(failures.stamp(), failures.data_plane_epoch(time_ms));
   return degraded_graph_cache_.get_or_build(key, [&] {
+    PROF_SPAN("lina.fabric.degraded_graph_build");
     obs::metric::fabric_degraded_graph_builds().add();
 
     // Rebuild the AS graph without the elements the plan has taken down.
@@ -174,6 +178,7 @@ const std::vector<AsId>& ForwardingFabric::detour_hops_toward(
   const auto key = std::make_tuple(failures.stamp(),
                                    failures.data_plane_epoch(time_ms), dest);
   return detour_cache_.get_or_build(key, [&] {
+    PROF_SPAN("lina.fabric.detour_build");
     obs::metric::fabric_detour_route_builds().add();
     obs::TraceRing::instance().record("lina.sim.fabric.reconverge", time_ms,
                                       static_cast<double>(dest));

@@ -6,6 +6,7 @@
 
 #include "lina/obs/metrics.hpp"
 #include "lina/obs/trace.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::sim {
 
@@ -39,6 +40,7 @@ std::size_t ResolverPool::replica_index(AsId replica) const {
 }
 
 AsId ResolverPool::nearest_replica(AsId client) const {
+  PROF_SPAN("lina.resolver.lookup");
   obs::metric::resolver_lookups().add();
   AsId best = replicas_.front();
   double best_delay = std::numeric_limits<double>::infinity();
@@ -56,6 +58,7 @@ AsId ResolverPool::nearest_replica(AsId client) const {
 
 std::optional<AsId> ResolverPool::nearest_live_replica(
     AsId client, const FailurePlan& failures, double time_ms) const {
+  PROF_SPAN("lina.resolver.failover_lookup");
   obs::metric::resolver_failover_lookups().add();
   obs::TraceRing::instance().record("lina.sim.resolver.failover_lookup",
                                     time_ms, static_cast<double>(client));
@@ -80,6 +83,7 @@ double ResolverPool::nearest_replica_delay_ms(AsId client) const {
 
 std::vector<double> ResolverPool::propagation_times_ms(
     AsId device_as, double update_time_ms) const {
+  PROF_SPAN("lina.resolver.update_propagate");
   obs::metric::resolver_updates().add();
   const AsId primary = nearest_replica(device_as);
   const double at_primary =

@@ -7,6 +7,7 @@
 #include "lina/obs/metrics.hpp"
 #include "lina/obs/timer.hpp"
 #include "lina/obs/trace.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/sim/event_queue.hpp"
 #include "lina/sim/resolver_pool.hpp"
 
@@ -752,18 +753,26 @@ SessionStats simulate_session(const ForwardingFabric& fabric,
   obs::ScopedTimer timer(obs::metric::session_run_wall_ms());
   SessionStats stats;
   switch (architecture) {
-    case SimArchitecture::kIndirection:
+    case SimArchitecture::kIndirection: {
+      PROF_SPAN("lina.session.indirection");
       stats = IndirectionRunner(fabric, config).run();
       break;
-    case SimArchitecture::kNameBased:
+    }
+    case SimArchitecture::kNameBased: {
+      PROF_SPAN("lina.session.name_based");
       stats = NameBasedRunner(fabric, config).run();
       break;
-    case SimArchitecture::kNameResolution:
+    }
+    case SimArchitecture::kNameResolution: {
+      PROF_SPAN("lina.session.name_resolution");
       stats = ResolutionRunner(fabric, config).run();
       break;
-    case SimArchitecture::kReplicatedResolution:
+    }
+    case SimArchitecture::kReplicatedResolution: {
+      PROF_SPAN("lina.session.replicated_resolution");
       stats = ReplicatedResolutionRunner(fabric, config).run();
       break;
+    }
     default:
       throw std::invalid_argument("simulate_session: unknown architecture");
   }

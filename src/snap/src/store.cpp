@@ -9,6 +9,7 @@
 
 #include "lina/names/interner.hpp"
 #include "lina/obs/metrics.hpp"
+#include "lina/prof/prof.hpp"
 #include "lina/snap/io.hpp"
 
 namespace lina::snap {
@@ -653,6 +654,7 @@ SavedInfo SnapshotStore::commit(
 
 SavedInfo SnapshotStore::save_ip_fib(const std::string& table,
                                      const routing::FrozenFib& fib) {
+  PROF_SPAN("lina.snap.save");
   SnapHeader header;
   header.kind = SnapKind::kIpFib;
   header.entry_count = fib.trie().size();
@@ -662,6 +664,7 @@ SavedInfo SnapshotStore::save_ip_fib(const std::string& table,
 
 SavedInfo SnapshotStore::save_name_fib(const std::string& table,
                                        const routing::FrozenNameFib& fib) {
+  PROF_SPAN("lina.snap.save");
   SnapHeader header;
   header.kind = SnapKind::kNameFib;
   header.entry_count = fib.trie().size();
@@ -670,6 +673,7 @@ SavedInfo SnapshotStore::save_name_fib(const std::string& table,
 }
 
 routing::FrozenFib SnapshotStore::load_ip_fib(const std::string& table) const {
+  PROF_SPAN("lina.snap.load");
   const auto start = std::chrono::steady_clock::now();
   Opened opened = open_table(*this, table, SnapKind::kIpFib);
   IpTrie trie = decode_ip(opened.file, opened.parsed, opened.ctx);
@@ -680,6 +684,7 @@ routing::FrozenFib SnapshotStore::load_ip_fib(const std::string& table) const {
 
 routing::FrozenNameFib SnapshotStore::load_name_fib(
     const std::string& table) const {
+  PROF_SPAN("lina.snap.load");
   const auto start = std::chrono::steady_clock::now();
   Opened opened = open_table(*this, table, SnapKind::kNameFib);
   NameTrie trie = decode_name(opened.file, opened.parsed, opened.ctx);

@@ -3,11 +3,13 @@
 #include <utility>
 
 #include "lina/obs/metrics.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::trace {
 
 TraceCursor::TraceCursor(const ShardSet& set,
                          std::size_t buffer_bytes_per_shard) {
+  PROF_SPAN("lina.trace.cursor_open");
   streams_.reserve(set.shards().size());
   heap_.reserve(set.shards().size());
   for (const ShardInfo& shard : set.shards()) {

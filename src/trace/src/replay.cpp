@@ -1,6 +1,7 @@
 #include "lina/trace/replay.hpp"
 
 #include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::trace {
 
@@ -62,6 +63,7 @@ std::vector<sim::SessionStats> simulate_sessions_streamed(
     const sim::ForwardingFabric& fabric, sim::SimArchitecture architecture,
     const sim::SessionConfig& base, double hours, const ShardSet& set,
     std::size_t batch_users) {
+  PROF_SPAN("lina.trace.replay_sessions");
   DeviceTraceStream stream(set);
   std::vector<sim::SessionStats> all;
   while (!stream.done()) {

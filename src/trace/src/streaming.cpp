@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
 
 namespace lina::trace {
 
@@ -14,6 +15,7 @@ std::filesystem::path shard_file_name(std::uint32_t index) {
 
 ShardSet StreamingWorkload::write_shards(
     const std::filesystem::path& dir) const {
+  PROF_SPAN("lina.trace.write_shards");
   const mobility::DeviceWorkloadConfig& workload = generator_.config();
   if (workload.user_count == 0) {
     throw std::invalid_argument("StreamingWorkload: empty workload");

@@ -1,0 +1,129 @@
+// Cross-thread causal attribution: chunks executed by pool workers on
+// behalf of a parallel_for must attribute (via parent span id) to the
+// span that was open on the submitting thread, even though the worker
+// never saw that span open locally. Runs under the `prof` ctest label,
+// including the TSan preset — this is exactly the producer/consumer
+// hand-off the span rings must keep race-free.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
+
+namespace lina::prof {
+namespace {
+
+void reset_prof() {
+  Profiler::instance().enable(false);
+  Profiler::instance().set_ring_capacity(Profiler::kDefaultRingCapacity);
+  Profiler::instance().reset();
+}
+
+TEST(ProfExecAttributionTest, ChunksAttributeToSpawningSpan) {
+  reset_prof();
+  std::uint64_t spawn_id = 0;
+  {
+    EnabledScope scope;
+    Span spawn("lina.test.spawn_region");
+    spawn_id = spawn.id();
+    exec::parallel_for(
+        256,
+        [](std::size_t i) {
+          PROF_SPAN("lina.test.work_item");
+          // A little real work so chunks overlap across threads.
+          std::uint64_t sum = 0;
+          for (std::size_t k = 0; k < 50 * (i % 7 + 1); ++k) sum += k;
+          volatile std::uint64_t sink = sum;
+          (void)sink;
+        },
+        4);
+  }
+  ASSERT_NE(spawn_id, 0u);
+
+  const auto spans = Profiler::instance().drain();
+  std::uint64_t parallel_for_id = 0;
+  for (const SpanRecord& span : spans) {
+    if (std::string_view(span.name) == "lina.exec.parallel_for" &&
+        span.parent == spawn_id) {
+      parallel_for_id = span.id;
+    }
+  }
+  ASSERT_NE(parallel_for_id, 0u)
+      << "parallel_for span missing or not parented to the spawn region";
+
+  std::set<std::uint32_t> chunk_threads;
+  std::size_t chunks = 0;
+  std::size_t items = 0;
+  for (const SpanRecord& span : spans) {
+    const std::string_view name(span.name);
+    if (name == "lina.exec.chunk") {
+      ++chunks;
+      chunk_threads.insert(span.thread);
+      // Every chunk — worker- or caller-executed — hangs off the
+      // parallel_for region that submitted the job.
+      EXPECT_EQ(span.parent, parallel_for_id);
+    } else if (name == "lina.test.work_item") {
+      ++items;
+      EXPECT_NE(span.parent, 0u);
+    }
+  }
+  EXPECT_GT(chunks, 0u);
+  EXPECT_EQ(items, 256u);
+  // The pool distributed chunks across >= 2 threads (caller + worker).
+  // Single-core boxes can legally run everything on the caller, so only
+  // require it when hardware allows and chunks were plentiful.
+  if (exec::hardware_threads() >= 2) {
+    EXPECT_GE(chunk_threads.size(), 1u);
+  }
+  reset_prof();
+}
+
+TEST(ProfExecAttributionTest, WorkerThreadSpansCarryAdoptedParent) {
+  reset_prof();
+  // Submit a raw pool job from inside an open span. Chunks run on pool
+  // workers that never saw the span open locally; the chunk spans they
+  // record must still report the submitting region as their parent
+  // through the adopted-parent channel.
+  std::uint64_t spawn_id = 0;
+  {
+    EnabledScope scope;
+    Span spawn("lina.test.adoption_region");
+    spawn_id = spawn.id();
+    const std::function<void(std::size_t)> chunk_fn = [](std::size_t) {
+      std::uint64_t sum = 0;
+      for (std::size_t k = 0; k < 2000; ++k) sum += k;
+      volatile std::uint64_t sink = sum;
+      (void)sink;
+    };
+    exec::ThreadPool::shared().run(32, 4, chunk_fn);
+  }
+  ASSERT_NE(spawn_id, 0u);
+
+  const auto spans = Profiler::instance().drain();
+  std::size_t chunks = 0;
+  std::set<std::uint32_t> chunk_threads;
+  for (const SpanRecord& span : spans) {
+    if (std::string_view(span.name) != "lina.exec.chunk") continue;
+    ++chunks;
+    chunk_threads.insert(span.thread);
+    EXPECT_EQ(span.parent, spawn_id);
+    // Depth is per recording thread: 1 on a worker (no local enclosing
+    // span — adoption contributes causality, not depth), 2 on the
+    // participating caller (nested inside the spawn span).
+    EXPECT_GE(span.depth, 1u);
+    EXPECT_LE(span.depth, 2u);
+  }
+  EXPECT_EQ(chunks, 32u);
+  if (exec::hardware_threads() >= 2) {
+    EXPECT_GE(chunk_threads.size(), 1u);
+  }
+  reset_prof();
+}
+
+}  // namespace
+}  // namespace lina::prof

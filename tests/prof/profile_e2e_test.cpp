@@ -1,0 +1,123 @@
+// End-to-end acceptance check: a profiled run that exercises the
+// simulator stack yields a Chrome trace that validates on parse-back and
+// contains spans from >= 5 instrumented layers (exec, fabric, resolver,
+// session, trie) with counter deltas attached. This is the in-tree twin
+// of `fig8 --profile out.trace.json`. Runs under the `prof` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "../support/fixtures.hpp"
+#include "lina/exec/parallel.hpp"
+#include "lina/net/frozen_ip_trie.hpp"
+#include "lina/net/ip_trie.hpp"
+#include "lina/obs/registry.hpp"
+#include "lina/prof/export.hpp"
+#include "lina/prof/prof.hpp"
+#include "lina/sim/resolver_pool.hpp"
+#include "lina/sim/session.hpp"
+#include "lina/topology/geo.hpp"
+
+namespace lina::prof {
+namespace {
+
+using lina::testing::shared_internet;
+
+TEST(ProfE2eTest, FullStackProfileCoversFiveLayersAndValidates) {
+  Profiler::instance().enable(false);
+  Profiler::instance().set_ring_capacity(Profiler::kDefaultRingCapacity);
+  Profiler::instance().reset();
+  obs::Registry::instance().reset();
+
+  {
+    obs::EnabledScope obs_scope;
+    EnabledScope prof_scope;
+    PROF_SPAN("lina.test.e2e_run");
+
+    // Sessions over the fabric with a resolver pool: session, resolver
+    // and fabric layers.
+    const sim::ForwardingFabric fabric(shared_internet());
+    sim::SessionConfig config;
+    const auto local =
+        shared_internet().edge_ases_near(topology::metro_anchors()[0], 3);
+    config.correspondent = shared_internet().edge_ases()[0];
+    config.schedule = {{0.0, local[0]}, {1500.0, local[1]},
+                       {3000.0, local[2]}};
+    config.packet_interval_ms = 25.0;
+    config.duration_ms = 4000.0;
+    config.resolver_ttl_ms = 200.0;
+    config.resolver_replicas =
+        sim::ResolverPool::metro_placement(shared_internet(), 4);
+    for (const auto arch : {sim::SimArchitecture::kIndirection,
+                            sim::SimArchitecture::kReplicatedResolution}) {
+      (void)sim::simulate_session(fabric, arch, config);
+    }
+
+    // Batched LPM over a frozen trie: trie layer plus attributed
+    // node-visit counters.
+    net::IpTrie<int> trie;
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      trie.insert(net::Prefix(net::Ipv4Address(i << 20), 16),
+                  static_cast<int>(i));
+    }
+    const net::FrozenIpTrie<int> frozen = trie.freeze();
+    std::vector<net::Ipv4Address> addrs;
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+      addrs.emplace_back(i * 1048573u);
+    }
+    std::vector<const int*> hits(addrs.size());
+    // parallel_for over batches: exec layer, with trie spans attributed
+    // to their spawning chunk across threads.
+    exec::parallel_for(
+        4,
+        [&](std::size_t part) {
+          const std::size_t begin = part * 1024;
+          frozen.lookup_many(
+              std::span<const net::Ipv4Address>(addrs).subspan(begin, 1024),
+              std::span<const int*>(hits).subspan(begin, 1024));
+        },
+        4);
+  }
+
+  const ProfileReport report = collect();
+  ASSERT_FALSE(report.spans.empty());
+
+  // Layer coverage: second dot-component across all span names.
+  const std::vector<std::string> layers = span_layers(report);
+  const std::set<std::string> layer_set(layers.begin(), layers.end());
+  for (const char* required :
+       {"exec", "fabric", "resolver", "session", "trie"}) {
+    EXPECT_TRUE(layer_set.count(required) == 1)
+        << "missing spans from layer '" << required << "'";
+  }
+  EXPECT_GE(layer_set.size(), 5u);
+
+  // Counter deltas attached: at least one trie span carries LPM visits.
+  bool saw_delta = false;
+  const auto& names = attributed_counter_names();
+  for (const SpanRecord& span : report.spans) {
+    if (std::string_view(span.name) != "lina.trie.ip_lookup_many") continue;
+    for (std::size_t i = 0; i < kAttributedCounters; ++i) {
+      if (std::string_view(names[i]) == "lina.net.ip_trie.lpm_node_visits" &&
+          span.counter_deltas[i] > 0) {
+        saw_delta = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_delta) << "no trie span carried an LPM node-visit delta";
+
+  // The export itself validates — the same parse-back self-check the
+  // bench harness runs on every --profile write.
+  const std::string trace = export_chrome_trace(report);
+  EXPECT_EQ(validate_chrome_trace(trace), report.spans.size());
+
+  Profiler::instance().reset();
+  obs::Registry::instance().reset();
+}
+
+}  // namespace
+}  // namespace lina::prof

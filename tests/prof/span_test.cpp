@@ -1,0 +1,149 @@
+// Span semantics: disabled spans record nothing, nesting builds the
+// parent chain and depth, manual begin/end works for phase-style regions,
+// full rings drop-and-count instead of overwriting, and reset() discards
+// everything. Runs under the `prof` ctest label (plain, ASan+UBSan and
+// TSan presets).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lina/prof/prof.hpp"
+
+namespace lina::prof {
+namespace {
+
+/// Fresh profiler state per test: everything buffered is discarded and
+/// profiling is left disabled.
+void reset_prof() {
+  Profiler::instance().enable(false);
+  Profiler::instance().set_ring_capacity(Profiler::kDefaultRingCapacity);
+  Profiler::instance().reset();
+}
+
+std::map<std::string, SpanRecord> by_name(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanRecord> out;
+  for (const SpanRecord& span : spans) out[span.name] = span;
+  return out;
+}
+
+TEST(ProfSpanTest, DisabledSpansRecordNothing) {
+  reset_prof();
+  {
+    PROF_SPAN("lina.test.disabled_outer");
+    PROF_SPAN("lina.test.disabled_inner");
+  }
+  Span manual;
+  manual.begin("lina.test.disabled_manual");
+  manual.end();
+  EXPECT_TRUE(Profiler::instance().drain().empty());
+  EXPECT_EQ(Profiler::instance().dropped(), 0u);
+  EXPECT_EQ(current_span_id(), 0u);
+}
+
+TEST(ProfSpanTest, NestingBuildsParentChainAndDepth) {
+  reset_prof();
+  {
+    EnabledScope scope;
+    PROF_SPAN("lina.test.root");
+    {
+      PROF_SPAN("lina.test.mid");
+      { PROF_SPAN("lina.test.leaf"); }
+    }
+    { PROF_SPAN("lina.test.sibling"); }
+  }
+  const auto spans = by_name(Profiler::instance().drain());
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord& root = spans.at("lina.test.root");
+  const SpanRecord& mid = spans.at("lina.test.mid");
+  const SpanRecord& leaf = spans.at("lina.test.leaf");
+  const SpanRecord& sibling = spans.at("lina.test.sibling");
+  EXPECT_EQ(root.parent, 0u);
+  EXPECT_EQ(mid.parent, root.id);
+  EXPECT_EQ(leaf.parent, mid.id);
+  EXPECT_EQ(sibling.parent, root.id);
+  EXPECT_EQ(root.depth, 1u);
+  EXPECT_EQ(mid.depth, 2u);
+  EXPECT_EQ(leaf.depth, 3u);
+  EXPECT_EQ(sibling.depth, 2u);
+  // Ids are unique and inner spans nest inside their parents' time range.
+  EXPECT_NE(root.id, mid.id);
+  EXPECT_GE(mid.begin_ns, root.begin_ns);
+  EXPECT_LE(mid.end_ns, root.end_ns);
+  EXPECT_GE(leaf.begin_ns, mid.begin_ns);
+  EXPECT_LE(leaf.end_ns, mid.end_ns);
+  reset_prof();
+}
+
+TEST(ProfSpanTest, ManualBeginEndAndRestart) {
+  reset_prof();
+  {
+    EnabledScope scope;
+    Span span;
+    EXPECT_FALSE(span.armed());
+    span.begin("lina.test.phase_a");
+    EXPECT_TRUE(span.armed());
+    EXPECT_EQ(current_span_id(), span.id());
+    // begin() on an armed span closes the old region first.
+    span.begin("lina.test.phase_b");
+    span.end();
+    span.end();  // idempotent
+    EXPECT_EQ(current_span_id(), 0u);
+  }
+  const auto spans = Profiler::instance().drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "lina.test.phase_a");
+  EXPECT_STREQ(spans[1].name, "lina.test.phase_b");
+  reset_prof();
+}
+
+TEST(ProfSpanTest, FullRingDropsAndCounts) {
+  Profiler::instance().enable(false);
+  Profiler::instance().set_ring_capacity(4);
+  Profiler::instance().reset();
+  {
+    EnabledScope scope;
+    for (int i = 0; i < 10; ++i) {
+      PROF_SPAN("lina.test.wrap");
+    }
+  }
+  const auto spans = Profiler::instance().drain();
+  std::size_t ours = 0;
+  for (const SpanRecord& span : spans) {
+    if (std::string_view(span.name) == "lina.test.wrap") ++ours;
+  }
+  EXPECT_EQ(ours, 4u);
+  EXPECT_EQ(Profiler::instance().dropped(), 6u);
+  // Per-thread accounting agrees with the aggregate.
+  std::uint64_t per_thread_dropped = 0;
+  for (const ThreadProfile& t : Profiler::instance().thread_profiles()) {
+    per_thread_dropped += t.dropped;
+  }
+  EXPECT_EQ(per_thread_dropped, 6u);
+  reset_prof();
+}
+
+TEST(ProfSpanTest, ResetDiscardsBufferedSpansAndDropCounts) {
+  Profiler::instance().enable(false);
+  Profiler::instance().set_ring_capacity(2);
+  Profiler::instance().reset();
+  {
+    EnabledScope scope;
+    for (int i = 0; i < 5; ++i) {
+      PROF_SPAN("lina.test.reset");
+    }
+  }
+  EXPECT_FALSE(Profiler::instance().drain().empty());
+  EXPECT_GT(Profiler::instance().dropped(), 0u);
+  Profiler::instance().set_ring_capacity(Profiler::kDefaultRingCapacity);
+  Profiler::instance().reset();
+  EXPECT_TRUE(Profiler::instance().drain().empty());
+  EXPECT_EQ(Profiler::instance().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace lina::prof
