@@ -1,0 +1,365 @@
+// Extension experiment (not a paper figure): loc/ID mapping caches on the
+// resolution hot path. Three phases:
+//
+//   model_validation  drives a MappingCache directly with a Poisson/IRM
+//                     Zipf request stream plus per-mapping Poisson churn
+//                     and compares the measured TTL+LRU hit rate against
+//                     the Coras-style characteristic-time prediction
+//                     (lina::analytic::lru_cache_model), with LFU and 2Q
+//                     measured alongside on the identical stream.
+//   session_cache     runs the indirection / resolution / replicated-
+//                     resolution packet simulations with the correspondent
+//                     mapping cache off vs on and reports the delivery,
+//                     stretch and control-message (update-cost) deltas.
+//   content_cache     sweeps the consumer FIB-miss cache capacity in the
+//                     content-retrieval simulation.
+//
+// Bench-specific flags (recorded in the JSON config block, never in
+// results): --cache-entries <n> and --cache-policy {lru,lfu,2q,off}
+// configure the session/content cache arms; an unknown policy fails fast
+// with exit code 2 before any phase runs. Deterministic under the fixed
+// seed at any --threads value.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "lina/analytic/cache_model.hpp"
+#include "lina/cache/mapping_cache.hpp"
+#include "lina/exec/parallel.hpp"
+#include "lina/sim/content_session.hpp"
+#include "lina/sim/resolver_pool.hpp"
+#include "lina/sim/session.hpp"
+#include "lina/stats/distributions.hpp"
+
+using namespace lina;
+using topology::AsId;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 77;
+
+// ---- Phase 1: synthetic IRM stream against the analytic model. ----
+
+struct StreamInput {
+  cache::Policy policy = cache::Policy::kTtlLru;
+  std::size_t capacity = 0;
+  double ttl_ms = std::numeric_limits<double>::infinity();
+  std::size_t catalog = 4096;
+  double zipf_exponent = 1.0;
+  double request_rate_per_ms = 1.0;
+  double churn_rate_per_ms = 2e-5;  // per mapping
+  std::size_t requests = 200000;
+};
+
+/// One Poisson/IRM cell: every mapping churns (is invalidated) at its own
+/// Poisson rate whether cached or not, exactly the process the analytic
+/// model assumes. Returns the measured cache counters.
+cache::CacheStats run_stream(const StreamInput& input, stats::Rng rng) {
+  cache::CacheConfig config;
+  config.policy = input.policy;
+  config.capacity = input.capacity;
+  config.ttl_ms = input.ttl_ms;
+  cache::MappingCache<std::uint64_t, std::uint32_t> mapping(config);
+  const stats::Zipf zipf(input.catalog, input.zipf_exponent);
+
+  using Event = std::pair<double, std::uint64_t>;  // (time, key)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> churn;
+  if (input.churn_rate_per_ms > 0.0) {
+    for (std::uint64_t key = 1; key <= input.catalog; ++key) {
+      churn.emplace(rng.exponential(input.churn_rate_per_ms), key);
+    }
+  }
+
+  double now = 0.0;
+  for (std::size_t n = 0; n < input.requests; ++n) {
+    now += rng.exponential(input.request_rate_per_ms);
+    while (!churn.empty() && churn.top().first <= now) {
+      const auto [at, key] = churn.top();
+      churn.pop();
+      mapping.invalidate(key);
+      churn.emplace(at + rng.exponential(input.churn_rate_per_ms), key);
+    }
+    const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+    if (!mapping.probe(key, now).has_value()) {
+      mapping.insert(key, 0, now);
+    }
+  }
+  return mapping.stats();
+}
+
+analytic::CacheModelResult model_for(const StreamInput& input) {
+  analytic::CacheModelInput model;
+  model.catalog = input.catalog;
+  model.zipf_exponent = input.zipf_exponent;
+  model.capacity = input.capacity;
+  model.ttl_ms = input.ttl_ms;
+  model.request_rate_per_ms = input.request_rate_per_ms;
+  model.churn_rate_per_ms = input.churn_rate_per_ms;
+  return analytic::lru_cache_model(model);
+}
+
+// ---- Phases 2/3: simulated sessions, cache off vs on. ----
+
+sim::SessionConfig session_config(const routing::SyntheticInternet& internet,
+                                  const std::vector<AsId>& replicas) {
+  sim::SessionConfig config;
+  config.correspondent = internet.edge_ases()[0];
+  // A move every 2 s: enough churn that staleness and the notification
+  // stream both matter.
+  config.schedule = {{0.0, internet.edge_ases()[25]},
+                     {2000.0, internet.edge_ases()[26]},
+                     {4000.0, internet.edge_ases()[27]},
+                     {6000.0, internet.edge_ases()[28]},
+                     {8000.0, internet.edge_ases()[29]}};
+  config.packet_interval_ms = 20.0;
+  config.duration_ms = 12000.0;
+  config.resolver_ttl_ms = 300.0;
+  config.home_as = internet.edge_ases()[100];
+  config.resolver_as = replicas.front();
+  config.resolver_replicas = replicas;
+  return config;
+}
+
+std::string fmt_quantile(const stats::EmpiricalCdf& cdf, double q) {
+  return cdf.empty() ? "-" : stats::fmt(cdf.quantile(q), 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string entries_flag = "8";
+  std::string policy_flag = "lru";
+  bench::Harness harness(
+      argc, argv, "cache_sweep",
+      {{"--cache-entries", &entries_flag, nullptr},
+       {"--cache-policy", &policy_flag, nullptr}});
+
+  // Fail fast on a bad cache configuration, before any measured phase —
+  // the same contract as the harness's output-path probes (exit code 2).
+  const auto policy = cache::parse_policy(policy_flag);
+  if (!policy.has_value()) {
+    std::cerr << "cache_sweep: unknown --cache-policy '" << policy_flag
+              << "' (known: " << cache::known_policies() << ")\n";
+    std::exit(2);  // like the harness's output probes: no record written
+  }
+  std::size_t entries = 0;
+  try {
+    entries = std::stoul(entries_flag);
+  } catch (const std::exception&) {
+    std::cerr << "cache_sweep: bad --cache-entries value '" << entries_flag
+              << "' (want a non-negative integer)\n";
+    std::exit(2);
+  }
+  cache::CacheConfig session_cache;
+  session_cache.policy = *policy;
+  session_cache.capacity = entries;
+  session_cache.ttl_ms = 2000.0;
+  const bool cache_on = session_cache.enabled();
+
+  bench::print_figure_header(
+      "Mapping-cache sweep — hit rate vs the analytic model (extension)",
+      "(not a paper figure) the Che/Coras characteristic-time model should "
+      "predict the TTL+LRU hit rate within a few percent absolute across "
+      "the capacity grid; LFU should edge out LRU on the static Zipf "
+      "stream; caching should cut resolution stretch and shift control "
+      "cost from periodic re-resolution to churn notifications.");
+  harness.seed(kSeed);
+
+  // ---- Phase 1: model validation on the synthetic IRM stream. ----
+  std::cout << stats::heading("Hit rate vs analytic prediction (IRM)");
+  const std::vector<std::size_t> capacities{64, 256, 1024};
+  const std::vector<std::pair<cache::Policy, std::string>> policies{
+      {cache::Policy::kTtlLru, "lru"},
+      {cache::Policy::kLfu, "lfu"},
+      {cache::Policy::kTwoQ, "2q"},
+  };
+  const stats::Rng stream_rng(kSeed, "cache-sweep-irm");
+  // Flattened capacity x policy grid; each cell replays an identical
+  // Poisson/IRM stream (same split index per cell at any --threads).
+  const std::vector<cache::CacheStats> grid = exec::parallel_map(
+      capacities.size() * policies.size(), [&](std::size_t i) {
+        StreamInput input;
+        input.capacity = capacities[i / policies.size()];
+        input.policy = policies[i % policies.size()].first;
+        return run_stream(input, stream_rng.split(i));
+      });
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"capacity", "model (lru)", "lru", "|err|", "lfu", "2q"});
+  for (std::size_t c = 0; c < capacities.size(); ++c) {
+    StreamInput input;
+    input.capacity = capacities[c];
+    const auto model = model_for(input);
+    std::vector<std::string> row{std::to_string(capacities[c]),
+                                 stats::pct(model.hit_rate, 2)};
+    double lru_err = 0.0;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const double hit = grid[c * policies.size() + p].hit_rate();
+      harness.result("hit." + policies[p].second + ".c" +
+                         std::to_string(capacities[c]),
+                     hit);
+      if (p == 0) {
+        lru_err = std::abs(hit - model.hit_rate);
+        row.push_back(stats::pct(hit, 2));
+        row.push_back(stats::pct(lru_err, 2));
+      } else {
+        row.push_back(stats::pct(hit, 2));
+      }
+    }
+    harness.result("model.lru.c" + std::to_string(capacities[c]),
+                   model.hit_rate);
+    harness.result("model_abs_err.c" + std::to_string(capacities[c]),
+                   lru_err);
+    rows.push_back(std::move(row));
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  // TTL arm: a finite sliding TTL at fixed capacity; the model's
+  // min(T_C, TTL) lifetime should track the measured curve.
+  std::cout << stats::heading("Sliding-TTL arm (capacity 256, lru)");
+  const std::vector<double> ttls{50.0, 200.0, 1000.0};
+  const std::vector<cache::CacheStats> ttl_grid =
+      exec::parallel_map(ttls.size(), [&](std::size_t i) {
+        StreamInput input;
+        input.capacity = 256;
+        input.ttl_ms = ttls[i];
+        return run_stream(input, stream_rng.split(100 + i));
+      });
+  rows.clear();
+  rows.push_back({"ttl (ms)", "model", "measured", "|err|", "expiries"});
+  for (std::size_t i = 0; i < ttls.size(); ++i) {
+    StreamInput input;
+    input.capacity = 256;
+    input.ttl_ms = ttls[i];
+    const auto model = model_for(input);
+    const double hit = ttl_grid[i].hit_rate();
+    const double err = std::abs(hit - model.hit_rate);
+    harness.result("hit.lru.ttl" + stats::fmt(ttls[i], 0), hit);
+    harness.result("model.lru.ttl" + stats::fmt(ttls[i], 0),
+                   model.hit_rate);
+    rows.push_back({stats::fmt(ttls[i], 0), stats::pct(model.hit_rate, 2),
+                    stats::pct(hit, 2), stats::pct(err, 2),
+                    std::to_string(ttl_grid[i].ttl_expiries)});
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  // ---- Phase 2: packet sessions, cache off vs on. ----
+  harness.phase("session_cache");
+  std::cout << stats::heading(
+      "Correspondent mapping cache in the packet simulations (" +
+      std::string(cache::policy_name(session_cache.policy)) + ", " +
+      std::to_string(entries) + " entries)");
+  const auto& internet = bench::paper_internet();
+  const sim::ForwardingFabric fabric(internet);
+  const auto replicas = sim::ResolverPool::metro_placement(internet, 8);
+
+  const std::vector<std::pair<sim::SimArchitecture, std::string>> archs{
+      {sim::SimArchitecture::kIndirection, "indirection"},
+      {sim::SimArchitecture::kNameResolution, "resolution"},
+      {sim::SimArchitecture::kReplicatedResolution, "replicated"},
+  };
+  // Flattened architecture x {off, on} grid.
+  const std::size_t session_arms = cache_on ? 2 : 1;
+  const std::vector<sim::SessionStats> sessions = exec::parallel_map(
+      archs.size() * session_arms, [&](std::size_t i) {
+        auto config = session_config(internet, replicas);
+        if (i % session_arms == 1) config.mapping_cache = session_cache;
+        return sim::simulate_session(fabric, archs[i / session_arms].first,
+                                     config);
+      });
+  rows.clear();
+  rows.push_back({"architecture", "arm", "delivery", "stretch p50",
+                  "ctrl msgs", "cache hits", "invalidations"});
+  for (std::size_t a = 0; a < archs.size(); ++a) {
+    for (std::size_t arm = 0; arm < session_arms; ++arm) {
+      const sim::SessionStats& result = sessions[a * session_arms + arm];
+      const std::string mode = arm == 0 ? "off" : "cached";
+      const std::string key = archs[a].second + "." + mode;
+      harness.result("delivery." + key, result.delivery_ratio());
+      harness.result("ctrl." + key,
+                     static_cast<double>(result.control_messages));
+      harness.result("stretch_p50." + key,
+                     result.stretch.empty() ? 0.0
+                                            : result.stretch.quantile(0.5));
+      if (arm == 1) {
+        harness.result("cache_hit." + archs[a].second,
+                       result.mapping_cache.hit_rate());
+      }
+      rows.push_back({archs[a].second, mode,
+                      stats::pct(result.delivery_ratio(), 1),
+                      fmt_quantile(result.stretch, 0.5),
+                      std::to_string(result.control_messages),
+                      std::to_string(result.mapping_cache.hits),
+                      std::to_string(result.mapping_cache.invalidations)});
+    }
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  // ---- Phase 3: consumer FIB-miss cache in content retrieval. ----
+  harness.phase("content_cache");
+  std::cout << stats::heading("Consumer FIB-miss cache (content retrieval)");
+  sim::ContentSessionConfig content;
+  content.consumer = internet.edge_ases()[0];
+  content.publisher_schedule = {{0.0, internet.edge_ases()[40]},
+                                {5000.0, internet.edge_ases()[41]},
+                                {10000.0, internet.edge_ases()[42]},
+                                {15000.0, internet.edge_ases()[43]}};
+  content.catalog_segments = 1000;
+  content.request_interval_ms = 10.0;
+  content.duration_ms = 20000.0;
+  content.cache_capacity = 64;
+  content.seed = kSeed;
+
+  std::vector<std::size_t> fib_capacities{0};
+  if (cache_on) {
+    fib_capacities.insert(fib_capacities.end(), {16, 64, 256});
+  }
+  const std::vector<sim::ContentSessionStats> retrievals =
+      exec::parallel_map(fib_capacities.size(), [&](std::size_t i) {
+        auto config = content;
+        if (fib_capacities[i] > 0) {
+          config.mapping_cache = session_cache;
+          config.mapping_cache.capacity = fib_capacities[i];
+        }
+        return sim::simulate_content_session(fabric, config);
+      });
+  rows.clear();
+  rows.push_back({"fib cache", "reachability", "from store", "guided",
+                  "fib hit rate", "p50 delay (ms)"});
+  for (std::size_t i = 0; i < fib_capacities.size(); ++i) {
+    const sim::ContentSessionStats& result = retrievals[i];
+    const std::string label =
+        fib_capacities[i] == 0 ? "off"
+                               : "c" + std::to_string(fib_capacities[i]);
+    harness.result("reach.content." + label, result.reachability());
+    harness.result("guided.content." + label,
+                   static_cast<double>(result.cache_guided_interests));
+    if (fib_capacities[i] > 0) {
+      harness.result("fib_hit." + label, result.mapping_cache.hit_rate());
+    }
+    rows.push_back({label, stats::pct(result.reachability(), 1),
+                    stats::pct(result.cache_hit_ratio(), 1),
+                    std::to_string(result.cache_guided_interests),
+                    fib_capacities[i] == 0
+                        ? "-"
+                        : stats::pct(result.mapping_cache.hit_rate(), 1),
+                    fmt_quantile(result.retrieval_delay_ms, 0.5)});
+  }
+  std::cout << stats::text_table(rows) << "\n";
+
+  std::cout
+      << "Reading: the characteristic-time prediction tracks the measured "
+         "TTL+LRU hit rate across the grid; LFU beats LRU on the static "
+         "Zipf stream while 2Q lands between them; in the packet "
+         "simulations the binding cache converts indirection's triangle "
+         "into a direct path after the first miss (stretch toward 1) and "
+         "replaces the resolvers' periodic re-resolution clock with "
+         "demand misses plus churn notifications; the consumer FIB cache "
+         "steers interests without waiting for belief convergence.\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "lina/cache/mapping_cache.hpp"
 #include "lina/exec/thread_pool.hpp"
 #include "lina/names/name_trie.hpp"
 #include "lina/prof/prof.hpp"
@@ -412,6 +413,82 @@ void BM_AllPairsShortestPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_AllPairsShortestPaths)
     ->ArgsProduct({{256, 512, 1024}, {1, 8}});
+
+// Mapping-cache micros: steady-state probe hit, probe miss, and the full
+// insert-evict cycle, for each replacement policy. Arg 1 selects the
+// policy (0 = TTL+LRU, 1 = LFU, 2 = 2Q); items/sec counts operations.
+
+cache::CacheConfig micro_cache_config(std::int64_t policy_arg,
+                                      std::size_t capacity) {
+  cache::CacheConfig config;
+  config.policy = policy_arg == 0   ? cache::Policy::kTtlLru
+                  : policy_arg == 1 ? cache::Policy::kLfu
+                                    : cache::Policy::kTwoQ;
+  config.capacity = capacity;
+  return config;
+}
+
+void BM_MappingCacheHit(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  cache::MappingCache<std::uint64_t, std::uint32_t> cache(
+      micro_cache_config(state.range(1), capacity));
+  for (std::uint64_t k = 0; k < capacity; ++k) {
+    cache.insert(k, static_cast<std::uint32_t>(k), 0.0);
+  }
+  // Skewed resident stream: hot keys dominate, as on the resolution path.
+  stats::Rng rng(11);
+  std::vector<std::uint64_t> keys(1024);
+  for (auto& key : keys) {
+    key = static_cast<std::uint64_t>(rng.index(capacity)) / 2;
+  }
+  std::size_t q = 0;
+  double now = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.probe(keys[q++ & 1023], now));
+    now += 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MappingCacheHit)
+    ->ArgsProduct({{1 << 8, 1 << 12, 1 << 16}, {0, 1, 2}});
+
+void BM_MappingCacheMiss(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  cache::MappingCache<std::uint64_t, std::uint32_t> cache(
+      micro_cache_config(state.range(1), capacity));
+  for (std::uint64_t k = 0; k < capacity; ++k) {
+    cache.insert(k, static_cast<std::uint32_t>(k), 0.0);
+  }
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    // Keys above the resident range: every probe walks the table and
+    // misses.
+    benchmark::DoNotOptimize(cache.probe(capacity + (q++ & 1023), 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MappingCacheMiss)
+    ->ArgsProduct({{1 << 8, 1 << 12, 1 << 16}, {0, 1, 2}});
+
+void BM_MappingCacheEvict(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  cache::MappingCache<std::uint64_t, std::uint32_t> cache(
+      micro_cache_config(state.range(1), capacity));
+  for (std::uint64_t k = 0; k < capacity; ++k) {
+    cache.insert(k, static_cast<std::uint32_t>(k), 0.0);
+  }
+  // Every insert is a fresh key into a full cache: probe-miss + victim
+  // selection + backward-shift erase + insert, the worst-case write.
+  std::uint64_t next = capacity;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.insert(next, static_cast<std::uint32_t>(next), 1.0));
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MappingCacheEvict)
+    ->ArgsProduct({{1 << 8, 1 << 12, 1 << 16}, {0, 1, 2}});
 
 // Span-overhead pins for the lina::prof contract: a disabled PROF_SPAN
 // must cost <= ~2ns (one relaxed atomic load + branch), an enabled span

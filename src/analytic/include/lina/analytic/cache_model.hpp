@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lina::analytic {
+
+/// Coras et al.'s analytic model for loc/ID mapping caches ("An
+/// Analytical Model for Loc/ID Mappings Caches", PAPERS.md), in the
+/// characteristic-time (Che) formulation their working-set derivation
+/// reduces to for an LRU cache under a stationary reference stream.
+///
+/// Request model: an aggregate Poisson stream of `request_rate_per_ms`
+/// lookups over a catalog of `catalog` mappings with Zipf(s) popularity
+/// (rank-k probability q_k = k^-s / H_{n,s}), the independent reference
+/// model the paper fits to LISP traffic. For an LRU cache of capacity C
+/// there is a single characteristic time T_C — the age at which an
+/// unreferenced entry falls off the list — implicitly defined by the
+/// occupancy constraint
+///
+///     sum_k (1 - e^{-lambda_k T_eff,k}) = C,   lambda_k = q_k * rate,
+///
+/// and a mapping hits iff its inter-request gap is shorter than its
+/// effective lifetime. Our TTL+LRU policy bounds the idle lifetime by
+/// the sliding TTL, so T_eff,k = min(T_C, ttl_ms); with per-mapping
+/// churn invalidations at rate `churn_rate_per_ms` (mobility updates
+/// dropping the entry), a request additionally hits only when no churn
+/// event landed since the previous request:
+///
+///     h_k = lambda_k/(lambda_k+mu) * (1 - e^{-(lambda_k+mu) T_eff}).
+///
+/// The aggregate prediction is H = sum_k q_k h_k. When the occupancy
+/// constraint cannot bind (the TTL or churn keeps steady-state occupancy
+/// under C), T_C is infinite and the TTL alone governs.
+struct CacheModelInput {
+  std::size_t catalog = 0;          // number of distinct mappings (n)
+  double zipf_exponent = 1.0;       // s
+  std::size_t capacity = 0;         // C, entries
+  double ttl_ms = 0.0;              // sliding idle TTL (<=0 = unbounded)
+  double request_rate_per_ms = 1.0; // aggregate Poisson lookup rate
+  double churn_rate_per_ms = 0.0;   // per-mapping invalidation rate (mu)
+};
+
+struct CacheModelResult {
+  double hit_rate = 0.0;            // H, the headline prediction
+  double characteristic_time_ms = 0.0;  // T_C (inf when TTL-bound)
+  double expected_occupancy = 0.0;  // steady-state cached entries
+};
+
+/// Evaluates the model. Throws std::invalid_argument on a non-positive
+/// catalog/rate or a negative churn rate. A capacity of at least the
+/// catalog size (or 0 TTL pressure) degenerates gracefully: T_C becomes
+/// unbounded and the TTL/churn terms alone bound the hit rate.
+[[nodiscard]] CacheModelResult lru_cache_model(const CacheModelInput& input);
+
+/// Zipf rank probabilities q_1..q_n (1-based rank k at index k-1); the
+/// popularity law both the model above and the cache_sweep driver share.
+[[nodiscard]] std::vector<double> zipf_popularity(std::size_t catalog,
+                                                  double exponent);
+
+}  // namespace lina::analytic

@@ -1,0 +1,103 @@
+#include "lina/analytic/cache_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lina::analytic {
+
+std::vector<double> zipf_popularity(std::size_t catalog, double exponent) {
+  if (catalog == 0)
+    throw std::invalid_argument("zipf_popularity: empty catalog");
+  std::vector<double> q(catalog);
+  double norm = 0.0;
+  for (std::size_t k = 0; k < catalog; ++k) {
+    q[k] = std::pow(static_cast<double>(k + 1), -exponent);
+    norm += q[k];
+  }
+  for (double& value : q) value /= norm;
+  return q;
+}
+
+namespace {
+
+/// Per-mapping hit probability given its effective idle lifetime.
+double item_hit(double lambda, double mu, double lifetime_ms) {
+  if (lifetime_ms <= 0.0) return 0.0;
+  if (std::isinf(lifetime_ms)) {
+    return mu == 0.0 ? 1.0 : lambda / (lambda + mu);
+  }
+  return lambda / (lambda + mu) *
+         (1.0 - std::exp(-(lambda + mu) * lifetime_ms));
+}
+
+/// Steady-state probability the mapping is cached when its idle lifetime
+/// is `lifetime_ms`: by PASTA this is the hit probability — an entry is
+/// occupied exactly when a hypothetical request would hit it.
+double item_occupancy(double lambda, double mu, double lifetime_ms) {
+  return item_hit(lambda, mu, lifetime_ms);
+}
+
+}  // namespace
+
+CacheModelResult lru_cache_model(const CacheModelInput& input) {
+  if (input.catalog == 0)
+    throw std::invalid_argument("lru_cache_model: empty catalog");
+  if (input.request_rate_per_ms <= 0.0)
+    throw std::invalid_argument("lru_cache_model: non-positive rate");
+  if (input.churn_rate_per_ms < 0.0)
+    throw std::invalid_argument("lru_cache_model: negative churn rate");
+  const double inf = std::numeric_limits<double>::infinity();
+  const double ttl = input.ttl_ms > 0.0 ? input.ttl_ms : inf;
+  const std::vector<double> q =
+      zipf_popularity(input.catalog, input.zipf_exponent);
+  const double mu = input.churn_rate_per_ms;
+
+  const auto occupancy_at = [&](double t_c) {
+    double total = 0.0;
+    for (const double qk : q) {
+      total += item_occupancy(qk * input.request_rate_per_ms, mu,
+                              std::min(t_c, ttl));
+    }
+    return total;
+  };
+
+  CacheModelResult result;
+  double t_c = inf;
+  const double cap = static_cast<double>(input.capacity);
+  if (input.capacity == 0) {
+    result.hit_rate = 0.0;
+    result.characteristic_time_ms = 0.0;
+    result.expected_occupancy = 0.0;
+    return result;
+  }
+  // The occupancy constraint binds only when unbounded-lifetime occupancy
+  // would overflow the capacity; otherwise the TTL/churn govern alone.
+  if (occupancy_at(inf) > cap) {
+    // Bisection for T_C: occupancy is monotone increasing in t_c.
+    double lo = 0.0;
+    double hi = 1.0;
+    while (occupancy_at(hi) < cap) hi *= 2.0;
+    for (int iter = 0; iter < 200 && (hi - lo) > 1e-12 * hi; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (occupancy_at(mid) < cap) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    t_c = 0.5 * (lo + hi);
+  }
+
+  double hit = 0.0;
+  for (const double qk : q) {
+    hit += qk * item_hit(qk * input.request_rate_per_ms, mu,
+                         std::min(t_c, ttl));
+  }
+  result.hit_rate = hit;
+  result.characteristic_time_ms = t_c;
+  result.expected_occupancy = occupancy_at(t_c);
+  return result;
+}
+
+}  // namespace lina::analytic

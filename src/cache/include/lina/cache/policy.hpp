@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lina::cache {
+
+/// Replacement policy of a MappingCache.
+///
+///  - kOff:    the cache is disabled. Probes always miss without touching
+///             any state and inserts are no-ops, so a simulator holding an
+///             off cache is bit-identical to one holding no cache at all.
+///  - kTtlLru: TTL + LRU. One recency list; hits move to MRU; capacity
+///             evictions take the LRU tail; entries idle longer than the
+///             TTL expire on probe (the TTL is a sliding idle bound — a
+///             hit re-arms it, matching a map-cache that keeps refreshing
+///             mappings in active use; correctness on churn comes from
+///             invalidation, not the TTL). This is the policy the Coras
+///             et al. analytic model predicts.
+///  - kLfu:    O(1) LFU with exact frequency buckets; ties within a
+///             frequency bucket break LRU. TTL is honored the same way.
+///  - kTwoQ:   the classic 2Q: a FIFO probation queue (A1in) absorbs
+///             one-hit wonders, a ghost key queue (A1out) remembers
+///             recently demoted keys, and only keys re-referenced from
+///             the ghost queue enter the protected LRU main queue (Am).
+enum class Policy : std::uint8_t { kOff, kTtlLru, kLfu, kTwoQ };
+
+/// Canonical spelling: "off", "lru", "lfu", "2q".
+[[nodiscard]] std::string_view policy_name(Policy policy);
+
+/// Parses a canonical spelling; nullopt on anything else (callers turn
+/// that into their own fail-fast diagnostic).
+[[nodiscard]] std::optional<Policy> parse_policy(std::string_view text);
+
+/// All spellings parse_policy accepts, for error messages.
+[[nodiscard]] std::string known_policies();
+
+/// What a churn notification (a mobility update arriving on the update
+/// stream) does to a cached mapping of the moved endpoint:
+///  - kInvalidate: drop the entry; the next probe misses and pays a full
+///    resolution (LISP SMR-style invalidation).
+///  - kRefresh: overwrite the entry's value in place when present (the
+///    update carries the new locator, DNS push-style).
+/// Either way the event is counted as an invalidation/refresh, never as a
+/// capacity eviction.
+enum class ChurnAction : std::uint8_t { kInvalidate, kRefresh };
+
+/// Configuration of a mapping cache on a resolution hot path.
+struct CacheConfig {
+  Policy policy = Policy::kOff;
+  std::size_t capacity = 0;  // entries; 0 disables regardless of policy
+  double ttl_ms = std::numeric_limits<double>::infinity();
+  ChurnAction churn = ChurnAction::kInvalidate;
+
+  /// An enabled cache has a non-off policy AND a non-zero capacity; a
+  /// disabled cache is pure pass-through (see Policy::kOff).
+  [[nodiscard]] bool enabled() const {
+    return policy != Policy::kOff && capacity > 0;
+  }
+  [[nodiscard]] bool valid() const { return ttl_ms > 0.0; }
+};
+
+/// Operation counts of one cache instance. Plain integers (not obs
+/// handles) so simulators can carry them in their stats structs and
+/// bit-identity tests can compare them directly.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;      // capacity evictions only
+  std::uint64_t ttl_expiries = 0;   // idle entries dropped on probe
+  std::uint64_t invalidations = 0;  // churn-driven drops
+  std::uint64_t refreshes = 0;      // churn-driven in-place updates
+
+  [[nodiscard]] std::uint64_t probes() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return probes() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(probes());
+  }
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+}  // namespace lina::cache

@@ -1,0 +1,29 @@
+#include "lina/cache/policy.hpp"
+
+namespace lina::cache {
+
+std::string_view policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kOff:
+      return "off";
+    case Policy::kTtlLru:
+      return "lru";
+    case Policy::kLfu:
+      return "lfu";
+    case Policy::kTwoQ:
+      return "2q";
+  }
+  return "unknown";
+}
+
+std::optional<Policy> parse_policy(std::string_view text) {
+  if (text == "off") return Policy::kOff;
+  if (text == "lru") return Policy::kTtlLru;
+  if (text == "lfu") return Policy::kLfu;
+  if (text == "2q") return Policy::kTwoQ;
+  return std::nullopt;
+}
+
+std::string known_policies() { return "lru, lfu, 2q, off"; }
+
+}  // namespace lina::cache

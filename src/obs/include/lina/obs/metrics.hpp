@@ -93,6 +93,20 @@ LINA_OBS_COUNTER(session_control_retries,
                  "lina.sim.session.control_retries")
 LINA_OBS_HISTOGRAM(session_run_wall_ms, "lina.sim.session.run_wall_ms")
 
+// Mapping caches on the resolution hot paths (lina::cache). Counters are
+// process-wide aggregates over every cache instance; per-instance counts
+// live in cache::CacheStats.
+LINA_OBS_COUNTER(cache_probes, "lina.cache.probes")
+LINA_OBS_COUNTER(cache_hits, "lina.cache.hits")
+LINA_OBS_COUNTER(cache_misses, "lina.cache.misses")
+LINA_OBS_COUNTER(cache_insertions, "lina.cache.insertions")
+LINA_OBS_COUNTER(cache_evictions, "lina.cache.evictions")
+LINA_OBS_COUNTER(cache_invalidations, "lina.cache.invalidations")
+LINA_OBS_COUNTER(cache_refreshes, "lina.cache.refreshes")
+LINA_OBS_COUNTER(cache_ttl_expiries, "lina.cache.ttl_expiries")
+LINA_OBS_GAUGE(cache_entries, "lina.cache.entries")
+LINA_OBS_GAUGE(cache_arena_bytes, "lina.cache.arena_bytes")
+
 // Trace store (sharded binary workload traces and streaming replay).
 LINA_OBS_COUNTER(trace_shards_written, "lina.trace.shards_written")
 LINA_OBS_COUNTER(trace_bytes_written, "lina.trace.bytes_written")

@@ -50,6 +50,19 @@ struct ContentSessionConfig {
   /// non-empty FailurePlan is attached — the failure-free simulator's
   /// staleness losses (the §8 phenomenon) are left untouched.
   RetryPolicy retry;
+
+  /// Consumer-side FIB-miss resolution cache, keyed by segment. Off by
+  /// default (bit-identical to the pre-cache simulator). When enabled, a
+  /// publisher-satisfied retrieval installs segment -> publisher location
+  /// at data arrival; a later interest for a cached segment skips belief
+  /// forwarding and routes straight toward the cached location (content
+  /// stores on the way still answer). A stale entry (publisher moved) is
+  /// invalidated when the directed interest finds nobody home. The name-
+  /// update wavefront is the churn stream: when a move's flood reaches the
+  /// consumer, every cached location is invalidated (the whole catalog
+  /// moved, so ChurnAction is ignored — invalidation is the only correct
+  /// response). Activity lands in ContentSessionStats::mapping_cache.
+  cache::CacheConfig mapping_cache;
 };
 
 struct ContentSessionStats {
@@ -62,7 +75,14 @@ struct ContentSessionStats {
   /// requested segment); always 0 without a FailurePlan.
   std::size_t interest_retries = 0;
 
+  /// Interests routed by a mapping-cache hit instead of router beliefs;
+  /// always 0 when ContentSessionConfig::mapping_cache is off.
+  std::size_t cache_guided_interests = 0;
+
   stats::EmpiricalCdf retrieval_delay_ms;
+
+  /// Consumer FIB-cache counters; all zero when the cache is disabled.
+  cache::CacheStats mapping_cache;
 
   [[nodiscard]] std::size_t satisfied() const {
     return satisfied_from_cache + satisfied_from_publisher;

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "lina/exec/memo.hpp"
 #include "lina/sim/fabric.hpp"
 #include "lina/sim/failure_plan.hpp"
 
@@ -32,6 +33,16 @@ class ResolverPool {
   /// Index into replicas() of `replica`; throws std::invalid_argument if
   /// the AS hosts no replica.
   [[nodiscard]] std::size_t replica_index(topology::AsId replica) const;
+
+  /// The nearest replica and its one-way delay, as one cached record.
+  /// Both nearest_replica() and nearest_replica_delay_ms() route through
+  /// this lookup, so the per-replica delay scan runs once per client per
+  /// pool instead of once per call (sessions probe their resolver every
+  /// packet). delay_ms is +inf when no replica is reachable.
+  struct NearestReplica {
+    topology::AsId replica = 0;
+    double delay_ms = 0.0;
+  };
 
   /// The replica with the lowest path delay from `client`.
   [[nodiscard]] topology::AsId nearest_replica(topology::AsId client) const;
@@ -69,8 +80,16 @@ class ResolverPool {
       const routing::SyntheticInternet& internet, std::size_t count);
 
  private:
+  /// The memoized scan behind nearest_replica / nearest_replica_delay_ms.
+  [[nodiscard]] const NearestReplica& nearest(topology::AsId client) const;
+
   const ForwardingFabric* fabric_;
   std::vector<topology::AsId> replicas_;
+  // Striped-shared-mutex memo (the ForwardingFabric cache idiom): pools
+  // are shared across lina::exec bench cells, and the scan result is a
+  // pure function of (pool, client), so caching is thread-safe and
+  // thread-count-invariant.
+  exec::Memo<topology::AsId, NearestReplica> nearest_cache_;
 };
 
 }  // namespace lina::sim

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lina/cache/policy.hpp"
 #include "lina/core/backoff.hpp"
 #include "lina/sim/fabric.hpp"
 #include "lina/sim/failure_plan.hpp"
@@ -74,6 +75,26 @@ struct SessionConfig {
 
   /// Control-plane retry behaviour under injected faults.
   RetryPolicy retry;
+
+  /// Correspondent-side loc/ID mapping cache (DESIGN.md §4h). Off by
+  /// default — a disabled cache leaves every architecture bit-identical
+  /// to the pre-cache simulator. When enabled:
+  ///  - indirection: a Mobile-IPv6-style binding cache. A hit sends the
+  ///    packet straight to the cached care-of AS (no triangle); a miss
+  ///    goes via the home agent, which pushes a binding update back to
+  ///    the correspondent. Registrations landing at the home agent push
+  ///    churn notifications that invalidate/refresh the cached binding.
+  ///  - name resolution / replicated resolution: the periodic TTL
+  ///    re-resolution loop is replaced by demand resolution. A hit sends
+  ///    immediately to the cached location; a miss makes the packet ride
+  ///    a resolver round trip, installs the answer, then sends. Location
+  ///    updates landing at the (lookup) resolver push churn
+  ///    notifications down the update stream.
+  ///  - name-based routing has no resolution step, so the cache is
+  ///    ignored there.
+  /// Churn notifications count as control messages; cache activity is
+  /// reported in SessionStats::mapping_cache.
+  cache::CacheConfig mapping_cache;
 };
 
 /// Delivery metrics of one simulated session.
@@ -107,6 +128,10 @@ struct SessionStats {
   /// Stretch of packets sent while a fault was active — degraded-mode
   /// routing quality (compare against `stretch`).
   stats::EmpiricalCdf stretch_degraded;
+
+  /// Correspondent mapping-cache counters; all zero when the cache is
+  /// disabled (SessionConfig::mapping_cache).
+  cache::CacheStats mapping_cache;
 
   [[nodiscard]] double delivery_ratio() const {
     return packets_sent == 0

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "lina/cache/mapping_cache.hpp"
 #include "lina/prof/prof.hpp"
 #include "lina/sim/content_store.hpp"
 #include "lina/sim/event_queue.hpp"
@@ -23,7 +24,9 @@ class ContentSessionRunner {
         plan_(config.failures),
         faults_(plan_ != nullptr && !plan_->empty()),
         zipf_(config.catalog_segments, config.zipf_exponent),
-        rng_(config.seed, "content-session") {
+        rng_(config.seed, "content-session"),
+        fib_(config.mapping_cache),
+        fib_cached_(fib_.enabled()) {
     if (config.publisher_schedule.empty() ||
         config.publisher_schedule.front().time_ms != 0.0)
       throw std::invalid_argument(
@@ -41,6 +44,9 @@ class ContentSessionRunner {
     if (!config.retry.valid())
       throw std::invalid_argument(
           "simulate_content_session: malformed retry policy");
+    if (!config.mapping_cache.valid())
+      throw std::invalid_argument(
+          "simulate_content_session: non-positive cache TTL");
     const std::size_t as_count = fabric.internet().graph().as_count();
     if (config.consumer >= as_count)
       throw std::out_of_range("simulate_content_session: consumer AS");
@@ -57,13 +63,28 @@ class ContentSessionRunner {
         ++stats_.interests_sent;
         const auto segment =
             static_cast<std::uint64_t>(zipf_.sample(rng_));
-        std::vector<AsId> path;
-        hop(config_.consumer, segment, queue_.now(), 0.0, path, 0, 0);
+        issue(segment, queue_.now(), 0);
       });
+    }
+    if (fib_cached_) {
+      // The name-update wavefront is the cache's churn stream: when a
+      // move's flood reaches the consumer, every cached publisher location
+      // is stale (the whole catalog moved) and is invalidated wholesale.
+      for (std::size_t i = 1; i < config_.publisher_schedule.size(); ++i) {
+        const MobilityStep& step = config_.publisher_schedule[i];
+        const double arrival =
+            step.time_ms +
+            static_cast<double>(
+                fabric_.physical_hops(config_.consumer, step.as)) *
+                config_.update_hop_ms;
+        if (arrival >= config_.duration_ms) continue;
+        queue_.schedule(arrival, [this] { fib_.invalidate_all(); });
+      }
     }
     queue_.run();
     stats_.unsatisfied =
         stats_.interests_sent - stats_.satisfied();
+    stats_.mapping_cache = fib_.stats();
     return std::move(stats_);
   }
 
@@ -111,9 +132,30 @@ class ContentSessionRunner {
         ++stats_.satisfied_from_cache;
       } else {
         ++stats_.satisfied_from_publisher;
+        // A publisher-satisfied retrieval resolves the segment's location:
+        // install it when the data arrives back at the consumer.
+        if (fib_cached_) fib_.insert(segment, path.back(), queue_.now());
       }
       stats_.retrieval_delay_ms.add(queue_.now() - send_time_ms);
     });
+  }
+
+  /// Launches one interest from the consumer: a mapping-cache hit routes
+  /// it straight toward the cached publisher location, a miss (or a
+  /// disabled cache) falls back to belief forwarding.
+  void issue(std::uint64_t segment, double send_time_ms,
+             std::size_t attempt) {
+    if (fib_cached_) {
+      const auto hit = fib_.probe(segment, queue_.now());
+      if (hit.has_value()) {
+        ++stats_.cache_guided_interests;
+        hop_directed(config_.consumer, *hit, segment, send_time_ms, 0.0,
+                     {}, 0, attempt);
+        return;
+      }
+    }
+    std::vector<AsId> path;
+    hop(config_.consumer, segment, send_time_ms, 0.0, path, 0, attempt);
   }
 
   /// Reissues a dead interest from the consumer on the retry backoff.
@@ -127,9 +169,55 @@ class ContentSessionRunner {
         config_.retry.delay_ms(attempt),
         [this, segment, send_time_ms, attempt] {
           ++stats_.interest_retries;
-          std::vector<AsId> path;
-          hop(config_.consumer, segment, send_time_ms, 0.0, path, 0,
-              attempt + 1);
+          issue(segment, send_time_ms, attempt + 1);
+        });
+  }
+
+  /// Interest forwarding toward a fixed cached location instead of router
+  /// beliefs. Content stores on the way still answer; at the destination a
+  /// vanished publisher means the cached entry was stale — it is
+  /// invalidated so the next interest re-resolves via beliefs.
+  void hop_directed(AsId at, AsId dest, std::uint64_t segment,
+                    double send_time_ms, double forward_delay_ms,
+                    std::vector<AsId> path, std::size_t hops,
+                    std::size_t attempt) {
+    if (hops > config_.interest_ttl_hops) {
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
+    if (faults_ && plan_->as_down(at, queue_.now())) {
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
+    path.push_back(at);
+    if (store_at(at).lookup(segment)) {
+      satisfy(segment, send_time_ms, forward_delay_ms, path, true);
+      return;
+    }
+    if (at == dest) {
+      if (publisher_location(queue_.now()) == at) {
+        satisfy(segment, send_time_ms, forward_delay_ms, path, false);
+      } else {
+        fib_.invalidate(segment);
+        retransmit(segment, send_time_ms, attempt);
+      }
+      return;
+    }
+    const auto next = faults_
+                          ? fabric_.next_hop(at, dest, *plan_, queue_.now())
+                          : fabric_.next_hop(at, dest);
+    if (!next.has_value()) {
+      retransmit(segment, send_time_ms, attempt);
+      return;
+    }
+    const double link = fabric_.link_delay_ms(at, *next);
+    queue_.schedule_in(
+        link, [this, next = *next, dest, segment, send_time_ms,
+               forward_delay_ms, link, path = std::move(path), hops,
+               attempt]() mutable {
+          hop_directed(next, dest, segment, send_time_ms,
+                       forward_delay_ms + link, std::move(path), hops + 1,
+                       attempt);
         });
   }
 
@@ -190,6 +278,10 @@ class ContentSessionRunner {
   EventQueue queue_;
   ContentSessionStats stats_;
   std::unordered_map<AsId, ContentStore> stores_;
+  /// Consumer FIB-miss resolution cache, segment -> publisher location
+  /// (ContentSessionConfig doc). Disabled = zero state, no new code paths.
+  cache::MappingCache<std::uint64_t, AsId> fib_;
+  const bool fib_cached_;
 };
 
 }  // namespace

@@ -39,21 +39,28 @@ std::size_t ResolverPool::replica_index(AsId replica) const {
   return static_cast<std::size_t>(it - replicas_.begin());
 }
 
-AsId ResolverPool::nearest_replica(AsId client) const {
-  PROF_SPAN("lina.resolver.lookup");
-  obs::metric::resolver_lookups().add();
-  AsId best = replicas_.front();
-  double best_delay = std::numeric_limits<double>::infinity();
-  for (const AsId replica : replicas_) {
-    const auto delay = fabric_->path_delay_ms(client, replica);
-    if (delay.has_value() && *delay < best_delay) {
-      best_delay = *delay;
-      best = replica;
+const ResolverPool::NearestReplica& ResolverPool::nearest(
+    AsId client) const {
+  return nearest_cache_.get_or_build(client, [&]() -> NearestReplica {
+    PROF_SPAN("lina.resolver.lookup");
+    NearestReplica entry{replicas_.front(),
+                         std::numeric_limits<double>::infinity()};
+    for (const AsId replica : replicas_) {
+      const auto delay = fabric_->path_delay_ms(client, replica);
+      if (delay.has_value() && *delay < entry.delay_ms) {
+        entry.delay_ms = *delay;
+        entry.replica = replica;
+      }
     }
-  }
-  if (best_delay < std::numeric_limits<double>::infinity())
-    obs::metric::resolver_lookup_delay_ms().record(best_delay);
-  return best;
+    if (entry.delay_ms < std::numeric_limits<double>::infinity())
+      obs::metric::resolver_lookup_delay_ms().record(entry.delay_ms);
+    return entry;
+  });
+}
+
+AsId ResolverPool::nearest_replica(AsId client) const {
+  obs::metric::resolver_lookups().add();
+  return nearest(client).replica;
 }
 
 std::optional<AsId> ResolverPool::nearest_live_replica(
@@ -77,8 +84,8 @@ std::optional<AsId> ResolverPool::nearest_live_replica(
 }
 
 double ResolverPool::nearest_replica_delay_ms(AsId client) const {
-  const auto delay = fabric_->path_delay_ms(client, nearest_replica(client));
-  return delay.value_or(std::numeric_limits<double>::infinity());
+  obs::metric::resolver_lookups().add();
+  return nearest(client).delay_ms;
 }
 
 std::vector<double> ResolverPool::propagation_times_ms(

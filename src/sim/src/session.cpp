@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lina/cache/mapping_cache.hpp"
 #include "lina/obs/metrics.hpp"
 #include "lina/obs/timer.hpp"
 #include "lina/obs/trace.hpp"
@@ -53,6 +54,8 @@ void validate(const SessionConfig& config, const ForwardingFabric& fabric,
         "simulate_session: kReplicatedResolution needs resolver_replicas");
   if (!config.retry.valid())
     throw std::invalid_argument("simulate_session: malformed retry policy");
+  if (!config.mapping_cache.valid())
+    throw std::invalid_argument("simulate_session: non-positive cache TTL");
   const std::size_t as_count = fabric.internet().graph().as_count();
   if (config.correspondent >= as_count)
     throw std::out_of_range("simulate_session: correspondent AS");
@@ -82,7 +85,9 @@ class SessionRunner {
       : fabric_(fabric),
         config_(config),
         plan_(config.failures),
-        faults_(plan_ != nullptr && !plan_->empty()) {}
+        faults_(plan_ != nullptr && !plan_->empty()),
+        binding_(config.mapping_cache),
+        cached_(binding_.enabled()) {}
   virtual ~SessionRunner() = default;
 
   SessionStats run() {
@@ -124,6 +129,7 @@ class SessionRunner {
     }
     queue_.run();
     stats_.packets_lost = stats_.packets_sent - stats_.packets_delivered;
+    stats_.mapping_cache = binding_.stats();
     return std::move(stats_);
   }
 
@@ -194,12 +200,28 @@ class SessionRunner {
     return plan_->control_message_lost(message_id_++, queue_.now());
   }
 
+  /// The single mobile endpoint's key in the correspondent mapping cache.
+  static constexpr std::uint64_t kDeviceKey = 0;
+
+  /// Failure-aware when a plan is active, plain otherwise. Only the cached
+  /// data/control paths call this; the uncached paths keep their original
+  /// inline calls so the cache-off simulation stays bit-identical.
+  [[nodiscard]] std::optional<double> leg_delay(AsId from, AsId to) const {
+    return faults_ ? fabric_.path_delay_ms(from, to, *plan_, queue_.now())
+                   : fabric_.path_delay_ms(from, to);
+  }
+
   const ForwardingFabric& fabric_;
   const SessionConfig& config_;
   const FailurePlan* plan_;
   const bool faults_;
   EventQueue queue_;
   SessionStats stats_;
+  /// Correspondent-side loc/ID mapping cache (SessionConfig doc); disabled
+  /// (no storage, every probe a no-op) unless config.mapping_cache enables
+  /// it. `cached_` gates every new code path.
+  cache::MappingCache<std::uint64_t, AsId> binding_;
+  const bool cached_;
 
  private:
   double last_move_ms_ = 0.0;
@@ -227,7 +249,10 @@ class IndirectionRunner final : public SessionRunner {
     if (!faults_) {
       const auto delay = fabric_.path_delay_ms(new_as, home_);
       if (!delay.has_value()) return;
-      queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+      queue_.schedule_in(*delay, [this, new_as] {
+        registry_ = new_as;
+        if (cached_) notify_churn(new_as);
+      });
       return;
     }
     const auto delay =
@@ -242,6 +267,62 @@ class IndirectionRunner final : public SessionRunner {
         return;
       }
       registry_ = new_as;
+      if (cached_) notify_churn(new_as);
+    });
+  }
+
+  /// A registration landing at the home agent pushes a churn notification
+  /// to the correspondent's binding cache (invalidate or refresh per the
+  /// cache config) — one control message, in flight for the home->
+  /// correspondent delay.
+  void notify_churn(AsId new_as) {
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const auto back = leg_delay(home_, config_.correspondent);
+    if (!back.has_value()) return;
+    queue_.schedule_in(*back, [this, new_as] {
+      binding_.churn(kDeviceKey, new_as, queue_.now());
+    });
+  }
+
+  /// Binding cache enabled: a hit sends the packet straight to the cached
+  /// care-of AS (Mobile-IPv6 route optimisation — no triangle); a miss
+  /// goes through the home agent, which answers with a binding update so
+  /// later packets go direct.
+  void send_packet_cached(double send_time_ms) {
+    const auto hit = binding_.probe(kDeviceKey, queue_.now());
+    if (hit.has_value()) {
+      const AsId target = *hit;
+      const auto delay = leg_delay(config_.correspondent, target);
+      if (!delay.has_value()) return;
+      queue_.schedule_in(*delay, [this, send_time_ms, target] {
+        if (device_location(queue_.now()) == target) deliver(send_time_ms);
+      });
+      return;
+    }
+    const auto to_home = leg_delay(config_.correspondent, home_);
+    if (!to_home.has_value()) return;
+    queue_.schedule_in(*to_home, [this, send_time_ms] {
+      if (faults_ && plan_->home_agent_down(home_, queue_.now())) return;
+      const AsId target = registry_;
+      push_binding(target);
+      const auto to_target = leg_delay(home_, target);
+      if (!to_target.has_value()) return;
+      queue_.schedule_in(*to_target, [this, send_time_ms, target] {
+        if (device_location(queue_.now()) == target) deliver(send_time_ms);
+      });
+    });
+  }
+
+  /// Home agent -> correspondent binding update triggered by a cache-miss
+  /// packet transiting the home agent.
+  void push_binding(AsId care_of) {
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const auto back = leg_delay(home_, config_.correspondent);
+    if (!back.has_value()) return;
+    queue_.schedule_in(*back, [this, care_of] {
+      binding_.insert(kDeviceKey, care_of, queue_.now());
     });
   }
 
@@ -260,6 +341,10 @@ class IndirectionRunner final : public SessionRunner {
   }
 
   void send_packet(double send_time_ms) override {
+    if (cached_) {
+      send_packet_cached(send_time_ms);
+      return;
+    }
     if (!faults_) {
       // Leg 1: correspondent -> home agent.
       const auto to_home =
@@ -310,9 +395,13 @@ class ResolutionRunner final : public SessionRunner {
         registry_(config.schedule.front().as),
         cache_(config.schedule.front().as) {
     // Periodic re-resolution; the initial resolution happened at setup.
-    for (double t = config.resolver_ttl_ms; t < config.duration_ms;
-         t += config.resolver_ttl_ms) {
-      queue_.schedule(t, [this] { resolve(0); });
+    // With a mapping cache the correspondent resolves on demand (per
+    // cache-miss packet) instead of on a TTL clock.
+    if (!cached_) {
+      for (double t = config.resolver_ttl_ms; t < config.duration_ms;
+           t += config.resolver_ttl_ms) {
+        queue_.schedule(t, [this] { resolve(0); });
+      }
     }
   }
 
@@ -367,7 +456,10 @@ class ResolutionRunner final : public SessionRunner {
     if (!faults_) {
       const auto delay = fabric_.path_delay_ms(new_as, resolver_);
       if (!delay.has_value()) return;
-      queue_.schedule_in(*delay, [this, new_as] { registry_ = new_as; });
+      queue_.schedule_in(*delay, [this, new_as] {
+        registry_ = new_as;
+        if (cached_) notify_churn(new_as);
+      });
       return;
     }
     const auto delay =
@@ -382,6 +474,19 @@ class ResolutionRunner final : public SessionRunner {
         return;
       }
       registry_ = new_as;
+      if (cached_) notify_churn(new_as);
+    });
+  }
+
+  /// A location update landing at the resolver pushes a churn notification
+  /// down the update stream to the correspondent's mapping cache.
+  void notify_churn(AsId new_as) {
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const auto back = leg_delay(resolver_, config_.correspondent);
+    if (!back.has_value()) return;
+    queue_.schedule_in(*back, [this, new_as] {
+      binding_.churn(kDeviceKey, new_as, queue_.now());
     });
   }
 
@@ -397,7 +502,46 @@ class ResolutionRunner final : public SessionRunner {
     });
   }
 
+  /// Mapping cache enabled: a hit sends the packet straight to the cached
+  /// location; a miss makes the packet ride a full resolver round trip
+  /// (demand resolution — one control message), install the answer, then
+  /// forward. No retries under faults: a lost query loses the packet and
+  /// the next miss re-resolves.
+  void send_packet_cached(double send_time_ms) {
+    const auto hit = binding_.probe(kDeviceKey, queue_.now());
+    if (hit.has_value()) {
+      forward_cached(send_time_ms, *hit);
+      return;
+    }
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const auto to_resolver = leg_delay(config_.correspondent, resolver_);
+    if (!to_resolver.has_value()) return;
+    queue_.schedule_in(*to_resolver, [this, send_time_ms] {
+      if (faults_ && plan_->resolver_down(resolver_, queue_.now())) return;
+      const AsId answer = registry_;
+      const auto back = leg_delay(resolver_, config_.correspondent);
+      if (!back.has_value()) return;
+      queue_.schedule_in(*back, [this, send_time_ms, answer] {
+        binding_.insert(kDeviceKey, answer, queue_.now());
+        forward_cached(send_time_ms, answer);
+      });
+    });
+  }
+
+  void forward_cached(double send_time_ms, AsId target) {
+    const auto delay = leg_delay(config_.correspondent, target);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, send_time_ms, target] {
+      if (device_location(queue_.now()) == target) deliver(send_time_ms);
+    });
+  }
+
   void send_packet(double send_time_ms) override {
+    if (cached_) {
+      send_packet_cached(send_time_ms);
+      return;
+    }
     const AsId target = cache_;
     if (!faults_) {
       const auto delay = fabric_.path_delay_ms(config_.correspondent, target);
@@ -439,9 +583,13 @@ class ReplicatedResolutionRunner final : public SessionRunner {
         lookup_replica_ = i;
       }
     }
-    for (double t = config.resolver_ttl_ms; t < config.duration_ms;
-         t += config.resolver_ttl_ms) {
-      queue_.schedule(t, [this] { resolve(0); });
+    // Demand resolution replaces the TTL clock when a mapping cache is on,
+    // exactly as in ResolutionRunner.
+    if (!cached_) {
+      for (double t = config.resolver_ttl_ms; t < config.duration_ms;
+           t += config.resolver_ttl_ms) {
+        queue_.schedule(t, [this] { resolve(0); });
+      }
     }
     if (faults_) {
       // Anti-entropy: at each repair instant a replica that was down (its
@@ -499,9 +647,13 @@ class ReplicatedResolutionRunner final : public SessionRunner {
           fabric_.path_delay_ms(peer, recovered, *plan_, queue_.now());
       if (!back.has_value()) return;
       queue_.schedule_in(*back, [this, recovered, before, answer] {
-        auto& record = records_[pool_.replica_index(recovered)];
-        if (record == before && !plan_->resolver_down(recovered, queue_.now()))
+        const std::size_t index = pool_.replica_index(recovered);
+        auto& record = records_[index];
+        if (record == before &&
+            !plan_->resolver_down(recovered, queue_.now())) {
           record = answer;
+          if (cached_ && index == lookup_replica_) notify_churn(answer);
+        }
       });
     });
   }
@@ -569,6 +721,7 @@ class ReplicatedResolutionRunner final : public SessionRunner {
       for (std::size_t i = 0; i < arrivals.size(); ++i) {
         queue_.schedule(arrivals[i], [this, i, new_as] {
           records_[i] = new_as;
+          if (cached_ && i == lookup_replica_) notify_churn(new_as);
         });
       }
       return;
@@ -594,7 +747,9 @@ class ReplicatedResolutionRunner final : public SessionRunner {
         retry_update(new_as, attempt);
         return;
       }
-      records_[pool_.replica_index(primary)] = new_as;
+      const std::size_t primary_index = pool_.replica_index(primary);
+      records_[primary_index] = new_as;
+      if (cached_ && primary_index == lookup_replica_) notify_churn(new_as);
       for (std::size_t i = 0; i < pool_.replicas().size(); ++i) {
         const AsId replica = pool_.replicas()[i];
         if (replica == primary) continue;
@@ -603,8 +758,10 @@ class ReplicatedResolutionRunner final : public SessionRunner {
                                                  queue_.now());
         if (control_lost() || !relay.has_value()) continue;
         queue_.schedule_in(*relay, [this, i, new_as] {
-          if (!plan_->resolver_down(pool_.replicas()[i], queue_.now()))
+          if (!plan_->resolver_down(pool_.replicas()[i], queue_.now())) {
             records_[i] = new_as;
+            if (cached_ && i == lookup_replica_) notify_churn(new_as);
+          }
         });
       }
     });
@@ -622,7 +779,57 @@ class ReplicatedResolutionRunner final : public SessionRunner {
     });
   }
 
+  /// A record write landing at the correspondent's lookup replica pushes a
+  /// churn notification down the update stream to its mapping cache.
+  void notify_churn(AsId new_as) {
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const AsId replica = pool_.replicas()[lookup_replica_];
+    const auto back = leg_delay(replica, config_.correspondent);
+    if (!back.has_value()) return;
+    queue_.schedule_in(*back, [this, new_as] {
+      binding_.churn(kDeviceKey, new_as, queue_.now());
+    });
+  }
+
+  /// Demand resolution against the lookup replica, exactly as in
+  /// ResolutionRunner::send_packet_cached.
+  void send_packet_cached(double send_time_ms) {
+    const auto hit = binding_.probe(kDeviceKey, queue_.now());
+    if (hit.has_value()) {
+      forward_cached(send_time_ms, *hit);
+      return;
+    }
+    count_control(1);
+    if (faults_ && control_lost()) return;
+    const AsId replica = pool_.replicas()[lookup_replica_];
+    const auto to_replica = leg_delay(config_.correspondent, replica);
+    if (!to_replica.has_value()) return;
+    queue_.schedule_in(*to_replica, [this, send_time_ms, replica] {
+      if (faults_ && plan_->resolver_down(replica, queue_.now())) return;
+      const AsId answer = records_[lookup_replica_];
+      const auto back = leg_delay(replica, config_.correspondent);
+      if (!back.has_value()) return;
+      queue_.schedule_in(*back, [this, send_time_ms, answer] {
+        binding_.insert(kDeviceKey, answer, queue_.now());
+        forward_cached(send_time_ms, answer);
+      });
+    });
+  }
+
+  void forward_cached(double send_time_ms, AsId target) {
+    const auto delay = leg_delay(config_.correspondent, target);
+    if (!delay.has_value()) return;
+    queue_.schedule_in(*delay, [this, send_time_ms, target] {
+      if (device_location(queue_.now()) == target) deliver(send_time_ms);
+    });
+  }
+
   void send_packet(double send_time_ms) override {
+    if (cached_) {
+      send_packet_cached(send_time_ms);
+      return;
+    }
     const AsId target = cache_;
     if (!faults_) {
       const auto delay = fabric_.path_delay_ms(config_.correspondent, target);

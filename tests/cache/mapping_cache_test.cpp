@@ -1,0 +1,249 @@
+#include "lina/cache/mapping_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace lina::cache {
+namespace {
+
+using Cache = MappingCache<std::uint64_t, std::uint32_t>;
+
+CacheConfig config_for(Policy policy, std::size_t capacity,
+                       double ttl_ms = 1000.0) {
+  CacheConfig config;
+  config.policy = policy;
+  config.capacity = capacity;
+  config.ttl_ms = ttl_ms;
+  return config;
+}
+
+TEST(CachePolicyTest, NamesRoundTrip) {
+  for (const Policy policy :
+       {Policy::kOff, Policy::kTtlLru, Policy::kLfu, Policy::kTwoQ}) {
+    const auto parsed = parse_policy(policy_name(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+}
+
+TEST(CachePolicyTest, RejectsUnknownSpellings) {
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("LRU").has_value());
+  EXPECT_FALSE(parse_policy("arc").has_value());
+  EXPECT_FALSE(parse_policy("2Q").has_value());
+  // The fail-fast diagnostic lists every accepted spelling.
+  const std::string known = known_policies();
+  for (const char* name : {"off", "lru", "lfu", "2q"})
+    EXPECT_NE(known.find(name), std::string::npos) << known;
+}
+
+TEST(CacheConfigTest, EnabledNeedsPolicyAndCapacity) {
+  EXPECT_FALSE(config_for(Policy::kOff, 64).enabled());
+  EXPECT_FALSE(config_for(Policy::kTtlLru, 0).enabled());
+  EXPECT_TRUE(config_for(Policy::kTtlLru, 1).enabled());
+}
+
+TEST(CacheConfigTest, NonPositiveTtlThrows) {
+  EXPECT_THROW(Cache(config_for(Policy::kTtlLru, 4, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(config_for(Policy::kTtlLru, 4, -1.0)),
+               std::invalid_argument);
+}
+
+TEST(MappingCacheTest, DisabledCacheIsInertAndEmpty) {
+  for (const CacheConfig& config :
+       {config_for(Policy::kOff, 64), config_for(Policy::kTtlLru, 0)}) {
+    Cache cache(config);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_EQ(cache.arena_bytes(), 0u);
+    EXPECT_FALSE(cache.probe(7, 0.0).has_value());
+    EXPECT_FALSE(cache.insert(7, 1, 0.0).inserted);
+    EXPECT_FALSE(cache.invalidate(7));
+    EXPECT_FALSE(cache.refresh(7, 2, 0.0));
+    cache.churn(7, 2, 0.0);
+    cache.invalidate_all();
+    EXPECT_FALSE(cache.contains(7));
+    EXPECT_EQ(cache.size(), 0u);
+    // Bit-identity contract: a disabled cache never counts anything.
+    EXPECT_EQ(cache.stats(), CacheStats{});
+  }
+}
+
+TEST(MappingCacheTest, ProbeInsertProbe) {
+  Cache cache(config_for(Policy::kTtlLru, 4));
+  EXPECT_FALSE(cache.probe(1, 0.0).has_value());
+  const auto result = cache.insert(1, 42, 0.0);
+  EXPECT_TRUE(result.inserted);
+  EXPECT_FALSE(result.evicted.has_value());
+  const auto hit = cache.probe(1, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 42u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(MappingCacheTest, InsertingPresentKeyUpdatesInPlace) {
+  Cache cache(config_for(Policy::kTtlLru, 4));
+  cache.insert(1, 42, 0.0);
+  const auto again = cache.insert(1, 43, 1.0);
+  EXPECT_FALSE(again.inserted);
+  EXPECT_FALSE(again.evicted.has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(*cache.probe(1, 2.0), 43u);
+}
+
+TEST(MappingCacheTest, IdleTtlExpiresOnProbe) {
+  Cache cache(config_for(Policy::kTtlLru, 4, /*ttl_ms=*/100.0));
+  cache.insert(1, 42, 0.0);
+  EXPECT_TRUE(cache.probe(1, 100.0).has_value());  // boundary: still live
+  // The hit at t=100 re-armed the TTL to t=200 (sliding idle bound).
+  EXPECT_TRUE(cache.probe(1, 200.0).has_value());
+  EXPECT_FALSE(cache.probe(1, 300.1).has_value());
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().ttl_expiries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MappingCacheTest, ChurnInvalidateDropsWithoutEvictionCount) {
+  Cache cache(config_for(Policy::kTtlLru, 4));
+  cache.insert(1, 42, 0.0);
+  EXPECT_TRUE(cache.invalidate(1));
+  EXPECT_FALSE(cache.invalidate(1));  // already gone
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(MappingCacheTest, ChurnRefreshOverwritesInPlace) {
+  Cache cache(config_for(Policy::kTtlLru, 4));
+  cache.insert(1, 42, 0.0);
+  EXPECT_TRUE(cache.refresh(1, 99, 5.0));
+  EXPECT_FALSE(cache.refresh(2, 7, 5.0));  // absent keys are not installed
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(*cache.probe(1, 6.0), 99u);
+  EXPECT_EQ(cache.stats().refreshes, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(MappingCacheTest, ChurnDispatchesOnConfiguredAction) {
+  CacheConfig refresh_config = config_for(Policy::kTtlLru, 4);
+  refresh_config.churn = ChurnAction::kRefresh;
+  Cache refreshing(refresh_config);
+  refreshing.insert(1, 42, 0.0);
+  refreshing.churn(1, 99, 1.0);
+  EXPECT_EQ(*refreshing.probe(1, 2.0), 99u);
+  EXPECT_EQ(refreshing.stats().refreshes, 1u);
+
+  Cache invalidating(config_for(Policy::kTtlLru, 4));
+  invalidating.insert(1, 42, 0.0);
+  invalidating.churn(1, 99, 1.0);
+  EXPECT_FALSE(invalidating.contains(1));
+  EXPECT_EQ(invalidating.stats().invalidations, 1u);
+}
+
+TEST(MappingCacheTest, InvalidateAllDropsEverythingAndStaysUsable) {
+  for (const Policy policy : {Policy::kTtlLru, Policy::kLfu, Policy::kTwoQ}) {
+    SCOPED_TRACE(policy_name(policy));
+    Cache cache(config_for(policy, 8));
+    for (std::uint64_t key = 0; key < 8; ++key)
+      cache.insert(key, static_cast<std::uint32_t>(key), 0.0);
+    cache.invalidate_all();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().invalidations, 8u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    // The arena must be fully reusable after the wipe.
+    for (std::uint64_t key = 100; key < 108; ++key)
+      EXPECT_TRUE(cache.insert(key, 1, 1.0).inserted);
+    EXPECT_EQ(cache.size(), 8u);
+    for (std::uint64_t key = 100; key < 108; ++key)
+      EXPECT_TRUE(cache.contains(key));
+  }
+}
+
+TEST(MappingCacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache cache(config_for(Policy::kTtlLru, 3));
+  cache.insert(1, 1, 0.0);
+  cache.insert(2, 2, 0.0);
+  cache.insert(3, 3, 0.0);
+  cache.probe(1, 1.0);  // 1 becomes MRU; LRU order is now 2, 3, 1
+  const auto result = cache.insert(4, 4, 2.0);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MappingCacheTest, LfuProtectsFrequentKeys) {
+  Cache cache(config_for(Policy::kLfu, 3));
+  cache.insert(1, 1, 0.0);
+  cache.insert(2, 2, 0.0);
+  cache.insert(3, 3, 0.0);
+  cache.probe(1, 1.0);
+  cache.probe(1, 2.0);
+  cache.probe(2, 3.0);
+  // Frequencies: 1 -> 3, 2 -> 2, 3 -> 1. The one-hit wonder pays.
+  const auto result = cache.insert(4, 4, 4.0);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 3u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(MappingCacheTest, LfuBreaksFrequencyTiesLru) {
+  Cache cache(config_for(Policy::kLfu, 2));
+  cache.insert(1, 1, 0.0);
+  cache.insert(2, 2, 0.0);  // both at frequency 1; 1 is older in its bucket
+  const auto result = cache.insert(3, 3, 1.0);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 1u);
+}
+
+TEST(MappingCacheTest, TwoQReadmitsGhostsToProtectedQueue) {
+  // Capacity 8: kin = 2, ghost capacity = 4. Cold keys stream through the
+  // probation FIFO; a key that returns while its ghost is remembered is
+  // admitted to the protected queue and survives further streaming.
+  Cache cache(config_for(Policy::kTwoQ, 8));
+  for (std::uint64_t key = 0; key < 11; ++key)
+    cache.insert(key, static_cast<std::uint32_t>(key), 0.0);
+  // Keys 0..2 were demoted from probation into the ghost queue.
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_TRUE(cache.insert(2, 2, 1.0).inserted);  // ghost hit -> Am
+  // Stream more cold keys than the probation queue holds: the readmitted
+  // key sits in the protected queue and outlives all of them.
+  for (std::uint64_t key = 100; key < 110; ++key)
+    cache.insert(key, static_cast<std::uint32_t>(key), 2.0);
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(MappingCacheTest, TwoQProbationHitsDoNotPromote) {
+  // The 2Q correlated-reference guard: hitting a probation entry must not
+  // shield it from FIFO demotion.
+  Cache cache(config_for(Policy::kTwoQ, 8));
+  for (std::uint64_t key = 0; key < 8; ++key)
+    cache.insert(key, static_cast<std::uint32_t>(key), 0.0);
+  EXPECT_TRUE(cache.probe(0, 1.0).has_value());  // oldest probation entry
+  const auto result = cache.insert(50, 50, 2.0);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 0u);  // still evicted FIFO despite the hit
+}
+
+TEST(MappingCacheTest, ArenaBytesIsStableAfterConstruction) {
+  Cache cache(config_for(Policy::kTwoQ, 256));
+  const std::size_t before = cache.arena_bytes();
+  EXPECT_GT(before, 0u);
+  for (std::uint64_t key = 0; key < 4096; ++key)
+    cache.insert(key, static_cast<std::uint32_t>(key), 0.0);
+  // Flat arena: churn through 16x capacity allocates nothing new.
+  EXPECT_EQ(cache.arena_bytes(), before);
+}
+
+}  // namespace
+}  // namespace lina::cache
