@@ -11,12 +11,14 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "common.hpp"
+#include "lina/des/replay.hpp"
 #include "lina/snap/store.hpp"
 #include "lina/trace/cursor.hpp"
 #include "lina/trace/replay.hpp"
@@ -62,6 +64,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main(int argc, char** argv) {
   std::string users_text, days_text, shard_users_text;
+  std::string des_shards_text = "16";
+  std::string des_window_text = "0";
   bool verify = false;
   bool keep = false;
   bench::Harness harness(
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
       {{"--users", &users_text},
        {"--days", &days_text},
        {"--shard-users", &shard_users_text},
+       {"--des-shards", &des_shards_text},
+       {"--des-window-ms", &des_window_text},
        {"--verify", nullptr, &verify},
        {"--keep", nullptr, &keep}});
 
@@ -76,6 +82,30 @@ int main(int argc, char** argv) {
   const std::uint64_t days = parse_count(days_text, 30, "--days");
   const std::uint64_t shard_users =
       parse_count(shard_users_text, 8192, "--shard-users");
+
+  // Fail fast on a bad packet-engine configuration, before any measured
+  // phase — the same contract as the harness's output-path probes.
+  std::size_t des_shards = 0;
+  try {
+    des_shards = std::stoul(des_shards_text);
+  } catch (const std::exception&) {
+  }
+  if (des_shards == 0) {
+    std::cerr << "scale_million_users: bad --des-shards value '"
+              << des_shards_text << "' (want a positive integer)\n";
+    std::exit(2);
+  }
+  double des_window_ms = -1.0;
+  try {
+    des_window_ms = std::stod(des_window_text);
+  } catch (const std::exception&) {
+  }
+  if (!(des_window_ms >= 0.0) || !std::isfinite(des_window_ms)) {
+    std::cerr << "scale_million_users: bad --des-window-ms value '"
+              << des_window_text
+              << "' (want a finite non-negative number; 0 = auto)\n";
+    std::exit(2);
+  }
 
   bench::print_figure_header(
       "Scale — out-of-core generate + replay at " + std::to_string(users) +
@@ -288,6 +318,50 @@ int main(int argc, char** argv) {
               << "loaded in " << stats::fmt(load_ms, 2) << " ms, " << lookups
               << " lookups re-verified, digest matches live FIB\n";
     fs::remove_all(dir, ignored);
+  }
+
+  // Packet-level replay: every user's first 24 trace hours becomes a CBR
+  // session through the lina::des sharded engine, streamed in bounded
+  // batches — the packet-forwarding half of the scale story runs
+  // out-of-core too, and its digest is invariant across shard count,
+  // thread count, and batch size (tests/des), so it gates determinism in
+  // the perf trajectory.
+  harness.phase("packet");
+  {
+    harness.note("des.shards", std::to_string(des_shards));
+    harness.note("des.window_ms", stats::fmt(des_window_ms, 3));
+    des::PacketReplayConfig packet_config;
+    packet_config.architecture = sim::SimArchitecture::kIndirection;
+    packet_config.hours = 24.0;
+    packet_config.interval_ms = 1000.0;
+    packet_config.correspondent = internet.edge_ases()[0];
+    packet_config.batch_users = shard_users;
+    packet_config.engine.shard_count = des_shards;
+    packet_config.engine.window_ms = des_window_ms;
+    const auto start = std::chrono::steady_clock::now();
+    const des::PacketReplayStats packets =
+        des::replay_packets_streamed(sim::ForwardingFabric(internet), set,
+                                     packet_config);
+    const double elapsed = seconds_since(start);
+    harness.result("packet_sessions",
+                   static_cast<double>(packets.sessions));
+    harness.result("packet_sent", static_cast<double>(packets.digest.sent));
+    harness.result("packet_delivered",
+                   static_cast<double>(packets.digest.delivered));
+    harness.result("packet_digest",
+                   static_cast<double>(packets.digest.fingerprint() &
+                                       0xffffffffULL));
+    harness.result("des_events_per_sec",
+                   static_cast<double>(packets.events) / elapsed);
+    std::cout << "packet: " << packets.sessions << " sessions, "
+              << packets.events << " events across " << des_shards
+              << " shards in " << stats::fmt(elapsed, 1) << " s ("
+              << stats::fmt(static_cast<double>(packets.events) / elapsed /
+                                1e6,
+                            2)
+              << " M events/s), " << packets.digest.delivered << "/"
+              << packets.digest.sent << " delivered, digest "
+              << (packets.digest.fingerprint() & 0xffffffffULL) << "\n";
   }
 
   harness.result("peak_rss_mib", peak_rss_mib());

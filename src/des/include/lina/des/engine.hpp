@@ -1,0 +1,121 @@
+#pragma once
+
+// Sharded conservative-time parallel discrete-event engine (DESIGN.md
+// §4i).
+//
+// The event queue is split per AS region: every AS maps to a shard via a
+// deterministic topology-derived mapping (nearest metro anchor, folded
+// onto the shard count), so intra-metro forwarding stays shard-local and
+// cross-shard traffic rides inter-metro links whose delay is the
+// lookahead. Shards run on the lina::exec pool under time-sliced windows:
+// within [window_start, horizon) each shard drains its own flat binary
+// heap serially; cross-shard records land in per-(src,dst) single-writer
+// mailboxes that are drained at the window barrier. A handoff that lands
+// *inside* the still-open window (possible only when the lookahead is
+// zero, e.g. a zero-delay link) triggers another intra-window pass — the
+// re-drain fixpoint — so every event still executes at its exact
+// timestamp before the window advances.
+
+#include <cstdint>
+#include <vector>
+
+#include "lina/des/event.hpp"
+#include "lina/des/model.hpp"
+#include "lina/routing/synthetic_internet.hpp"
+
+namespace lina::des {
+
+/// Deterministic AS -> shard mapping derived from the topology: each AS
+/// joins the shard of its nearest metro anchor (anchor index modulo the
+/// shard count), so a region's routers co-reside and the mapping is a
+/// pure function of the AS graph — identical across runs, thread counts,
+/// and processes.
+class ShardMap {
+ public:
+  static ShardMap from_topology(const routing::SyntheticInternet& internet,
+                                std::size_t shard_count);
+
+  [[nodiscard]] std::uint32_t shard_of(topology::AsId as) const {
+    return shard_of_as_[as];
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  std::vector<std::uint32_t> shard_of_as_;
+  std::size_t shard_count_ = 1;
+};
+
+struct EngineConfig {
+  std::size_t shard_count = 16;
+  /// Lookahead window width; 0 = auto (the minimum cross-shard link
+  /// delay — the conservative safe horizon). When the topology admits
+  /// zero-delay cross-shard hops the auto window falls back to a small
+  /// positive slice and correctness is carried by the re-drain fixpoint.
+  double window_ms = 0.0;
+  /// lina::exec worker bound for the per-window shard fan-out (0 =
+  /// exec::default_threads()).
+  std::size_t threads = 0;
+};
+
+/// What a run did. The digest is the bit-identity surface; the window /
+/// handoff counters describe the engine's behaviour and vary with the
+/// shard count (never with the thread count).
+struct RunStats {
+  DeliveryDigest digest;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t redrain_passes = 0;
+  std::uint64_t handoffs = 0;
+  double lookahead_ms = 0.0;
+};
+
+class ShardedEngine {
+ public:
+  /// The model and map must outlive the engine. Throws
+  /// std::invalid_argument if the config window is negative or NaN.
+  ShardedEngine(const PacketModel& model, const ShardMap& map,
+                EngineConfig config = {});
+
+  /// Seeds every session's initial event and runs the window loop to
+  /// completion; returns the combined digest and engine counters.
+  RunStats run();
+
+  /// The resolved lookahead (config window, or the auto-derived one).
+  [[nodiscard]] double lookahead_ms() const { return lookahead_ms_; }
+
+ private:
+  /// Flat arena binary heap of event records ordered by (time, seq);
+  /// seq is assigned on push, so equal-time local events pop FIFO.
+  struct ShardQueue {
+    std::vector<EventRecord> heap;
+    std::uint64_t next_seq = 0;
+    DeliveryDigest digest;
+    std::uint64_t executed = 0;
+
+    void push(EventRecord record);
+    [[nodiscard]] bool empty() const { return heap.empty(); }
+    [[nodiscard]] double top_time() const { return heap.front().time_ms; }
+    EventRecord pop();
+  };
+
+  [[nodiscard]] std::uint32_t owner_shard(const EventRecord& record) const;
+  [[nodiscard]] double auto_window_ms() const;
+
+  const PacketModel* model_;
+  const ShardMap* map_;
+  EngineConfig config_;
+  double lookahead_ms_ = 0.0;
+  std::vector<ShardQueue> shards_;
+  /// mailboxes_[src * S + dst]: written only by the worker running shard
+  /// `src` during a window pass, drained only by the worker running shard
+  /// `dst` at the barrier — single writer, single reader, no locks.
+  std::vector<std::vector<EventRecord>> mailboxes_;
+};
+
+/// The serial reference: the same PacketModel driven through
+/// sim::EventQueue (one global priority queue of std::function entries),
+/// executing every event in global (time, FIFO) order. The sharded
+/// engine's digest must equal this one bit-for-bit.
+RunStats run_serial(const PacketModel& model);
+
+}  // namespace lina::des

@@ -1,0 +1,212 @@
+#include "lina/des/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lina/exec/parallel.hpp"
+#include "lina/obs/metrics.hpp"
+#include "lina/prof/prof.hpp"
+#include "lina/topology/geo.hpp"
+
+namespace lina::des {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Progress slice used when the topology admits zero-delay cross-shard
+/// hops (lookahead 0): windows still advance, and the intra-window
+/// re-drain fixpoint carries correctness.
+constexpr double kZeroLookaheadWindowMs = 0.25;
+
+/// Min-heap order: earliest time first, FIFO (push sequence) within a
+/// time — the same tie-break sim::EventQueue uses.
+[[nodiscard]] bool later(const EventRecord& a, const EventRecord& b) {
+  if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+ShardMap ShardMap::from_topology(const routing::SyntheticInternet& internet,
+                                 std::size_t shard_count) {
+  ShardMap map;
+  map.shard_count_ = std::max<std::size_t>(1, shard_count);
+  const topology::AsGraph& graph = internet.graph();
+  const std::span<const topology::GeoPoint> anchors =
+      topology::metro_anchors();
+  map.shard_of_as_.resize(graph.as_count());
+  for (topology::AsId as = 0; as < graph.as_count(); ++as) {
+    const topology::GeoPoint at = graph.location(as);
+    std::size_t nearest = 0;
+    double best = kInf;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const double km = topology::great_circle_km(at, anchors[i]);
+      if (km < best) {
+        best = km;
+        nearest = i;
+      }
+    }
+    map.shard_of_as_[as] =
+        static_cast<std::uint32_t>(nearest % map.shard_count_);
+  }
+  return map;
+}
+
+void ShardedEngine::ShardQueue::push(EventRecord record) {
+  record.seq = next_seq++;
+  heap.push_back(record);
+  std::push_heap(heap.begin(), heap.end(), later);
+}
+
+EventRecord ShardedEngine::ShardQueue::pop() {
+  std::pop_heap(heap.begin(), heap.end(), later);
+  EventRecord record = heap.back();
+  heap.pop_back();
+  return record;
+}
+
+ShardedEngine::ShardedEngine(const PacketModel& model, const ShardMap& map,
+                             EngineConfig config)
+    : model_(&model), map_(&map), config_(config) {
+  if (std::isnan(config_.window_ms) || config_.window_ms < 0.0)
+    throw std::invalid_argument("ShardedEngine: bad window_ms");
+  config_.shard_count = map.shard_count();
+  shards_.resize(config_.shard_count);
+  mailboxes_.resize(config_.shard_count * config_.shard_count);
+  lookahead_ms_ =
+      config_.window_ms > 0.0 ? config_.window_ms : auto_window_ms();
+}
+
+std::uint32_t ShardedEngine::owner_shard(const EventRecord& record) const {
+  return map_->shard_of(record.at);
+}
+
+double ShardedEngine::auto_window_ms() const {
+  // The conservative safe horizon: the smallest delay any cross-shard
+  // handoff can carry. Same-shard events never cross a barrier, so only
+  // links whose endpoints map to different shards bound the window.
+  const topology::AsGraph& graph = model_->fabric().internet().graph();
+  double min_delay = kInf;
+  for (topology::AsId as = 0; as < graph.as_count(); ++as) {
+    for (const topology::AsGraph::Link& link : graph.links(as)) {
+      if (link.neighbor < as) continue;  // each adjacency once
+      if (map_->shard_of(as) == map_->shard_of(link.neighbor)) continue;
+      min_delay =
+          std::min(min_delay, model_->fabric().link_delay_ms(as,
+                                                             link.neighbor));
+    }
+  }
+  if (min_delay <= 0.0) return kZeroLookaheadWindowMs;
+  return min_delay;  // kInf when the whole topology fits one shard
+}
+
+RunStats ShardedEngine::run() {
+  PROF_SPAN("lina.des.run");
+  const std::size_t shard_count = config_.shard_count;
+  RunStats stats;
+  stats.lookahead_ms = lookahead_ms_;
+  for (std::uint32_t i = 0; i < model_->session_count(); ++i) {
+    const EventRecord record = model_->initial_event(i);
+    shards_[owner_shard(record)].push(record);
+  }
+  const auto global_min = [&] {
+    double min_time = kInf;
+    for (const ShardQueue& shard : shards_) {
+      if (!shard.empty()) min_time = std::min(min_time, shard.top_time());
+    }
+    return min_time;
+  };
+  std::vector<std::uint64_t> received(shard_count, 0);
+  std::vector<std::uint8_t> early(shard_count, 0);
+  std::uint64_t redrain_passes = 0;
+  double window_start = global_min();
+  while (window_start < kInf) {
+    const double horizon = window_start + lookahead_ms_;
+    stats.windows += 1;
+    bool rerun_window = true;
+    while (rerun_window) {
+      {
+        PROF_SPAN("lina.des.window");
+        exec::parallel_for(
+            shard_count,
+            [&](std::size_t s) {
+              ShardQueue& shard = shards_[s];
+              const auto emit = [&](const EventRecord& next) {
+                const std::uint32_t owner = owner_shard(next);
+                if (owner == s) {
+                  shard.push(next);
+                } else {
+                  mailboxes_[s * shard_count + owner].push_back(next);
+                }
+              };
+              while (!shard.empty() && shard.top_time() < horizon) {
+                const EventRecord record = shard.pop();
+                shard.executed += 1;
+                model_->handle(record, shard.digest, emit);
+              }
+            },
+            config_.threads);
+      }
+      {
+        // Barrier reached: hand mailbox columns to their owners. Each
+        // box has exactly one writer (the source shard, last window
+        // pass) and one reader (here), sequenced by the pool join.
+        PROF_SPAN("lina.des.drain");
+        exec::parallel_for(
+            shard_count,
+            [&](std::size_t dst) {
+              early[dst] = 0;
+              for (std::size_t src = 0; src < shard_count; ++src) {
+                std::vector<EventRecord>& box =
+                    mailboxes_[src * shard_count + dst];
+                for (const EventRecord& record : box) {
+                  if (record.time_ms < horizon) early[dst] = 1;
+                  shards_[dst].push(record);
+                }
+                received[dst] += box.size();
+                box.clear();
+              }
+            },
+            config_.threads);
+      }
+      // A handoff that landed inside the still-open window (zero
+      // lookahead only) must run before the window closes: go around
+      // again. Chains are bounded by the packet hop TTL, so the fixpoint
+      // terminates.
+      rerun_window = false;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        if (early[s] != 0) rerun_window = true;
+      }
+      if (rerun_window) redrain_passes += 1;
+    }
+    const double next_time = global_min();
+    if (next_time >= kInf) break;
+    // Advance at least one window; skip straight to the window holding
+    // the next event so sparse periods cost no empty barriers.
+    window_start = horizon;
+    if (lookahead_ms_ < kInf && next_time > horizon) {
+      window_start =
+          horizon +
+          lookahead_ms_ * std::floor((next_time - horizon) / lookahead_ms_);
+    }
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    stats.digest.combine(shards_[s].digest);
+    stats.events += shards_[s].executed;
+    stats.handoffs += received[s];
+  }
+  stats.redrain_passes = redrain_passes;
+  obs::metric::des_events_executed().add(stats.events);
+  obs::metric::des_windows().add(stats.windows);
+  obs::metric::des_handoffs().add(stats.handoffs);
+  obs::metric::des_redrain_passes().add(stats.redrain_passes);
+  obs::metric::des_shards().set(static_cast<double>(shard_count));
+  obs::metric::des_lookahead_ms().set(
+      lookahead_ms_ < kInf ? lookahead_ms_ : -1.0);
+  return stats;
+}
+
+}  // namespace lina::des

@@ -76,6 +76,16 @@ LINA_OBS_COUNTER(event_queue_executed, "lina.sim.event_queue.executed")
 LINA_OBS_GAUGE(event_queue_depth, "lina.sim.event_queue.depth")
 LINA_OBS_HISTOGRAM(event_queue_dwell_ms, "lina.sim.event_queue.dwell_ms")
 
+// Sharded parallel discrete-event engine (lina::des): per-run totals of
+// events executed across shards, window barriers, cross-shard mailbox
+// handoffs, and intra-window re-drain passes (zero-lookahead fixpoint).
+LINA_OBS_COUNTER(des_events_executed, "lina.des.events_executed")
+LINA_OBS_COUNTER(des_windows, "lina.des.windows")
+LINA_OBS_COUNTER(des_handoffs, "lina.des.handoffs")
+LINA_OBS_COUNTER(des_redrain_passes, "lina.des.redrain_passes")
+LINA_OBS_GAUGE(des_shards, "lina.des.shards")
+LINA_OBS_GAUGE(des_lookahead_ms, "lina.des.lookahead_ms")
+
 // Failure plan (fault activations and injected control-message drops).
 LINA_OBS_COUNTER(failure_plan_events, "lina.sim.failure.plan_events")
 LINA_OBS_COUNTER(failure_control_drops, "lina.sim.failure.control_drops")

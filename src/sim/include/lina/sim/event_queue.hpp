@@ -18,10 +18,12 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `callback` at absolute time `time_ms` (>= now()); throws on
-  /// attempts to schedule in the past.
+  /// attempts to schedule in the past or at a NaN/infinite time (a NaN
+  /// would silently corrupt the heap order).
   void schedule(double time_ms, Callback callback);
 
-  /// Schedules `callback` `delay_ms` (>= 0) after now().
+  /// Schedules `callback` `delay_ms` (>= 0, finite) after now(); throws
+  /// on negative or NaN delays.
   void schedule_in(double delay_ms, Callback callback);
 
   /// Runs the earliest event; returns false if the queue is empty.

@@ -1,5 +1,6 @@
 #include "lina/sim/event_queue.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -8,8 +9,12 @@
 namespace lina::sim {
 
 void EventQueue::schedule(double time_ms, Callback callback) {
-  if (time_ms < now_ms_)
-    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  // Negated comparison so NaN is rejected too: a NaN time compares false
+  // against everything, which would otherwise slip past a `<` check and
+  // silently corrupt the heap order.
+  if (!(time_ms >= now_ms_) || !std::isfinite(time_ms))
+    throw std::invalid_argument(
+        "EventQueue::schedule: time in the past or not finite");
   if (!callback)
     throw std::invalid_argument("EventQueue::schedule: empty callback");
   queue_.push({time_ms, next_sequence_++, std::move(callback), now_ms_});
@@ -19,8 +24,9 @@ void EventQueue::schedule(double time_ms, Callback callback) {
 }
 
 void EventQueue::schedule_in(double delay_ms, Callback callback) {
-  if (delay_ms < 0.0)
-    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  if (!(delay_ms >= 0.0))
+    throw std::invalid_argument(
+        "EventQueue::schedule_in: negative or NaN delay");
   schedule(now_ms_ + delay_ms, std::move(callback));
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace lina::sim {
@@ -39,6 +40,27 @@ TEST(EventQueueTest, CallbacksCanScheduleMore) {
   queue.run();
   EXPECT_EQ(fired, 4);
   EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, RejectsNaNAndInfiniteTimes) {
+  // Regression: a NaN compares false against everything, so the old
+  // `delay_ms < 0.0` guard let NaN through and silently corrupted the
+  // heap order. Both entry points must reject it loudly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule_in(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-1e-9, [] {}), std::invalid_argument);
+  // The queue stays usable (and ordered) after the rejections.
+  std::vector<int> order;
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  EXPECT_EQ(queue.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueueTest, RejectsPastAndEmpty) {
