@@ -146,6 +146,16 @@ def main(argv):
             f"refusing to compare different benches: "
             f"{base['name']!r} vs {cand['name']!r}"
         )
+    base_schema = base.get("schema_version")
+    cand_schema = cand.get("schema_version")
+    if base_schema != cand_schema:
+        # A schema bump means the records' shapes differ by design; a raw
+        # key-by-key diff would report it as spurious headline drift.
+        sys.exit(
+            f"schema_version mismatch: baseline {argv[1]} has "
+            f"{base_schema!r}, candidate {argv[2]} has {cand_schema!r} "
+            f"— regenerate the baseline with the current binary"
+        )
 
     threads = lambda r: r.get("config", {}).get("threads", "?")
     print(

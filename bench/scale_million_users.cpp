@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   std::string users_text, days_text, shard_users_text;
   std::string des_shards_text = "16";
   std::string des_window_text = "0";
+  std::string des_sync_text = "both";
   bool verify = false;
   bool keep = false;
   bench::Harness harness(
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
        {"--shard-users", &shard_users_text},
        {"--des-shards", &des_shards_text},
        {"--des-window-ms", &des_window_text},
+       {"--des-sync", &des_sync_text},
        {"--verify", nullptr, &verify},
        {"--keep", nullptr, &keep}});
 
@@ -104,6 +106,20 @@ int main(int argc, char** argv) {
     std::cerr << "scale_million_users: bad --des-window-ms value '"
               << des_window_text
               << "' (want a finite non-negative number; 0 = auto)\n";
+    std::exit(2);
+  }
+  std::vector<std::pair<std::string, des::SyncMode>> des_sync_arms;
+  if (des_sync_text == "conservative" || des_sync_text == "both") {
+    des_sync_arms.emplace_back("conservative",
+                               des::SyncMode::kConservative);
+  }
+  if (des_sync_text == "optimistic" || des_sync_text == "both") {
+    des_sync_arms.emplace_back("optimistic", des::SyncMode::kOptimistic);
+  }
+  if (des_sync_arms.empty()) {
+    std::cerr << "scale_million_users: bad --des-sync value '"
+              << des_sync_text
+              << "' (want conservative | optimistic | both)\n";
     std::exit(2);
   }
 
@@ -330,38 +346,80 @@ int main(int argc, char** argv) {
   {
     harness.note("des.shards", std::to_string(des_shards));
     harness.note("des.window_ms", stats::fmt(des_window_ms, 3));
-    des::PacketReplayConfig packet_config;
-    packet_config.architecture = sim::SimArchitecture::kIndirection;
-    packet_config.hours = 24.0;
-    packet_config.interval_ms = 1000.0;
-    packet_config.correspondent = internet.edge_ases()[0];
-    packet_config.batch_users = shard_users;
-    packet_config.engine.shard_count = des_shards;
-    packet_config.engine.window_ms = des_window_ms;
-    const auto start = std::chrono::steady_clock::now();
-    const des::PacketReplayStats packets =
-        des::replay_packets_streamed(sim::ForwardingFabric(internet), set,
-                                     packet_config);
-    const double elapsed = seconds_since(start);
-    harness.result("packet_sessions",
-                   static_cast<double>(packets.sessions));
-    harness.result("packet_sent", static_cast<double>(packets.digest.sent));
-    harness.result("packet_delivered",
-                   static_cast<double>(packets.digest.delivered));
-    harness.result("packet_digest",
-                   static_cast<double>(packets.digest.fingerprint() &
-                                       0xffffffffULL));
-    harness.result("des_events_per_sec",
-                   static_cast<double>(packets.events) / elapsed);
-    std::cout << "packet: " << packets.sessions << " sessions, "
-              << packets.events << " events across " << des_shards
-              << " shards in " << stats::fmt(elapsed, 1) << " s ("
-              << stats::fmt(static_cast<double>(packets.events) / elapsed /
-                                1e6,
-                            2)
-              << " M events/s), " << packets.digest.delivered << "/"
-              << packets.digest.sent << " delivered, digest "
-              << (packets.digest.fingerprint() & 0xffffffffULL) << "\n";
+    harness.note("des.sync", des_sync_text);
+    const sim::ForwardingFabric packet_fabric(internet);
+    bool first_arm = true;
+    des::DeliveryDigest first_digest;
+    for (const auto& [sync_key, sync_mode] : des_sync_arms) {
+      des::PacketReplayConfig packet_config;
+      packet_config.architecture = sim::SimArchitecture::kIndirection;
+      packet_config.hours = 24.0;
+      packet_config.interval_ms = 1000.0;
+      packet_config.correspondent = internet.edge_ases()[0];
+      packet_config.batch_users = shard_users;
+      packet_config.engine.shard_count = des_shards;
+      packet_config.engine.window_ms = des_window_ms;
+      packet_config.engine.sync = sync_mode;
+      const auto start = std::chrono::steady_clock::now();
+      const des::PacketReplayStats packets =
+          des::replay_packets_streamed(packet_fabric, set, packet_config);
+      const double elapsed = seconds_since(start);
+      if (first_arm) {
+        // Digest / count keys are mode-invariant (tests/des pins both
+        // modes to the serial reference), so they are emitted once and
+        // stay gated in compare_runs.py.
+        first_digest = packets.digest;
+        harness.result("packet_sessions",
+                       static_cast<double>(packets.sessions));
+        harness.result("packet_sent",
+                       static_cast<double>(packets.digest.sent));
+        harness.result("packet_delivered",
+                       static_cast<double>(packets.digest.delivered));
+        harness.result("packet_digest",
+                       static_cast<double>(packets.digest.fingerprint() &
+                                           0xffffffffULL));
+        // Deterministic load-balance / comms shape (thread-invariant):
+        // gated, so skew or bundling drift shows up as a failure.
+        harness.result("des_shard_imbalance",
+                       std::round(packets.shard_imbalance * 1000.0) /
+                           1000.0);
+        harness.result("des_bundles",
+                       static_cast<double>(packets.bundles));
+      } else if (packets.digest != first_digest) {
+        std::cerr << "scale_million_users: " << sync_key
+                  << " digest diverged from the first sync arm (fp "
+                  << (packets.digest.fingerprint() & 0xffffffffULL)
+                  << " vs "
+                  << (first_digest.fingerprint() & 0xffffffffULL)
+                  << ") — the bit-identity contract is broken\n";
+        return 1;
+      }
+      first_arm = false;
+      harness.result("des_" + sync_key + "_events_per_sec",
+                     static_cast<double>(packets.events) / elapsed);
+      if (sync_mode == des::SyncMode::kConservative) {
+        harness.result("des_conservative_redrain_passes",
+                       static_cast<double>(packets.redrain_passes));
+      } else {
+        harness.result("des_optimistic_rollbacks",
+                       static_cast<double>(packets.rollbacks));
+        harness.result("des_optimistic_rolled_back_events",
+                       static_cast<double>(packets.rolled_back_events));
+      }
+      std::cout << "packet[" << sync_key << "]: " << packets.sessions
+                << " sessions, " << packets.events << " events across "
+                << des_shards << " shards in " << stats::fmt(elapsed, 1)
+                << " s ("
+                << stats::fmt(static_cast<double>(packets.events) /
+                                  elapsed / 1e6,
+                              2)
+                << " M events/s, imbalance "
+                << stats::fmt(packets.shard_imbalance, 2) << ", "
+                << packets.bundles << " bundles, " << packets.rollbacks
+                << " rollbacks), " << packets.digest.delivered << "/"
+                << packets.digest.sent << " delivered, digest "
+                << (packets.digest.fingerprint() & 0xffffffffULL) << "\n";
+    }
   }
 
   harness.result("peak_rss_mib", peak_rss_mib());

@@ -1,0 +1,90 @@
+#pragma once
+
+// Optimistic (rollback) sync support types (DESIGN.md §4j).
+//
+// In optimistic mode shards execute speculatively past the conservative
+// horizon. Three invariants keep rollback local and anti-message-free:
+//
+//  1. Handlers are pure functions of (record, immutable specs), so
+//     re-running an event regenerates its digest delta and emissions
+//     byte-for-byte — the undo log stores nothing but the records.
+//  2. Cross-shard emissions are *staged* per shard and released only
+//     once their emitting event's timestamp is at or below the GVT
+//     computed at the pool barrier. A rollback therefore only ever
+//     retracts records the shard still owns (its heap and its staging);
+//     nothing speculative has crossed a shard boundary.
+//  3. The digest fold is commutative and invertible
+//     (DeliveryDigest::subtract), so undo is an exact arithmetic rewind.
+//
+// Rollback = pop undo-log entries newer than the straggler, subtract each
+// entry's recomputed digest delta, retract its recomputed emissions from
+// the heap/staging, and push the entry back into the heap to re-execute
+// in straggler-consistent order.
+
+#include <cstddef>
+#include <vector>
+
+#include "lina/des/event.hpp"
+
+namespace lina::des {
+
+/// A cross-shard emission held back until its emitting event commits.
+/// `emit_ms` is the emitting event's timestamp: once GVT reaches it the
+/// event can never be rolled back, so the record is safe to release into
+/// the bundled mailbox.
+struct StagedRecord {
+  double emit_ms = 0.0;
+  EventRecord record;
+};
+
+/// Per-shard log of speculatively processed records, in processing
+/// (nondecreasing time) order. Entries at or below GVT are committed —
+/// reclaimed lazily, never rolled back; entries above it can be popped
+/// off the tail by a straggler.
+class UndoLog {
+ public:
+  void push(const EventRecord& record) { entries_.push_back(record); }
+
+  /// True when nothing uncommitted remains.
+  [[nodiscard]] bool empty() const { return head_ == entries_.size(); }
+  [[nodiscard]] std::size_t uncommitted() const {
+    return entries_.size() - head_;
+  }
+
+  /// Newest uncommitted entry. Precondition: !empty().
+  [[nodiscard]] const EventRecord& back() const { return entries_.back(); }
+
+  /// Pop the newest uncommitted entry. Precondition: !empty(). Callers
+  /// only pop entries with time above a straggler timestamp >= GVT, so
+  /// the committed head is never popped.
+  EventRecord pop_back() {
+    const EventRecord record = entries_.back();
+    entries_.pop_back();
+    return record;
+  }
+
+  /// GVT advanced to `gvt` at a barrier: entries with time <= gvt can
+  /// never be rolled back. Reclaims their storage (wholesale when the
+  /// log fully commits, by compaction once the dead head dominates).
+  void commit_through(double gvt) {
+    while (head_ < entries_.size() && entries_[head_].time_ms <= gvt) {
+      ++head_;
+    }
+    if (head_ == entries_.size()) {
+      entries_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactAt && head_ * 2 >= entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kCompactAt = 4096;
+
+  std::vector<EventRecord> entries_;
+  std::size_t head_ = 0;  // entries below head_ are committed
+};
+
+}  // namespace lina::des

@@ -42,6 +42,15 @@ struct PacketReplayStats {
   std::uint64_t windows = 0;
   std::uint64_t handoffs = 0;
   std::uint64_t batches = 0;
+  std::uint64_t redrain_passes = 0;
+  std::uint64_t bundles = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rolled_back_events = 0;
+  /// Per-engine-shard event totals summed across batches (empty for the
+  /// serial reference).
+  std::vector<std::uint64_t> shard_events;
+  /// max/mean of shard_events (1.0 = balanced; 0 when serial or empty).
+  double shard_imbalance = 0.0;
 };
 
 /// Streams every user of `set` through the packet engine. Throws

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "lina/des/detail.hpp"
 #include "lina/exec/parallel.hpp"
 #include "lina/obs/metrics.hpp"
 #include "lina/prof/prof.hpp"
@@ -12,23 +13,22 @@
 
 namespace lina::des {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Progress slice used when the topology admits zero-delay cross-shard
-/// hops (lookahead 0): windows still advance, and the intra-window
-/// re-drain fixpoint carries correctness.
-constexpr double kZeroLookaheadWindowMs = 0.25;
-
-/// Min-heap order: earliest time first, FIFO (push sequence) within a
-/// time — the same tie-break sim::EventQueue uses.
-[[nodiscard]] bool later(const EventRecord& a, const EventRecord& b) {
-  if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
-  return a.seq > b.seq;
+std::size_t ShardMap::nearest_anchor(
+    const topology::GeoPoint& at,
+    std::span<const topology::GeoPoint> anchors) {
+  std::size_t nearest = 0;
+  double best = detail::kInf;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const double km = topology::great_circle_km(at, anchors[i]);
+    // Strict less-than: equidistant anchors keep the lowest index (the
+    // documented tie-break — see engine.hpp; pinned by tests/des).
+    if (km < best) {
+      best = km;
+      nearest = i;
+    }
+  }
+  return nearest;
 }
-
-}  // namespace
 
 ShardMap ShardMap::from_topology(const routing::SyntheticInternet& internet,
                                  std::size_t shard_count) {
@@ -39,18 +39,8 @@ ShardMap ShardMap::from_topology(const routing::SyntheticInternet& internet,
       topology::metro_anchors();
   map.shard_of_as_.resize(graph.as_count());
   for (topology::AsId as = 0; as < graph.as_count(); ++as) {
-    const topology::GeoPoint at = graph.location(as);
-    std::size_t nearest = 0;
-    double best = kInf;
-    for (std::size_t i = 0; i < anchors.size(); ++i) {
-      const double km = topology::great_circle_km(at, anchors[i]);
-      if (km < best) {
-        best = km;
-        nearest = i;
-      }
-    }
-    map.shard_of_as_[as] =
-        static_cast<std::uint32_t>(nearest % map.shard_count_);
+    map.shard_of_as_[as] = static_cast<std::uint32_t>(
+        nearest_anchor(graph.location(as), anchors) % map.shard_count_);
   }
   return map;
 }
@@ -58,11 +48,33 @@ ShardMap ShardMap::from_topology(const routing::SyntheticInternet& internet,
 void ShardedEngine::ShardQueue::push(EventRecord record) {
   record.seq = next_seq++;
   heap.push_back(record);
-  std::push_heap(heap.begin(), heap.end(), later);
+  std::push_heap(heap.begin(), heap.end(), detail::later);
+}
+
+void ShardedEngine::ShardQueue::append_raw(EventRecord record) {
+  record.seq = next_seq++;
+  heap.push_back(record);
+}
+
+void ShardedEngine::ShardQueue::restore_heap() {
+  std::make_heap(heap.begin(), heap.end(), detail::later);
+}
+
+bool ShardedEngine::ShardQueue::remove_match(const EventRecord& r) {
+  // Backward scan: rollback retracts recently emitted records, which sit
+  // near the heap's tail.
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    if (same_event(heap[i], r)) {
+      heap[i] = heap.back();
+      heap.pop_back();
+      return true;
+    }
+  }
+  return false;
 }
 
 EventRecord ShardedEngine::ShardQueue::pop() {
-  std::pop_heap(heap.begin(), heap.end(), later);
+  std::pop_heap(heap.begin(), heap.end(), detail::later);
   EventRecord record = heap.back();
   heap.pop_back();
   return record;
@@ -73,9 +85,22 @@ ShardedEngine::ShardedEngine(const PacketModel& model, const ShardMap& map,
     : model_(&model), map_(&map), config_(config) {
   if (std::isnan(config_.window_ms) || config_.window_ms < 0.0)
     throw std::invalid_argument("ShardedEngine: bad window_ms");
+  if (!(config_.speculation_windows > 0.0) ||
+      !std::isfinite(config_.speculation_windows))
+    throw std::invalid_argument("ShardedEngine: bad speculation_windows");
   config_.shard_count = map.shard_count();
-  shards_.resize(config_.shard_count);
-  mailboxes_.resize(config_.shard_count * config_.shard_count);
+  const std::size_t shard_count = config_.shard_count;
+  shards_.resize(shard_count);
+  mailboxes_.resize(shard_count * shard_count);
+  received_.assign(shard_count, 0);
+  bundles_.assign(shard_count, 0);
+  if (config_.sync == SyncMode::kOptimistic) {
+    staged_.resize(shard_count * shard_count);
+    logs_.resize(shard_count);
+    clock_.assign(shard_count, -detail::kInf);
+    rollbacks_.assign(shard_count, 0);
+    rolled_back_.assign(shard_count, 0);
+  }
   lookahead_ms_ =
       config_.window_ms > 0.0 ? config_.window_ms : auto_window_ms();
 }
@@ -89,7 +114,7 @@ double ShardedEngine::auto_window_ms() const {
   // handoff can carry. Same-shard events never cross a barrier, so only
   // links whose endpoints map to different shards bound the window.
   const topology::AsGraph& graph = model_->fabric().internet().graph();
-  double min_delay = kInf;
+  double min_delay = detail::kInf;
   for (topology::AsId as = 0; as < graph.as_count(); ++as) {
     for (const topology::AsGraph::Link& link : graph.links(as)) {
       if (link.neighbor < as) continue;  // each adjacency once
@@ -99,31 +124,77 @@ double ShardedEngine::auto_window_ms() const {
                                                              link.neighbor));
     }
   }
-  if (min_delay <= 0.0) return kZeroLookaheadWindowMs;
+  if (min_delay <= 0.0) return detail::kZeroLookaheadWindowMs;
   return min_delay;  // kInf when the whole topology fits one shard
 }
 
-RunStats ShardedEngine::run() {
-  PROF_SPAN("lina.des.run");
-  const std::size_t shard_count = config_.shard_count;
-  RunStats stats;
-  stats.lookahead_ms = lookahead_ms_;
+void ShardedEngine::seed_sessions() {
   for (std::uint32_t i = 0; i < model_->session_count(); ++i) {
     const EventRecord record = model_->initial_event(i);
     shards_[owner_shard(record)].push(record);
   }
-  const auto global_min = [&] {
-    double min_time = kInf;
-    for (const ShardQueue& shard : shards_) {
-      if (!shard.empty()) min_time = std::min(min_time, shard.top_time());
+}
+
+double ShardedEngine::global_min_time() const {
+  double min_time = detail::kInf;
+  for (const ShardQueue& shard : shards_) {
+    if (!shard.empty()) min_time = std::min(min_time, shard.top_time());
+  }
+  return min_time;
+}
+
+void ShardedEngine::finish_stats(RunStats& stats) const {
+  const std::size_t shard_count = config_.shard_count;
+  stats.lookahead_ms = lookahead_ms_;
+  stats.shard_events.resize(shard_count);
+  std::uint64_t max_events = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    stats.digest.combine(shards_[s].digest);
+    stats.events += shards_[s].executed;
+    stats.handoffs += received_[s];
+    stats.bundles += bundles_[s];
+    stats.shard_events[s] = shards_[s].executed;
+    max_events = std::max(max_events, shards_[s].executed);
+    obs::metric::des_shard_events().record(
+        static_cast<double>(shards_[s].executed));
+  }
+  if (config_.sync == SyncMode::kOptimistic) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      stats.rollbacks += rollbacks_[s];
+      stats.rolled_back_events += rolled_back_[s];
     }
-    return min_time;
-  };
-  std::vector<std::uint64_t> received(shard_count, 0);
+  }
+  if (stats.events > 0) {
+    const double mean = static_cast<double>(stats.events) /
+                        static_cast<double>(shard_count);
+    stats.shard_imbalance = static_cast<double>(max_events) / mean;
+  }
+  obs::metric::des_events_executed().add(stats.events);
+  obs::metric::des_windows().add(stats.windows);
+  obs::metric::des_handoffs().add(stats.handoffs);
+  obs::metric::des_redrain_passes().add(stats.redrain_passes);
+  obs::metric::des_bundles_sealed().add(stats.bundles);
+  obs::metric::des_rollbacks().add(stats.rollbacks);
+  obs::metric::des_rolled_back_events().add(stats.rolled_back_events);
+  obs::metric::des_shards().set(static_cast<double>(shard_count));
+  obs::metric::des_shard_imbalance().set(stats.shard_imbalance);
+  obs::metric::des_lookahead_ms().set(
+      lookahead_ms_ < detail::kInf ? lookahead_ms_ : -1.0);
+}
+
+RunStats ShardedEngine::run() {
+  PROF_SPAN("lina.des.run");
+  seed_sessions();
+  return config_.sync == SyncMode::kOptimistic ? run_optimistic()
+                                               : run_conservative();
+}
+
+RunStats ShardedEngine::run_conservative() {
+  const std::size_t shard_count = config_.shard_count;
+  RunStats stats;
   std::vector<std::uint8_t> early(shard_count, 0);
-  std::uint64_t redrain_passes = 0;
-  double window_start = global_min();
-  while (window_start < kInf) {
+  double window_start = global_min_time();
+  while (window_start < detail::kInf) {
     const double horizon = window_start + lookahead_ms_;
     stats.windows += 1;
     bool rerun_window = true;
@@ -139,7 +210,7 @@ RunStats ShardedEngine::run() {
                 if (owner == s) {
                   shard.push(next);
                 } else {
-                  mailboxes_[s * shard_count + owner].push_back(next);
+                  mailboxes_[s * shard_count + owner].append(next);
                 }
               };
               while (!shard.empty() && shard.top_time() < horizon) {
@@ -152,7 +223,7 @@ RunStats ShardedEngine::run() {
       }
       {
         // Barrier reached: hand mailbox columns to their owners. Each
-        // box has exactly one writer (the source shard, last window
+        // chain has exactly one writer (the source shard, last window
         // pass) and one reader (here), sequenced by the pool join.
         PROF_SPAN("lina.des.drain");
         exec::parallel_for(
@@ -160,14 +231,12 @@ RunStats ShardedEngine::run() {
             [&](std::size_t dst) {
               early[dst] = 0;
               for (std::size_t src = 0; src < shard_count; ++src) {
-                std::vector<EventRecord>& box =
-                    mailboxes_[src * shard_count + dst];
-                for (const EventRecord& record : box) {
+                BundleChain& box = mailboxes_[src * shard_count + dst];
+                bundles_[dst] += box.pending_bundles();
+                received_[dst] += box.drain([&](const EventRecord& record) {
                   if (record.time_ms < horizon) early[dst] = 1;
                   shards_[dst].push(record);
-                }
-                received[dst] += box.size();
-                box.clear();
+                });
               }
             },
             config_.threads);
@@ -180,32 +249,20 @@ RunStats ShardedEngine::run() {
       for (std::size_t s = 0; s < shard_count; ++s) {
         if (early[s] != 0) rerun_window = true;
       }
-      if (rerun_window) redrain_passes += 1;
+      if (rerun_window) stats.redrain_passes += 1;
     }
-    const double next_time = global_min();
-    if (next_time >= kInf) break;
+    const double next_time = global_min_time();
+    if (next_time >= detail::kInf) break;
     // Advance at least one window; skip straight to the window holding
     // the next event so sparse periods cost no empty barriers.
     window_start = horizon;
-    if (lookahead_ms_ < kInf && next_time > horizon) {
+    if (lookahead_ms_ < detail::kInf && next_time > horizon) {
       window_start =
           horizon +
           lookahead_ms_ * std::floor((next_time - horizon) / lookahead_ms_);
     }
   }
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    stats.digest.combine(shards_[s].digest);
-    stats.events += shards_[s].executed;
-    stats.handoffs += received[s];
-  }
-  stats.redrain_passes = redrain_passes;
-  obs::metric::des_events_executed().add(stats.events);
-  obs::metric::des_windows().add(stats.windows);
-  obs::metric::des_handoffs().add(stats.handoffs);
-  obs::metric::des_redrain_passes().add(stats.redrain_passes);
-  obs::metric::des_shards().set(static_cast<double>(shard_count));
-  obs::metric::des_lookahead_ms().set(
-      lookahead_ms_ < kInf ? lookahead_ms_ : -1.0);
+  finish_stats(stats);
   return stats;
 }
 

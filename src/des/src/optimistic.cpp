@@ -1,0 +1,181 @@
+// Optimistic (rollback) sync mode (DESIGN.md §4j).
+//
+// Cycle shape: (1) every shard speculatively drains its heap up to
+// GVT + speculation_windows × lookahead, logging each record and staging
+// cross-shard emissions; (2) the barrier computes GVT = the minimum
+// timestamp across all heap tops and staged records; (3) staged records
+// whose *emitting* event is at or below GVT are released into the bundled
+// mailboxes (the emitter can never be rolled back, so no anti-messages
+// are ever needed); (4) mailboxes drain — a record below the destination
+// shard's speculative clock is a straggler and triggers rollback() — and
+// undo logs commit through GVT.
+//
+// Why this is safe (the invariants tests/des pin):
+//  - Every future event (heap entry or staged record) has time >= GVT,
+//    so committed log entries (time <= GVT) are final.
+//  - A rolled-back event has time above a straggler >= GVT, so its
+//    staged emissions (emit_ms = its time > GVT) were never released:
+//    rollback only ever touches the shard's own heap and staging rows.
+//  - The undo log is in processing order (nondecreasing time), so a
+//    speculatively executed descendant is undone before its parent; the
+//    descendant's re-pushed record is then removed by the parent's
+//    emission retraction, leaving exactly the parent to re-execute.
+//  - GVT is monotone and the event at GVT always executes within one
+//    cycle (it is a heap top, or staged with emit_ms <= its time = GVT,
+//    hence released), so the loop makes progress; zero-delay chains are
+//    bounded by the packet hop TTL.
+
+#include <algorithm>
+#include <vector>
+
+#include "lina/des/detail.hpp"
+#include "lina/des/engine.hpp"
+#include "lina/exec/parallel.hpp"
+#include "lina/prof/prof.hpp"
+
+namespace lina::des {
+
+std::uint64_t ShardedEngine::rollback(std::size_t s, double straggler_ms) {
+  UndoLog& log = logs_[s];
+  if (log.empty() || log.back().time_ms <= straggler_ms) return 0;
+  const std::size_t shard_count = config_.shard_count;
+  ShardQueue& shard = shards_[s];
+  std::uint64_t undone = 0;
+  while (!log.empty() && log.back().time_ms > straggler_ms) {
+    const EventRecord record = log.pop_back();
+    // Handlers are pure: re-running the record regenerates its digest
+    // delta and emissions byte-for-byte, so undo is subtract + retract.
+    DeliveryDigest delta;
+    model_->handle(record, delta, [&](const EventRecord& out) {
+      const std::uint32_t owner = owner_shard(out);
+      if (owner == s) {
+        shard.remove_match(out);
+        return;
+      }
+      std::vector<StagedRecord>& staged = staged_[s * shard_count + owner];
+      for (std::size_t i = staged.size(); i-- > 0;) {
+        if (same_event(staged[i].record, out)) {
+          staged[i] = staged.back();
+          staged.pop_back();
+          break;
+        }
+      }
+    });
+    shard.digest.subtract(delta);
+    shard.executed -= 1;
+    shard.append_raw(record);  // re-execute in straggler-consistent order
+    ++undone;
+  }
+  shard.restore_heap();
+  // The newest surviving log entry is the shard's new speculative clock;
+  // with nothing uncommitted left, the straggler itself is an upper
+  // bound on every committed entry's time.
+  clock_[s] = log.empty() ? straggler_ms : log.back().time_ms;
+  rollbacks_[s] += 1;
+  rolled_back_[s] += undone;
+  return undone;
+}
+
+RunStats ShardedEngine::run_optimistic() {
+  const std::size_t shard_count = config_.shard_count;
+  RunStats stats;
+  const double spec_ms = lookahead_ms_ < detail::kInf
+                             ? lookahead_ms_ * config_.speculation_windows
+                             : detail::kInf;
+  double gvt = global_min_time();  // nothing staged before the first pass
+  while (gvt < detail::kInf) {
+    stats.windows += 1;
+    const double bound = gvt + spec_ms;
+    {
+      PROF_SPAN("lina.des.speculate");
+      exec::parallel_for(
+          shard_count,
+          [&](std::size_t s) {
+            ShardQueue& shard = shards_[s];
+            double current = clock_[s];
+            const auto emit = [&](const EventRecord& next) {
+              const std::uint32_t owner = owner_shard(next);
+              if (owner == s) {
+                shard.push(next);
+              } else {
+                staged_[s * shard_count + owner].push_back({current, next});
+              }
+            };
+            while (!shard.empty() && shard.top_time() < bound) {
+              const EventRecord record = shard.pop();
+              logs_[s].push(record);
+              current = record.time_ms;
+              shard.executed += 1;
+              model_->handle(record, shard.digest, emit);
+            }
+            clock_[s] = current;
+          },
+          config_.threads);
+    }
+    // Barrier: GVT is the least timestamp any unexecuted event can carry
+    // — a heap entry, or a staged record not yet delivered. Everything at
+    // or below it is final.
+    gvt = detail::kInf;
+    for (const ShardQueue& shard : shards_) {
+      if (!shard.empty()) gvt = std::min(gvt, shard.top_time());
+    }
+    for (const std::vector<StagedRecord>& staged : staged_) {
+      for (const StagedRecord& entry : staged) {
+        gvt = std::min(gvt, entry.record.time_ms);
+      }
+    }
+    if (gvt >= detail::kInf) break;
+    {
+      // Release: a staged record whose emitter committed (emit_ms <= GVT)
+      // can never be retracted — seal it into the bundled mailbox. The
+      // rest stay staged, order preserved.
+      PROF_SPAN("lina.des.release");
+      exec::parallel_for(
+          shard_count,
+          [&](std::size_t src) {
+            for (std::size_t dst = 0; dst < shard_count; ++dst) {
+              if (dst == src) continue;
+              std::vector<StagedRecord>& staged =
+                  staged_[src * shard_count + dst];
+              std::size_t keep = 0;
+              for (std::size_t i = 0; i < staged.size(); ++i) {
+                if (staged[i].emit_ms <= gvt) {
+                  mailboxes_[src * shard_count + dst].append(
+                      staged[i].record);
+                } else {
+                  staged[keep++] = staged[i];
+                }
+              }
+              staged.resize(keep);
+            }
+          },
+          config_.threads);
+    }
+    {
+      // Drain + commit: same single-writer/single-reader chains as the
+      // conservative barrier. A record below the shard's speculative
+      // clock is a straggler: rewind past it, then enqueue it normally.
+      PROF_SPAN("lina.des.drain");
+      exec::parallel_for(
+          shard_count,
+          [&](std::size_t dst) {
+            for (std::size_t src = 0; src < shard_count; ++src) {
+              BundleChain& box = mailboxes_[src * shard_count + dst];
+              bundles_[dst] += box.pending_bundles();
+              received_[dst] += box.drain([&](const EventRecord& record) {
+                if (record.time_ms < clock_[dst]) {
+                  rollback(dst, record.time_ms);
+                }
+                shards_[dst].push(record);
+              });
+            }
+            logs_[dst].commit_through(gvt);
+          },
+          config_.threads);
+    }
+  }
+  finish_stats(stats);
+  return stats;
+}
+
+}  // namespace lina::des

@@ -1,5 +1,7 @@
 #include "lina/des/replay.hpp"
 
+#include <algorithm>
+
 #include "lina/prof/prof.hpp"
 #include "lina/trace/replay.hpp"
 
@@ -45,6 +47,26 @@ PacketReplayStats replay_packets_streamed(
     total.windows += run.windows;
     total.handoffs += run.handoffs;
     total.batches += 1;
+    total.redrain_passes += run.redrain_passes;
+    total.bundles += run.bundles;
+    total.rollbacks += run.rollbacks;
+    total.rolled_back_events += run.rolled_back_events;
+    if (total.shard_events.size() < run.shard_events.size()) {
+      total.shard_events.resize(run.shard_events.size());
+    }
+    for (std::size_t s = 0; s < run.shard_events.size(); ++s) {
+      total.shard_events[s] += run.shard_events[s];
+    }
+  }
+  if (!total.shard_events.empty() && total.events > 0) {
+    std::uint64_t max_events = 0;
+    for (const std::uint64_t count : total.shard_events) {
+      max_events = std::max(max_events, count);
+    }
+    total.shard_imbalance =
+        static_cast<double>(max_events) /
+        (static_cast<double>(total.events) /
+         static_cast<double>(total.shard_events.size()));
   }
   return total;
 }

@@ -37,6 +37,40 @@ TEST(ShardMapTest, DeterministicAndBounded) {
   }
 }
 
+TEST(ShardMapTest, NearestAnchorBreaksTiesTowardLowestIndex) {
+  // The documented tie-break (engine.hpp): strict less-than comparison,
+  // so among equidistant anchors the lowest index wins. Pinned here so
+  // shard assignment can never drift across platforms or refactors —
+  // a drift would silently re-home every AS and change which links count
+  // as cross-shard (and therefore the auto lookahead window).
+  const topology::GeoPoint at{10.0, 20.0};
+  const topology::GeoPoint same{48.0, 2.0};
+  const topology::GeoPoint far{-30.0, 150.0};
+  {
+    // Bitwise-identical anchors: a guaranteed exact distance tie.
+    const topology::GeoPoint anchors[] = {same, same, same};
+    EXPECT_EQ(ShardMap::nearest_anchor(at, anchors), 0u);
+  }
+  {
+    const topology::GeoPoint anchors[] = {far, same, same};
+    EXPECT_EQ(ShardMap::nearest_anchor(at, anchors), 1u);
+  }
+  {
+    // A duplicated best candidate: the later copy computes the exact
+    // same distance and must NOT displace the earlier one.
+    const topology::GeoPoint near{12.0, 21.0};
+    const topology::GeoPoint anchors[] = {far, near, far, near};
+    EXPECT_EQ(ShardMap::nearest_anchor(at, anchors), 1u)
+        << "equidistant candidates must keep the first";
+  }
+  // And a strictly closer later anchor must still win.
+  {
+    const topology::GeoPoint close{10.0, 20.5};
+    const topology::GeoPoint anchors[] = {same, far, close};
+    EXPECT_EQ(ShardMap::nearest_anchor(at, anchors), 2u);
+  }
+}
+
 TEST(ShardMapTest, ZeroShardsClampsToOne) {
   const ShardMap map = ShardMap::from_topology(shared_internet(), 0);
   EXPECT_EQ(map.shard_count(), 1u);
@@ -182,14 +216,20 @@ TEST(DesReplayTest, StreamedReplayIdentityAcrossBatchAndShards) {
   config.serial = false;
   for (const std::size_t shards : {1u, 4u}) {
     for (const std::size_t batch : {3u, 12u}) {
-      config.engine.shard_count = shards;
-      config.batch_users = batch;
-      const PacketReplayStats streamed =
-          replay_packets_streamed(fabric(), set, config);
-      EXPECT_EQ(streamed.digest, serial.digest)
-          << "shards=" << shards << " batch=" << batch;
-      EXPECT_EQ(streamed.sessions, serial.sessions);
-      EXPECT_EQ(streamed.events, serial.events);
+      for (const SyncMode sync :
+           {SyncMode::kConservative, SyncMode::kOptimistic}) {
+        config.engine.shard_count = shards;
+        config.engine.sync = sync;
+        config.batch_users = batch;
+        const PacketReplayStats streamed =
+            replay_packets_streamed(fabric(), set, config);
+        EXPECT_EQ(streamed.digest, serial.digest)
+            << "shards=" << shards << " batch=" << batch
+            << " sync=" << static_cast<int>(sync);
+        EXPECT_EQ(streamed.sessions, serial.sessions);
+        EXPECT_EQ(streamed.events, serial.events);
+        EXPECT_EQ(streamed.shard_events.size(), shards);
+      }
     }
   }
 }

@@ -1,0 +1,213 @@
+// Optimistic (rollback) sync mode (DESIGN.md §4j): the dedicated
+// straggler test — an oversized speculation window forces cross-shard
+// arrivals below the destination shard's speculative clock, so rollback
+// provably fires and the digest still matches the serial reference —
+// plus the undo-log / digest-inversion algebra and config validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "../support/fixtures.hpp"
+#include "lina/des/engine.hpp"
+#include "lina/des/optimistic.hpp"
+
+namespace lina::des {
+namespace {
+
+using lina::testing::shared_internet;
+using topology::AsId;
+
+const sim::ForwardingFabric& fabric() {
+  static const sim::ForwardingFabric instance(shared_internet());
+  return instance;
+}
+
+AsId edge(std::size_t i) { return shared_internet().edge_ases()[i]; }
+
+/// Sessions whose correspondents and mobiles sit in different metros, so
+/// packets keep crossing shard boundaries while every shard also has
+/// dense local emissions to speculate through.
+PacketModel cross_metro_model() {
+  PacketModel model(fabric(), sim::SimArchitecture::kIndirection);
+  for (std::size_t i = 0; i < 6; ++i) {
+    SessionParams p;
+    p.correspondent = edge(i * 11);
+    p.schedule = {{0.0, edge(60 + i * 7)}, {400.0, edge(20 + i * 9)}};
+    p.interval_ms = 15.0;
+    p.duration_ms = 1200.0;
+    model.add_session(p);
+  }
+  return model;
+}
+
+TEST(DesOptimisticTest, StragglerRollbackFiresAndMatchesSerial) {
+  // window_ms far above the true minimum cross-shard delay makes the
+  // speculation bound (gvt + 4 windows) overrun in-flight cross-shard
+  // packets by design: when a staged hop is finally released, the
+  // destination's speculative clock has moved past its timestamp — the
+  // straggler path. Conservative mode survives this via the re-drain
+  // fixpoint; optimistic mode must roll back, and the digest must not
+  // show a trace of it.
+  PacketModel model = cross_metro_model();
+  const RunStats serial = run_serial(model);
+  ASSERT_GT(serial.digest.delivered, 0u);
+  for (const std::size_t shards : {4u, 16u}) {
+    const ShardMap map = ShardMap::from_topology(shared_internet(), shards);
+    for (const std::size_t threads : {1u, 8u}) {
+      EngineConfig config;
+      config.shard_count = shards;
+      config.threads = threads;
+      config.window_ms = 50.0;
+      config.sync = SyncMode::kOptimistic;
+      ShardedEngine engine(model, map, config);
+      const RunStats stats = engine.run();
+      EXPECT_EQ(stats.digest, serial.digest)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(stats.events, serial.events);
+      EXPECT_GT(stats.rollbacks, 0u)
+          << "straggler construction failed to trigger a rollback";
+      EXPECT_GT(stats.rolled_back_events, 0u);
+      EXPECT_GT(stats.handoffs, 0u);
+      EXPECT_GT(stats.bundles, 0u);
+    }
+  }
+}
+
+TEST(DesOptimisticTest, RollbackCountersAreThreadInvariant) {
+  // Every rollback decision happens in barrier-sequenced per-shard serial
+  // code on deterministic data, so the behaviour counters — not just the
+  // digest — must be identical at any thread count.
+  PacketModel model = cross_metro_model();
+  const ShardMap map = ShardMap::from_topology(shared_internet(), 4);
+  RunStats runs[2];
+  const std::size_t threads[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    EngineConfig config;
+    config.shard_count = 4;
+    config.threads = threads[i];
+    config.window_ms = 50.0;
+    config.sync = SyncMode::kOptimistic;
+    runs[i] = ShardedEngine(model, map, config).run();
+  }
+  EXPECT_EQ(runs[0].rollbacks, runs[1].rollbacks);
+  EXPECT_EQ(runs[0].rolled_back_events, runs[1].rolled_back_events);
+  EXPECT_EQ(runs[0].windows, runs[1].windows);
+  EXPECT_EQ(runs[0].handoffs, runs[1].handoffs);
+  EXPECT_EQ(runs[0].bundles, runs[1].bundles);
+  EXPECT_EQ(runs[0].shard_events, runs[1].shard_events);
+}
+
+TEST(DesOptimisticTest, ZeroDelayFabricStillExact) {
+  // All-zero link delays put every event of a packet's life at the same
+  // instant: nothing can arrive strictly below a speculative clock, so
+  // no rollback is even possible — but the equal-time speculation must
+  // still fold to the serial digest.
+  sim::FabricConfig zero;
+  zero.per_hop_ms = 0.0;
+  zero.inflation = 0.0;
+  zero.min_link_ms = 0.0;
+  const sim::ForwardingFabric flat(shared_internet(), zero);
+  PacketModel model(flat, sim::SimArchitecture::kIndirection);
+  SessionParams p;
+  p.correspondent = edge(3);
+  p.schedule = {{0.0, edge(40)}, {300.0, edge(41)}, {600.0, edge(42)}};
+  p.interval_ms = 20.0;
+  p.duration_ms = 900.0;
+  model.add_session(p);
+  const RunStats serial = run_serial(model);
+  for (const std::size_t shards : {4u, 16u}) {
+    const ShardMap map = ShardMap::from_topology(shared_internet(), shards);
+    EngineConfig config;
+    config.shard_count = shards;
+    config.sync = SyncMode::kOptimistic;
+    ShardedEngine engine(model, map, config);
+    const RunStats stats = engine.run();
+    EXPECT_EQ(stats.digest, serial.digest) << "shards=" << shards;
+    EXPECT_EQ(stats.events, serial.events);
+    EXPECT_GT(stats.handoffs, 0u);
+  }
+}
+
+TEST(DesOptimisticTest, SingleShardNeverRollsBack) {
+  PacketModel model = cross_metro_model();
+  const RunStats serial = run_serial(model);
+  const ShardMap map = ShardMap::from_topology(shared_internet(), 1);
+  EngineConfig config;
+  config.shard_count = 1;
+  config.sync = SyncMode::kOptimistic;
+  ShardedEngine engine(model, map, config);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.digest, serial.digest);
+  EXPECT_EQ(stats.events, serial.events);
+  EXPECT_EQ(stats.handoffs, 0u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_EQ(stats.rolled_back_events, 0u);
+}
+
+TEST(DesOptimisticTest, RejectsBadSpeculationWindows) {
+  PacketModel model(fabric(), sim::SimArchitecture::kIndirection);
+  const ShardMap map = ShardMap::from_topology(shared_internet(), 4);
+  EngineConfig config;
+  config.sync = SyncMode::kOptimistic;
+  config.speculation_windows = 0.0;
+  EXPECT_THROW(ShardedEngine(model, map, config), std::invalid_argument);
+  config.speculation_windows = -2.0;
+  EXPECT_THROW(ShardedEngine(model, map, config), std::invalid_argument);
+  config.speculation_windows = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ShardedEngine(model, map, config), std::invalid_argument);
+  config.speculation_windows = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ShardedEngine(model, map, config), std::invalid_argument);
+}
+
+TEST(DesDigestTest, SubtractInvertsCombine) {
+  DeliveryDigest base;
+  base.add_delivered(1, 2, 30.0, 10.0, 5, 7);
+  base.add_delivered(9, 0, 55.0, 40.0, 2, 3);
+  base.sent = 4;
+  base.lost = 1;
+  base.hop_events = 11;
+  DeliveryDigest delta;
+  delta.add_delivered(3, 1, 90.0, 70.0, 6, 2);
+  delta.sent = 2;
+  delta.hop_events = 5;
+  DeliveryDigest folded = base;
+  folded.combine(delta);
+  ASSERT_NE(folded, base);
+  folded.subtract(delta);
+  EXPECT_EQ(folded, base);
+  EXPECT_EQ(folded.fingerprint(), base.fingerprint());
+}
+
+TEST(DesUndoLogTest, CommitAndRewindSemantics) {
+  UndoLog log;
+  EXPECT_TRUE(log.empty());
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EventRecord r;
+    r.time_ms = static_cast<double>(i * 10);  // 0, 10, ..., 50
+    r.session = i;
+    log.push(r);
+  }
+  EXPECT_EQ(log.uncommitted(), 6u);
+  EXPECT_DOUBLE_EQ(log.back().time_ms, 50.0);
+
+  // Commit through 25: entries at 0/10/20 become final.
+  log.commit_through(25.0);
+  EXPECT_EQ(log.uncommitted(), 3u);
+
+  // A straggler at 35 pops exactly the entries above it.
+  EXPECT_DOUBLE_EQ(log.pop_back().time_ms, 50.0);
+  EXPECT_DOUBLE_EQ(log.pop_back().time_ms, 40.0);
+  EXPECT_DOUBLE_EQ(log.back().time_ms, 30.0);
+  EXPECT_EQ(log.uncommitted(), 1u);
+
+  // Full commit reclaims everything.
+  log.commit_through(100.0);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.uncommitted(), 0u);
+}
+
+}  // namespace
+}  // namespace lina::des
